@@ -1,0 +1,78 @@
+//! Criterion bench: state-vector gate application vs register size —
+//! the simulator substrate's core kernel, including the rayon-parallel
+//! path that engages at 14+ qubits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qn_sim::{gates, StateVector};
+use std::hint::black_box;
+
+fn bench_single_qubit_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_apply/hadamard");
+    for &n in &[8usize, 12, 14, 16, 18] {
+        group.throughput(Throughput::Elements(1u64 << n));
+        group.bench_with_input(BenchmarkId::new("qubits", n), &n, |b, &n| {
+            let mut s = StateVector::uniform(n);
+            b.iter(|| {
+                gates::apply_single(black_box(&mut s), 0, &gates::hadamard())
+                    .expect("gate applies");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_position(c: &mut Criterion) {
+    // Low qubits touch adjacent amplitudes (cache-friendly); high qubits
+    // stride across the vector. Measures the locality spread.
+    let n = 16;
+    let mut group = c.benchmark_group("gate_apply/position_16q");
+    for &q in &[0usize, 7, 15] {
+        group.bench_with_input(BenchmarkId::new("qubit", q), &q, |b, &q| {
+            let mut s = StateVector::uniform(n);
+            b.iter(|| {
+                gates::apply_single(black_box(&mut s), q, &gates::ry(0.3))
+                    .expect("gate applies");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_apply/cnot");
+    for &n in &[10usize, 14, 16] {
+        group.bench_with_input(BenchmarkId::new("qubits", n), &n, |b, &n| {
+            let mut s = StateVector::uniform(n);
+            b.iter(|| {
+                gates::apply_cnot(black_box(&mut s), 0, n - 1).expect("gate applies");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mode_rotation(c: &mut Criterion) {
+    // The paper's gate touches exactly 2 amplitudes — O(1) regardless of
+    // dimension; this is the whole point of the mesh representation.
+    let mut group = c.benchmark_group("gate_apply/mode_rotation");
+    for &dim in &[16usize, 1 << 10, 1 << 16] {
+        group.bench_with_input(BenchmarkId::new("dim", dim), &dim, |b, &dim| {
+            let mut v = vec![0.0; dim];
+            v[0] = 1.0;
+            b.iter(|| {
+                qn_sim::rotation::apply_real(black_box(&mut v), 0, 0.01)
+                    .expect("rotation applies");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_qubit_gate,
+    bench_gate_position,
+    bench_cnot,
+    bench_mode_rotation
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: gradient computation cost per method (backs
+//! experiment A1). The analytic backprop is O(P·N) per sample while the
+//! finite differences are O(P²·N); this bench quantifies the gap at the
+//! paper's scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qn_core::compression::CompressionNetwork;
+use qn_core::config::{CompressionTargetKind, SubspaceKind};
+use qn_core::encoding;
+use qn_core::gradient::{loss_and_gradient, GradientMethod};
+use qn_image::datasets;
+use qn_photonic::Mesh;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn paper_scale_setup() -> (CompressionNetwork, Vec<Vec<f64>>) {
+    let data = datasets::paper_binary_16(25);
+    let inputs: Vec<Vec<f64>> = encoding::encode_images(&data, 16)
+        .expect("dataset encodes")
+        .into_iter()
+        .map(|e| e.amplitudes)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = CompressionNetwork::new(
+        Mesh::random(16, 12, &mut rng),
+        4,
+        SubspaceKind::KeepLast,
+        CompressionTargetKind::TrashPenalty,
+    )
+    .expect("valid network");
+    (net, inputs)
+}
+
+fn bench_gradient_methods(c: &mut Criterion) {
+    let (net, inputs) = paper_scale_setup();
+    let residual = |i: usize, out: &[f64], buf: &mut [f64]| net.residual(i, out, buf);
+    let mut group = c.benchmark_group("gradient/paper_scale_12x15_params_25_samples");
+    for (name, method) in [
+        ("analytic", GradientMethod::Analytic),
+        ("central_1e-6", GradientMethod::CentralDifference { delta: 1e-6 }),
+        ("forward_1e-8_paper", GradientMethod::paper()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(loss_and_gradient(
+                    net.mesh(),
+                    black_box(&inputs),
+                    &residual,
+                    method,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradient_methods);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: the dense linear-algebra kernels behind the
+//! baselines — Jacobi SVD (K-SVD's inner step), OMP coding, matmul.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_classical::omp::orthogonal_matching_pursuit;
+use qn_classical::Dictionary;
+use qn_linalg::random::{gaussian_matrix, rng_from_seed};
+use qn_linalg::svd::svd;
+use std::hint::black_box;
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/jacobi_svd");
+    for &n in &[8usize, 16, 32, 64] {
+        let mut rng = rng_from_seed(n as u64);
+        let m = gaussian_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |b, _| {
+            b.iter(|| black_box(svd(black_box(&m)).expect("svd converges")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/matmul");
+    for &n in &[16usize, 64, 128, 256] {
+        let mut rng = rng_from_seed(7);
+        let a = gaussian_matrix(n, n, &mut rng);
+        let b_m = gaussian_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(black_box(&b_m)).expect("shapes match")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_omp(c: &mut Criterion) {
+    let mut rng = rng_from_seed(11);
+    let dict = Dictionary::random(16, 16, &mut rng);
+    let y: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.7).sin().abs()).collect();
+    c.bench_function("linalg/omp_16x16_s4", |b| {
+        b.iter(|| {
+            black_box(orthogonal_matching_pursuit(
+                black_box(&dict),
+                black_box(&y),
+                4,
+                1e-12,
+            ))
+        });
+    });
+}
+
+fn bench_clements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/clements_decompose");
+    for &n in &[8usize, 16, 32] {
+        let u = qn_linalg::random::haar_orthogonal(n, 3);
+        group.bench_with_input(BenchmarkId::new("dim", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    qn_photonic::clements::clements_decompose(black_box(&u), 1e-8)
+                        .expect("orthogonal input"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd, bench_matmul, bench_omp, bench_clements);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: mesh forward-pass cost vs mode count and depth —
+//! the inner loop of every experiment (backs experiment A4's size sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qn_photonic::Mesh;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_forward_by_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_forward/dim");
+    for &dim in &[16usize, 64, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mesh = Mesh::random(dim, 12, &mut rng);
+        let v: Vec<f64> = (0..dim).map(|i| ((i as f64) * 0.1).sin()).collect();
+        group.throughput(Throughput::Elements((12 * (dim - 1)) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut buf = v.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&v);
+                mesh.forward_real(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_by_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_forward/layers");
+    for &layers in &[4usize, 12, 24, 48] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mesh = Mesh::random(16, layers, &mut rng);
+        let v: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.2).cos()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
+            let mut buf = v.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&v);
+                mesh.forward_real(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_as_matrix(c: &mut Criterion) {
+    // Dense materialisation (used by decompositions and tests).
+    let mut rng = StdRng::seed_from_u64(3);
+    let mesh = Mesh::random(16, 12, &mut rng);
+    c.bench_function("mesh_as_matrix/16x12", |b| {
+        b.iter(|| black_box(mesh.as_matrix()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_forward_by_dim,
+    bench_forward_by_layers,
+    bench_mesh_as_matrix
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion bench (experiment A5): rayon thread-count scaling of the
+//! batch gradient — the workspace's dominant parallel workload. Each
+//! thread count runs in its own rayon pool; results must be *identical*
+//! across counts (deterministic reductions), only the speed changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qn_core::compression::CompressionNetwork;
+use qn_core::config::{CompressionTargetKind, SubspaceKind};
+use qn_core::gradient::{loss_and_gradient, GradientMethod};
+use qn_image::datasets;
+use qn_photonic::Mesh;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(samples: usize, dim_side: usize, layers: usize) -> (CompressionNetwork, Vec<Vec<f64>>) {
+    let n = dim_side * dim_side;
+    let data = datasets::low_rank_binary(samples, dim_side, dim_side, n / 4, 5);
+    let inputs: Vec<Vec<f64>> = qn_core::encoding::encode_images(&data, n)
+        .expect("dataset encodes")
+        .into_iter()
+        .map(|e| e.amplitudes)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = CompressionNetwork::new(
+        Mesh::random(n, layers, &mut rng),
+        n / 4,
+        SubspaceKind::KeepLast,
+        CompressionTargetKind::TrashPenalty,
+    )
+    .expect("valid network");
+    (net, inputs)
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    // A batch big enough to parallelise: 256 samples of an 8×8 problem.
+    let (net, inputs) = setup(256, 8, 8);
+    let max_threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+
+    let mut group = c.benchmark_group("parallel/batch_gradient_256x64");
+    let mut reference: Option<(f64, Vec<f64>)> = None;
+    // Deduplicated, capped thread counts (criterion IDs must be unique).
+    let mut counts: Vec<usize> = [1usize, 2, 4, max_threads]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    for threads in counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        // Determinism check: every pool must produce identical results.
+        let result = pool.install(|| {
+            loss_and_gradient(
+                net.mesh(),
+                &inputs,
+                &|i, out, buf| net.residual(i, out, buf),
+                GradientMethod::Analytic,
+            )
+        });
+        match &reference {
+            None => reference = Some(result),
+            Some((l, g)) => {
+                assert_eq!(*l, result.0, "loss differs at {threads} threads");
+                assert_eq!(*g, result.1, "gradient differs at {threads} threads");
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    pool.install(|| {
+                        black_box(loss_and_gradient(
+                            net.mesh(),
+                            black_box(&inputs),
+                            &|i, out, buf| net.residual(i, out, buf),
+                            GradientMethod::Analytic,
+                        ))
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: one full training iteration of each method at the
+//! Table I scale — the per-iteration cost behind the "CPU runs" row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qn_classical::csc::{CscConfig, CscPipeline, SparseCoder};
+use qn_core::config::NetworkConfig;
+use qn_core::trainer::Trainer;
+use qn_image::datasets;
+use std::hint::black_box;
+
+fn bench_qn_iteration(c: &mut Criterion) {
+    let data = datasets::paper_binary_16(25);
+    c.bench_function("train_iter/qn_paper_scale", |b| {
+        // One-iteration trainer, rebuilt outside the timing loop where
+        // possible; Trainer::train with 1 iteration measures a single
+        // compression + reconstruction step including accuracy eval.
+        let cfg = NetworkConfig::paper_default().with_iterations(1);
+        b.iter_batched(
+            || Trainer::new(cfg.clone(), &data).expect("valid configuration"),
+            |mut t| {
+                black_box(t.train().expect("training runs"));
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_csc_iteration(c: &mut Criterion) {
+    let data = datasets::paper_binary_16(25);
+    let mut group = c.benchmark_group("train_iter/csc_paper_scale");
+    for (name, coder) in [
+        (
+            "fista_paper",
+            SparseCoder::Fista {
+                lambda: 0.05,
+                inner_iterations: 150,
+            },
+        ),
+        ("omp_strong", SparseCoder::Omp),
+    ] {
+        let cfg = CscConfig {
+            iterations: 1,
+            coder,
+            ..CscConfig::paper_default()
+        };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || CscPipeline::new(cfg.clone(), &data),
+                |mut p| {
+                    black_box(p.train());
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qn_iteration, bench_csc_iteration);
+criterion_main!(benches);

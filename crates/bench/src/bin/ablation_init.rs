@@ -1,0 +1,68 @@
+//! Experiment **A3**: initialisation ablation.
+//!
+//! The paper notes "θ can be initialized randomly or uniformly; different
+//! initialization methods will bring different training effects, and
+//! subsequent initialization research has also made progress". This
+//! binary quantifies that: uniform-random vs small-random vs identity vs
+//! the spectral (PCA/Clements) initialisation, which starts *at* the
+//! optimum of the compression loss.
+//!
+//! Output: `results/ablation_init.csv` (loss curves) + stdout table.
+
+use qn_bench::{results_dir, write_csv, Table};
+use qn_core::config::{InitStrategy, NetworkConfig};
+use qn_core::trainer::Trainer;
+use qn_image::datasets;
+
+fn main() {
+    let data = datasets::paper_binary_16_hard(25); // non-trivial bound
+    let strategies: Vec<(&str, InitStrategy)> = vec![
+        ("uniform [0,2π)", InitStrategy::RandomUniform),
+        ("small ±0.3", InitStrategy::SmallRandom(0.3)),
+        ("identity", InitStrategy::Identity),
+        ("spectral (PCA)", InitStrategy::Spectral),
+    ];
+
+    let mut t = Table::new(&["init", "L_C iter0", "L_C final", "iters to 2×bound", "acc_binary"]);
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    let inputs: Vec<Vec<f64>> = qn_core::encoding::encode_images(&data, 16)
+        .expect("dataset encodes")
+        .into_iter()
+        .map(|e| e.amplitudes)
+        .collect();
+    let bound = qn_core::spectral::compression_loss_lower_bound(&inputs, 16, 4)
+        .expect("bound computable");
+    println!("PCA bound (sum): {bound:.4}\n");
+
+    let mut all_rows: Vec<Vec<f64>> = Vec::new();
+    for (idx, (name, init)) in strategies.iter().enumerate() {
+        let cfg = NetworkConfig::paper_default().with_init(*init);
+        let mut trainer = Trainer::new(cfg, &data).expect("valid configuration");
+        let report = trainer.train().expect("training runs");
+        let h = &report.history;
+        let first = h.compression_loss[0].sum;
+        let last = h.compression_loss.last().expect("non-empty").sum;
+        let to_bound = h
+            .compression_loss
+            .iter()
+            .position(|l| l.sum <= 2.0 * bound)
+            .map_or("never".to_string(), |i| i.to_string());
+        t.row(&[
+            name.to_string(),
+            format!("{first:.4}"),
+            format!("{last:.4}"),
+            to_bound,
+            format!("{:.2}%", report.max_accuracy_binary),
+        ]);
+        curves.push(h.compression_loss.iter().map(|l| l.sum).collect());
+        for (it, l) in h.compression_loss.iter().enumerate() {
+            all_rows.push(vec![idx as f64, it as f64, l.sum]);
+        }
+    }
+    println!("{}", t.render());
+    write_csv(
+        &results_dir().join("ablation_init.csv"),
+        &["strategy", "iteration", "lc_sum"],
+        &all_rows,
+    );
+}

@@ -1,0 +1,95 @@
+//! Experiment **A5/A6 (robustness)**: shot-noise and optical-loss
+//! failure injection.
+//!
+//! The paper trains on exact simulated amplitudes and assumes an ideal
+//! lossless interferometer. This binary measures how the pipeline
+//! degrades when (a) amplitudes are estimated from finite measurement
+//! shots during training, and (b) the trained network is deployed on a
+//! lossy mesh (per-gate insertion loss).
+//!
+//! Outputs: `results/ablation_shots.csv`, `results/ablation_loss_db.csv`.
+
+use qn_bench::{results_dir, write_csv, Table};
+use qn_core::config::NetworkConfig;
+use qn_core::encoding;
+use qn_core::trainer::Trainer;
+use qn_image::{datasets, metrics, GrayImage};
+use qn_photonic::lossy::{db_to_amplitude_transmission, propagate_lossy};
+
+fn main() {
+    let data = datasets::paper_binary_16(25);
+    let dir = results_dir();
+
+    // --- (a) Shot-noise during training. ---
+    println!("shot-noise sweep (0 = exact simulation):");
+    let mut t = Table::new(&["shots", "L_C final", "acc_snap", "acc_binary"]);
+    let mut rows = Vec::new();
+    for shots in [0usize, 256, 1024, 4096, 16384] {
+        let cfg = NetworkConfig::paper_default().with_shots(shots);
+        let mut trainer = Trainer::new(cfg, &data).expect("valid configuration");
+        let report = trainer.train().expect("training runs");
+        t.row(&[
+            shots.to_string(),
+            format!("{:.2e}", report.final_compression_loss),
+            format!("{:.2}%", report.max_accuracy),
+            format!("{:.2}%", report.max_accuracy_binary),
+        ]);
+        rows.push(vec![
+            shots as f64,
+            report.final_compression_loss,
+            report.max_accuracy,
+            report.max_accuracy_binary,
+        ]);
+    }
+    println!("{}", t.render());
+    write_csv(
+        &dir.join("ablation_shots.csv"),
+        &["shots", "lc_final_mean", "accuracy_snap", "accuracy_binary"],
+        &rows,
+    );
+
+    // --- (b) Deploying the exactly-trained network on a lossy mesh. ---
+    println!("insertion-loss sweep (trained losslessly, deployed lossy):");
+    let mut trainer =
+        Trainer::new(NetworkConfig::paper_default(), &data).expect("valid configuration");
+    trainer.train().expect("training runs");
+    let encoded = encoding::encode_images(&data, 16).expect("dataset encodes");
+    let comp_seq = trainer.compression().mesh().to_sequence();
+    let recon_seq = trainer.reconstruction().mesh().to_sequence();
+    let projector = trainer.compression().projector().clone();
+
+    let mut t = Table::new(&["loss dB/gate", "amp transmission", "acc_binary", "mean survival"]);
+    let mut rows = Vec::new();
+    for db in [0.0, 0.001, 0.005, 0.01, 0.05, 0.1] {
+        let eta = db_to_amplitude_transmission(db);
+        let mut survived_total = 0.0;
+        let recons: Vec<GrayImage> = encoded
+            .iter()
+            .zip(&data)
+            .map(|(e, img)| {
+                let mut amps = e.amplitudes.clone();
+                let s1 = propagate_lossy(&comp_seq, &mut amps, eta);
+                projector.project_real(&mut amps).expect("dims match");
+                let s2 = propagate_lossy(&recon_seq, &mut amps, eta);
+                survived_total += s1 * s2;
+                encoding::decode_image(&amps, e.norm, img.width(), img.height())
+                    .expect("dims preserved")
+                    .thresholded(0.5)
+            })
+            .collect();
+        let acc = metrics::mean_pixel_accuracy(&recons, &data, 0.01);
+        t.row(&[
+            format!("{db}"),
+            format!("{eta:.5}"),
+            format!("{acc:.2}%"),
+            format!("{:.4}", survived_total / data.len() as f64),
+        ]);
+        rows.push(vec![db, eta, acc, survived_total / data.len() as f64]);
+    }
+    println!("{}", t.render());
+    write_csv(
+        &dir.join("ablation_loss_db.csv"),
+        &["db_per_gate", "amplitude_transmission", "accuracy_binary", "mean_survival"],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! Experiment **A7**: optimiser ablation — including the paper-exact
+//! training recipe.
+//!
+//! The paper trains with plain gradient descent at η = 0.01 (Eq. 9) on
+//! gradients divided by M×N (Algorithm 1). On this landscape that recipe
+//! moves very slowly; this binary quantifies the gap against plain GD at
+//! larger rates, momentum, and Adam (the workspace default), justifying
+//! the documented deviation.
+//!
+//! Output: `results/ablation_optimizer.csv` + stdout table.
+
+use qn_bench::{results_dir, write_csv, Table};
+use qn_core::config::{NetworkConfig, OptimizerKind};
+use qn_core::trainer::Trainer;
+use qn_image::datasets;
+
+fn main() {
+    let data = datasets::paper_binary_16(25);
+    let runs: Vec<(&str, NetworkConfig)> = vec![
+        ("paper-exact (GD η=.01, /MN, FD Δ=1e-8)", NetworkConfig::paper_exact()),
+        (
+            "GD η=0.1",
+            NetworkConfig::paper_default()
+                .with_optimizer(OptimizerKind::Gd)
+                .with_learning_rate(0.1),
+        ),
+        (
+            "GD η=0.5",
+            NetworkConfig::paper_default()
+                .with_optimizer(OptimizerKind::Gd)
+                .with_learning_rate(0.5),
+        ),
+        (
+            "momentum η=0.05 β=0.9",
+            NetworkConfig::paper_default()
+                .with_optimizer(OptimizerKind::Momentum { beta: 0.9 })
+                .with_learning_rate(0.05),
+        ),
+        (
+            "adam η=0.05 (default)",
+            NetworkConfig::paper_default(),
+        ),
+    ];
+
+    let mut t = Table::new(&["optimizer", "L_C final", "L_R final", "acc_binary", "seconds"]);
+    let mut rows = Vec::new();
+    for (idx, (name, cfg)) in runs.into_iter().enumerate() {
+        let mut trainer = Trainer::new(cfg, &data).expect("valid configuration");
+        let report = trainer.train().expect("training runs");
+        t.row(&[
+            name.to_string(),
+            format!("{:.2e}", report.final_compression_loss),
+            format!("{:.2e}", report.final_reconstruction_loss),
+            format!("{:.2}%", report.max_accuracy_binary),
+            format!("{:.3}", report.train_seconds),
+        ]);
+        rows.push(vec![
+            idx as f64,
+            report.final_compression_loss,
+            report.final_reconstruction_loss,
+            report.max_accuracy_binary,
+            report.train_seconds,
+        ]);
+    }
+    println!("{}", t.render());
+    write_csv(
+        &results_dir().join("ablation_optimizer.csv"),
+        &["run", "lc_final_mean", "lr_final_mean", "accuracy_binary", "seconds"],
+        &rows,
+    );
+}

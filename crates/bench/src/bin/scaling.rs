@@ -1,0 +1,121 @@
+//! Experiment **A4**: scaling sweeps beyond the paper's single data
+//! point (the paper only evaluates N = 16; its introduction claims the
+//! approach "can process large-scale image data", which this binary
+//! actually measures).
+//!
+//! Sweeps:
+//! - image size: 4×4 (N=16) → 8×8 (N=64) → 16×16 (N=256), rank-matched
+//!   datasets, fixed d/N ratio;
+//! - compressed dimension d at N = 16;
+//! - network depth l_C at N = 16.
+//!
+//! Outputs: `results/scaling_size.csv`, `results/scaling_d.csv`,
+//! `results/scaling_layers.csv` and a stdout summary.
+
+use qn_bench::{results_dir, write_csv, Table};
+use qn_core::config::NetworkConfig;
+use qn_core::trainer::Trainer;
+use qn_image::datasets;
+
+fn main() {
+    let dir = results_dir();
+
+    // --- Sweep 1: image size (fixed d/N = 1/4, rank-d datasets). ---
+    println!("size sweep (iterations = 150, rank-matched data):");
+    let mut t = Table::new(&[
+        "size", "N", "d", "params", "L_C(final)", "acc_binary", "seconds",
+    ]);
+    let mut rows = Vec::new();
+    for &(side, layers) in &[(4usize, 12usize), (8, 16), (16, 24)] {
+        let n = side * side;
+        let d = n / 4;
+        let data = datasets::low_rank_binary(25, side, side, d, 17);
+        let cfg = NetworkConfig::paper_default()
+            .with_dims(n, d)
+            .with_layers(layers, layers + 2);
+        let mut trainer = Trainer::new(cfg, &data).expect("valid configuration");
+        let report = trainer.train().expect("training runs");
+        t.row(&[
+            format!("{side}x{side}"),
+            n.to_string(),
+            d.to_string(),
+            (layers * (n - 1)).to_string(),
+            format!("{:.2e}", report.final_compression_loss),
+            format!("{:.2}%", report.max_accuracy_binary),
+            format!("{:.2}", report.train_seconds),
+        ]);
+        rows.push(vec![
+            n as f64,
+            d as f64,
+            (layers * (n - 1)) as f64,
+            report.final_compression_loss,
+            report.max_accuracy_binary,
+            report.train_seconds,
+        ]);
+    }
+    println!("{}", t.render());
+    write_csv(
+        &dir.join("scaling_size.csv"),
+        &["n", "d", "params", "lc_final_mean", "accuracy_binary", "seconds"],
+        &rows,
+    );
+
+    // --- Sweep 2: compressed dimension d at N = 16 on the hard set. ---
+    println!("d sweep (hard dataset, N = 16):");
+    let hard = datasets::paper_binary_16_hard(25);
+    let mut t = Table::new(&["d", "L_C(final)", "acc_snap", "acc_binary"]);
+    let mut rows = Vec::new();
+    for d in [2usize, 4, 6, 8, 12] {
+        let cfg = NetworkConfig::paper_default().with_dims(16, d);
+        let mut trainer = Trainer::new(cfg, &hard).expect("valid configuration");
+        let report = trainer.train().expect("training runs");
+        t.row(&[
+            d.to_string(),
+            format!("{:.4}", report.final_compression_loss),
+            format!("{:.2}%", report.max_accuracy),
+            format!("{:.2}%", report.max_accuracy_binary),
+        ]);
+        rows.push(vec![
+            d as f64,
+            report.final_compression_loss,
+            report.max_accuracy,
+            report.max_accuracy_binary,
+        ]);
+    }
+    println!("{}", t.render());
+    write_csv(
+        &dir.join("scaling_d.csv"),
+        &["d", "lc_final_mean", "accuracy_snap", "accuracy_binary"],
+        &rows,
+    );
+
+    // --- Sweep 3: depth l_C at N = 16 (canonical set). ---
+    println!("layer sweep (canonical dataset, N = 16, d = 4):");
+    let data = datasets::paper_binary_16(25);
+    let mut t = Table::new(&["l_C", "params", "L_C(final)", "acc_binary"]);
+    let mut rows = Vec::new();
+    for lc in [2usize, 4, 8, 12, 16] {
+        let cfg = NetworkConfig::paper_default().with_layers(lc, lc + 2);
+        let mut trainer = Trainer::new(cfg, &data).expect("valid configuration");
+        let report = trainer.train().expect("training runs");
+        t.row(&[
+            lc.to_string(),
+            (lc * 15).to_string(),
+            format!("{:.2e}", report.final_compression_loss),
+            format!("{:.2}%", report.max_accuracy_binary),
+        ]);
+        rows.push(vec![
+            lc as f64,
+            (lc * 15) as f64,
+            report.final_compression_loss,
+            report.max_accuracy_binary,
+        ]);
+    }
+    println!("{}", t.render());
+    write_csv(
+        &dir.join("scaling_layers.csv"),
+        &["layers_c", "params", "lc_final_mean", "accuracy_binary"],
+        &rows,
+    );
+    println!("CSV series written to {}", dir.display());
+}

@@ -1,0 +1,165 @@
+//! Orthogonal matching pursuit (OMP).
+//!
+//! Like MP, but after every atom selection the coefficients of the whole
+//! active set are re-fit by least squares, so the residual stays
+//! orthogonal to the selected subspace. This is the sparse coder the CSC
+//! baseline uses by default.
+
+use crate::dictionary::Dictionary;
+use crate::mp::SparseCode;
+use qn_linalg::lstsq::lstsq_svd;
+use qn_linalg::{vector, Matrix};
+
+/// Orthogonal matching pursuit: select up to `max_atoms` atoms, re-fitting
+/// the active coefficients after each selection; stops early when the
+/// residual norm falls below `tol`.
+///
+/// # Panics
+/// Panics when `y.len()` differs from the dictionary's signal dimension.
+pub fn orthogonal_matching_pursuit(
+    dict: &Dictionary,
+    y: &[f64],
+    max_atoms: usize,
+    tol: f64,
+) -> SparseCode {
+    assert_eq!(y.len(), dict.signal_dim(), "omp: signal dimension mismatch");
+    let n = dict.signal_dim();
+    let mut residual = y.to_vec();
+    let mut support: Vec<usize> = Vec::new();
+    let mut coeffs_on_support: Vec<f64> = Vec::new();
+
+    for _ in 0..max_atoms.min(dict.atom_count()) {
+        if vector::norm2(&residual) <= tol {
+            break;
+        }
+        let corr = dict.correlations(&residual);
+        // Best atom not already selected.
+        let best = corr
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !support.contains(j))
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .map(|(j, &c)| (j, c));
+        let Some((best, c)) = best else { break };
+        if c == 0.0 {
+            break;
+        }
+        support.push(best);
+
+        // Least-squares refit on the active set.
+        let mut sub = Matrix::zeros(n, support.len());
+        for (col, &j) in support.iter().enumerate() {
+            sub.set_col(col, &dict.atom(j));
+        }
+        coeffs_on_support = lstsq_svd(&sub, y, 1e-12).expect("non-empty subdictionary");
+
+        // Residual = y − D_S s_S.
+        let approx = sub.matvec(&coeffs_on_support).expect("shape by construction");
+        residual = y.iter().zip(&approx).map(|(a, b)| a - b).collect();
+    }
+
+    let mut coefficients = vec![0.0; dict.atom_count()];
+    for (&j, &c) in support.iter().zip(&coeffs_on_support) {
+        coefficients[j] = c;
+    }
+    SparseCode {
+        residual_norm: vector::norm2(&residual),
+        coefficients,
+    }
+}
+
+/// Code a whole batch (returns one [`SparseCode`] per sample).
+pub fn batch(
+    dict: &Dictionary,
+    ys: &[Vec<f64>],
+    max_atoms: usize,
+    tol: f64,
+) -> Vec<SparseCode> {
+    qn_linalg::parallel::par_map_indexed(ys.len(), |i| {
+        orthogonal_matching_pursuit(dict, &ys[i], max_atoms, tol)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_recovery_of_sparse_combination() {
+        // y = 2·d₀ − 3·d₄ over a random dictionary: OMP with 2 atoms must
+        // recover it exactly (incoherent Gaussian atoms).
+        let mut rng = StdRng::seed_from_u64(5);
+        let dict = Dictionary::random(10, 16, &mut rng);
+        let mut y = vec![0.0; 10];
+        vector::axpy(2.0, &dict.atom(0), &mut y);
+        vector::axpy(-3.0, &dict.atom(4), &mut y);
+        let code = orthogonal_matching_pursuit(&dict, &y, 2, 1e-12);
+        assert!(code.residual_norm < 1e-10);
+        assert!((code.coefficients[0] - 2.0).abs() < 1e-10);
+        assert!((code.coefficients[4] + 3.0).abs() < 1e-10);
+        assert_eq!(code.sparsity(), 2);
+    }
+
+    #[test]
+    fn omp_beats_mp_on_correlated_atoms() {
+        // Build a coherent dictionary where plain MP needs more atoms.
+        let mut rng = StdRng::seed_from_u64(6);
+        let dict = Dictionary::random(8, 20, &mut rng);
+        let y: Vec<f64> = (0..8).map(|i| ((i as f64) * 0.9).cos()).collect();
+        let budget = 4;
+        let omp = orthogonal_matching_pursuit(&dict, &y, budget, 0.0);
+        let mp = crate::mp::matching_pursuit(&dict, &y, budget, 0.0);
+        assert!(
+            omp.residual_norm <= mp.residual_norm + 1e-12,
+            "omp {} vs mp {}",
+            omp.residual_norm,
+            mp.residual_norm
+        );
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_selected_atoms() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dict = Dictionary::random(6, 12, &mut rng);
+        let y: Vec<f64> = (0..6).map(|i| (i as f64 + 1.0).recip()).collect();
+        let code = orthogonal_matching_pursuit(&dict, &y, 3, 0.0);
+        let approx = dict.synthesize(&code.coefficients);
+        let r: Vec<f64> = y.iter().zip(&approx).map(|(a, b)| a - b).collect();
+        for j in code.support() {
+            let ip = vector::dot(&dict.atom(j), &r);
+            assert!(ip.abs() < 1e-10, "atom {j}: ⟨d, r⟩ = {ip}");
+        }
+    }
+
+    #[test]
+    fn full_budget_over_square_dictionary_is_exact() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let dict = Dictionary::random(6, 6, &mut rng);
+        let y: Vec<f64> = (0..6).map(|i| (i as f64 * 1.3).sin()).collect();
+        let code = orthogonal_matching_pursuit(&dict, &y, 6, 1e-14);
+        assert!(code.residual_norm < 1e-8, "residual {}", code.residual_norm);
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dict = Dictionary::random(5, 8, &mut rng);
+        let ys: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..5).map(|j| ((i + j) as f64).sin()).collect())
+            .collect();
+        let b = batch(&dict, &ys, 3, 1e-12);
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(b[i], orthogonal_matching_pursuit(&dict, y, 3, 1e-12));
+        }
+    }
+
+    #[test]
+    fn zero_signal_terminates_immediately() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let dict = Dictionary::random(4, 6, &mut rng);
+        let code = orthogonal_matching_pursuit(&dict, &[0.0; 4], 3, 1e-12);
+        assert_eq!(code.sparsity(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Plain low-rank SVD image compression.
+//!
+//! The simplest classical point of comparison: treat the whole dataset as
+//! an `M × N` matrix and keep its top-`r` singular triplets (Eckart–Young
+//! optimal). Gives the information-theoretic floor any rank-`r` method —
+//! including the quantum network with `d = r` — is bounded by.
+
+use qn_image::GrayImage;
+use qn_linalg::svd::svd;
+use qn_linalg::{LinalgError, Matrix};
+
+/// Compress a dataset to rank `r` and return the reconstructed images
+/// together with the total squared error.
+///
+/// # Errors
+/// Propagates SVD errors (empty input).
+pub fn compress_dataset(
+    images: &[GrayImage],
+    r: usize,
+) -> Result<(Vec<GrayImage>, f64), LinalgError> {
+    if images.is_empty() {
+        return Err(LinalgError::InvalidArgument(
+            "svd_compress: empty dataset".into(),
+        ));
+    }
+    let rows: Vec<Vec<f64>> = images.iter().map(|i| i.to_vector()).collect();
+    let y = Matrix::from_rows(&rows)?;
+    let d = svd(&y)?;
+    let approx = d.truncate(r);
+    let err = approx
+        .sub(&y)?
+        .data()
+        .iter()
+        .map(|v| v * v)
+        .sum::<f64>();
+    let recons = images
+        .iter()
+        .enumerate()
+        .map(|(i, img)| {
+            GrayImage::from_pixels(img.width(), img.height(), approx.row(i).to_vec())
+                .expect("dimensions preserved")
+        })
+        .collect();
+    Ok((recons, err))
+}
+
+/// Squared-error floor for every rank `1..=max_rank` (the singular-value
+/// tail sums) — used to plot compressibility curves.
+///
+/// # Errors
+/// Propagates SVD errors.
+pub fn error_floor(images: &[GrayImage], max_rank: usize) -> Result<Vec<f64>, LinalgError> {
+    if images.is_empty() {
+        return Err(LinalgError::InvalidArgument(
+            "svd_compress: empty dataset".into(),
+        ));
+    }
+    let rows: Vec<Vec<f64>> = images.iter().map(|i| i.to_vector()).collect();
+    let y = Matrix::from_rows(&rows)?;
+    let d = svd(&y)?;
+    let sq: Vec<f64> = d.singular_values.iter().map(|s| s * s).collect();
+    Ok((1..=max_rank)
+        .map(|r| sq.iter().skip(r).sum())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_image::datasets;
+
+    #[test]
+    fn rank4_dataset_compresses_losslessly_at_rank_4() {
+        let data = datasets::paper_binary_16(25);
+        let (recons, err) = compress_dataset(&data, 4).unwrap();
+        assert!(err < 1e-18, "error {err}");
+        assert_eq!(recons.len(), 25);
+        for (r, o) in recons.iter().zip(&data) {
+            for (a, b) in r.pixels().iter().zip(o.pixels()) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_rank() {
+        let data = datasets::paper_binary_16_hard(25);
+        let floors = error_floor(&data, 8).unwrap();
+        for w in floors.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        // Hard dataset is NOT rank 4.
+        assert!(floors[3] > 0.1);
+    }
+
+    #[test]
+    fn compress_error_matches_floor() {
+        let data = datasets::paper_binary_16_hard(25);
+        let (_, err) = compress_dataset(&data, 4).unwrap();
+        let floors = error_floor(&data, 4).unwrap();
+        assert!((err - floors[3]).abs() < 1e-8, "{err} vs {}", floors[3]);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(compress_dataset(&[], 2).is_err());
+        assert!(error_floor(&[], 2).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! The quantum compression network `U_C` with projector `P1` (paper
+//! Sec. II-B, Eq. 3).
+
+use crate::config::{CompressionTargetKind, SubspaceKind};
+use crate::error::CoreError;
+use crate::gradient::{self, GradientMethod};
+use crate::loss::Loss;
+use crate::Result;
+use qn_linalg::parallel::par_map_indexed;
+use qn_photonic::Mesh;
+use qn_sim::Projector;
+
+/// The compression half of the pipeline: `|Φ_i⟩ = P1 · U_C |ψ_i⟩`.
+#[derive(Debug, Clone)]
+pub struct CompressionNetwork {
+    mesh: Mesh,
+    projector: Projector,
+    target: CompressionTargetKind,
+}
+
+impl CompressionNetwork {
+    /// Assemble from a mesh, a kept-subspace convention and a target
+    /// strategy.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidConfig`] when `d > N` or a custom
+    /// target has the wrong shape.
+    pub fn new(
+        mesh: Mesh,
+        compressed_dim: usize,
+        subspace: SubspaceKind,
+        target: CompressionTargetKind,
+    ) -> Result<Self> {
+        let n = mesh.dim();
+        let projector = match subspace {
+            SubspaceKind::KeepLast => Projector::keep_last(n, compressed_dim)?,
+            SubspaceKind::KeepFirst => Projector::keep_first(n, compressed_dim)?,
+        };
+        if let CompressionTargetKind::Custom(ts) = &target {
+            if ts.iter().any(|t| t.len() != n) {
+                return Err(CoreError::InvalidConfig(
+                    "custom compression targets must have length N".to_string(),
+                ));
+            }
+        }
+        Ok(CompressionNetwork {
+            mesh,
+            projector,
+            target,
+        })
+    }
+
+    /// State dimension `N`.
+    pub fn dim(&self) -> usize {
+        self.mesh.dim()
+    }
+
+    /// Compressed dimension `d`.
+    pub fn compressed_dim(&self) -> usize {
+        self.projector.keep_count()
+    }
+
+    /// Borrow the mesh (`U_C`).
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Mutably borrow the mesh (training updates θ through this).
+    pub fn mesh_mut(&mut self) -> &mut Mesh {
+        &mut self.mesh
+    }
+
+    /// Borrow the projector (`P1`).
+    pub fn projector(&self) -> &Projector {
+        &self.projector
+    }
+
+    /// Raw network output `U_C |ψ⟩` — the amplitudes `a_i` that are
+    /// measured for the loss (Eq. 3 before projection).
+    pub fn forward(&self, encoded: &[f64]) -> Vec<f64> {
+        self.mesh.forward_real_copy(encoded)
+    }
+
+    /// Compressed state `P1 U_C |ψ⟩` (unnormalised, as in Eq. 4 where the
+    /// projected state feeds `U_R` directly).
+    pub fn compress(&self, encoded: &[f64]) -> Vec<f64> {
+        let mut out = self.mesh.forward_real_copy(encoded);
+        self.projector
+            .project_real(&mut out)
+            .expect("dimensions match by construction");
+        out
+    }
+
+    /// Batch forward pass (parallel over samples).
+    pub fn forward_batch(&self, encoded: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        par_map_indexed(encoded.len(), |i| self.forward(&encoded[i]))
+    }
+
+    /// Batch compression (parallel over samples).
+    pub fn compress_batch(&self, encoded: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        par_map_indexed(encoded.len(), |i| self.compress(&encoded[i]))
+    }
+
+    /// Write the residual `r = a_i − b_i` for the configured target
+    /// strategy into `buf`.
+    ///
+    /// # Panics
+    /// Panics when a custom target is missing for `sample` or lengths
+    /// mismatch.
+    pub fn residual(&self, sample: usize, out: &[f64], buf: &mut [f64]) {
+        assert_eq!(out.len(), buf.len(), "residual: length mismatch");
+        match &self.target {
+            CompressionTargetKind::TrashPenalty => {
+                for (j, (b, &o)) in buf.iter_mut().zip(out).enumerate() {
+                    *b = if self.projector.keeps(j) { 0.0 } else { o };
+                }
+            }
+            CompressionTargetKind::Uniform => {
+                let amp = 1.0 / (self.projector.keep_count() as f64).sqrt();
+                for (j, (b, &o)) in buf.iter_mut().zip(out).enumerate() {
+                    *b = if self.projector.keeps(j) { o - amp } else { o };
+                }
+            }
+            CompressionTargetKind::Custom(targets) => {
+                let t = &targets[sample];
+                for ((b, &o), &tj) in buf.iter_mut().zip(out).zip(t) {
+                    *b = o - tj;
+                }
+            }
+        }
+    }
+
+    /// Compression loss `L_C` over a batch (Eq. 5, both normalisations).
+    pub fn loss(&self, encoded: &[Vec<f64>]) -> Loss {
+        let sum = gradient::loss_only(&self.mesh, encoded, &|i, out, buf| {
+            self.residual(i, out, buf)
+        });
+        Loss::from_sum(sum, encoded.len(), self.dim())
+    }
+
+    /// Loss and gradient w.r.t. θ over a batch.
+    pub fn loss_and_gradient(
+        &self,
+        encoded: &[Vec<f64>],
+        method: GradientMethod,
+    ) -> (Loss, Vec<f64>) {
+        let (sum, grad) = gradient::loss_and_gradient(
+            &self.mesh,
+            encoded,
+            &|i, out, buf| self.residual(i, out, buf),
+            method,
+        );
+        (Loss::from_sum(sum, encoded.len(), self.dim()), grad)
+    }
+
+    /// Mean probability leaked outside the kept subspace over a batch —
+    /// the quantum-autoencoder figure of merit (0 = perfect compression).
+    pub fn mean_leakage(&self, encoded: &[Vec<f64>]) -> f64 {
+        if encoded.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = encoded
+            .iter()
+            .map(|e| {
+                let out = self.forward(e);
+                self.projector
+                    .leaked_probability(&out)
+                    .expect("dimensions match by construction")
+            })
+            .sum();
+        total / encoded.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network(target: CompressionTargetKind) -> CompressionNetwork {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mesh = Mesh::random(8, 3, &mut rng);
+        CompressionNetwork::new(mesh, 3, SubspaceKind::KeepLast, target).unwrap()
+    }
+
+    fn inputs() -> Vec<Vec<f64>> {
+        (0..4)
+            .map(|i| {
+                let mut v: Vec<f64> = (0..8).map(|j| ((i + 2 * j) as f64).cos()).collect();
+                qn_linalg::vector::normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let net = network(CompressionTargetKind::TrashPenalty);
+        assert_eq!(net.dim(), 8);
+        assert_eq!(net.compressed_dim(), 3);
+        assert_eq!(net.projector().kept_indices(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn rejects_invalid_dims_and_targets() {
+        let mesh = Mesh::zeros(4, 1);
+        assert!(CompressionNetwork::new(
+            mesh.clone(),
+            5,
+            SubspaceKind::KeepLast,
+            CompressionTargetKind::TrashPenalty
+        )
+        .is_err());
+        assert!(CompressionNetwork::new(
+            mesh,
+            2,
+            SubspaceKind::KeepLast,
+            CompressionTargetKind::Custom(vec![vec![0.0; 3]])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compress_zeroes_trash_dims() {
+        let net = network(CompressionTargetKind::TrashPenalty);
+        let x = &inputs()[0];
+        let c = net.compress(x);
+        for cj in &c[..5] {
+            assert_eq!(*cj, 0.0);
+        }
+        // Forward (unprojected) output keeps the full norm.
+        let f = net.forward(x);
+        assert!((qn_linalg::vector::norm2(&f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trash_penalty_loss_equals_total_leakage() {
+        let net = network(CompressionTargetKind::TrashPenalty);
+        let xs = inputs();
+        let loss = net.loss(&xs);
+        let leak_total: f64 = xs
+            .iter()
+            .map(|x| {
+                let out = net.forward(x);
+                net.projector().leaked_probability(&out).unwrap()
+            })
+            .sum();
+        assert!((loss.sum - leak_total).abs() < 1e-12);
+        assert!((net.mean_leakage(&xs) - leak_total / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_target_measures_distance_to_uniform_amplitudes() {
+        let net = network(CompressionTargetKind::Uniform);
+        let out = vec![0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        let mut r = vec![0.0; 8];
+        net.residual(0, &out, &mut r);
+        let amp = 1.0 / 3.0_f64.sqrt();
+        assert!((r[5] - (1.0 - amp)).abs() < 1e-12);
+        assert!((r[6] + amp).abs() < 1e-12);
+        assert_eq!(r[0], 0.0);
+    }
+
+    #[test]
+    fn custom_targets_are_per_sample() {
+        let targets = vec![vec![0.0; 8], {
+            let mut t = vec![0.0; 8];
+            t[7] = 1.0;
+            t
+        }];
+        let net = network(CompressionTargetKind::Custom(targets));
+        let out = vec![0.0; 8];
+        let mut r = vec![0.0; 8];
+        net.residual(0, &out, &mut r);
+        assert!(r.iter().all(|&v| v == 0.0));
+        net.residual(1, &out, &mut r);
+        assert_eq!(r[7], -1.0);
+    }
+
+    #[test]
+    fn training_reduces_leakage() {
+        // A few GD steps on the trash penalty must shrink the leak.
+        let mut net = network(CompressionTargetKind::TrashPenalty);
+        let xs = inputs();
+        let before = net.mean_leakage(&xs);
+        for _ in 0..50 {
+            let (_, grad) = net.loss_and_gradient(&xs, GradientMethod::Analytic);
+            let thetas: Vec<f64> = net
+                .mesh()
+                .thetas()
+                .iter()
+                .zip(&grad)
+                .map(|(t, g)| t - 0.05 * g)
+                .collect();
+            net.mesh_mut().set_thetas(&thetas);
+        }
+        let after = net.mean_leakage(&xs);
+        assert!(
+            after < before * 0.5,
+            "leakage did not halve: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn batch_paths_match_single_sample_paths() {
+        let net = network(CompressionTargetKind::TrashPenalty);
+        let xs = inputs();
+        let batch = net.forward_batch(&xs);
+        let compressed = net.compress_batch(&xs);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(batch[i], net.forward(x));
+            assert_eq!(compressed[i], net.compress(x));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! ASCII rendering of small images for terminal output.
+
+use crate::image::GrayImage;
+
+/// Ten-step intensity ramp from dark to bright.
+const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Render an image as ASCII art, one character per pixel.
+pub fn render(img: &GrayImage) -> String {
+    let mut out = String::with_capacity((img.width() + 1) * img.height());
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let v = img.get(x, y).clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render several images side by side with a gutter, e.g. input next to
+/// reconstruction.
+pub fn render_row(images: &[&GrayImage], gutter: &str) -> String {
+    if images.is_empty() {
+        return String::new();
+    }
+    let height = images.iter().map(|i| i.height()).max().unwrap_or(0);
+    let rendered: Vec<Vec<String>> = images
+        .iter()
+        .map(|img| render(img).lines().map(str::to_string).collect())
+        .collect();
+    let mut out = String::new();
+    for y in 0..height {
+        let line: Vec<String> = rendered
+            .iter()
+            .zip(images)
+            .map(|(lines, img)| {
+                lines
+                    .get(y)
+                    .cloned()
+                    .unwrap_or_else(|| " ".repeat(img.width()))
+            })
+            .collect();
+        out.push_str(&line.join(gutter));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shape_and_extremes() {
+        let img = GrayImage::from_pixels(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let s = render(&img);
+        assert_eq!(s, " @\n@ \n");
+    }
+
+    #[test]
+    fn render_clamps_out_of_range() {
+        let img = GrayImage::from_pixels(2, 1, vec![-1.0, 2.0]).unwrap();
+        assert_eq!(render(&img), " @\n");
+    }
+
+    #[test]
+    fn midtones_use_middle_of_ramp() {
+        let img = GrayImage::from_pixels(1, 1, vec![0.5]).unwrap();
+        let c = render(&img).chars().next().unwrap();
+        assert!(c != ' ' && c != '@');
+    }
+
+    #[test]
+    fn side_by_side_rendering() {
+        let a = GrayImage::from_pixels(2, 1, vec![1.0, 1.0]).unwrap();
+        let b = GrayImage::from_pixels(2, 1, vec![0.0, 0.0]).unwrap();
+        let s = render_row(&[&a, &b], " | ");
+        assert_eq!(s, "@@ |   \n");
+        assert_eq!(render_row(&[], "|"), "");
+    }
+}

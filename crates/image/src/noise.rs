@@ -1,0 +1,82 @@
+//! Noise injection for robustness experiments.
+
+use crate::image::GrayImage;
+use rand::Rng;
+
+/// Flip each pixel to 0 or 1 with probability `p` (half salt, half
+/// pepper). Standard corruption model for binary images.
+pub fn salt_and_pepper(img: &GrayImage, p: f64, rng: &mut impl Rng) -> GrayImage {
+    let mut out = img.clone();
+    for px in out.pixels_mut() {
+        let r: f64 = rng.random();
+        if r < p / 2.0 {
+            *px = 0.0;
+        } else if r < p {
+            *px = 1.0;
+        }
+    }
+    out
+}
+
+/// Add iid Gaussian noise with standard deviation `sigma`, clamped back to
+/// `[0, 1]`.
+pub fn gaussian(img: &GrayImage, sigma: f64, rng: &mut impl Rng) -> GrayImage {
+    let mut out = img.clone();
+    for px in out.pixels_mut() {
+        // Box–Muller (rand_distr is outside the allowed dependency set).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        *px = (*px + sigma * z).clamp(0.0, 1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_img() -> GrayImage {
+        GrayImage::from_pixels(8, 8, vec![0.5; 64]).unwrap()
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let img = test_img();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(salt_and_pepper(&img, 0.0, &mut rng), img);
+    }
+
+    #[test]
+    fn full_probability_binarises() {
+        let img = test_img();
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = salt_and_pepper(&img, 1.0, &mut rng);
+        assert!(noisy.is_binary(0.0));
+        // Both salt and pepper appear.
+        assert!(noisy.pixels().contains(&0.0));
+        assert!(noisy.pixels().contains(&1.0));
+    }
+
+    #[test]
+    fn gaussian_noise_stays_in_range_and_is_seeded() {
+        let img = test_img();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = gaussian(&img, 0.3, &mut rng);
+        assert!(a.pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let b = gaussian(&img, 0.3, &mut rng2);
+        assert_eq!(a, b);
+        // Noise actually changed something.
+        assert_ne!(a, img);
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let img = test_img();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(gaussian(&img, 0.0, &mut rng), img);
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain (ASCII) PGM/PBM image IO.
+//!
+//! The repro binaries dump inputs, compressed representations and
+//! reconstructions as portable graymaps so results are inspectable with
+//! any image viewer, without pulling an image codec dependency.
+
+use crate::image::{GrayImage, ImageError};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Serialise as plain PGM (P2) with 255 gray levels.
+pub fn to_pgm_string(img: &GrayImage) -> String {
+    let mut s = String::with_capacity(32 + img.len() * 4);
+    s.push_str("P2\n");
+    s.push_str(&format!("{} {}\n255\n", img.width(), img.height()));
+    for y in 0..img.height() {
+        let row: Vec<String> = (0..img.width())
+            .map(|x| {
+                let v = (img.get(x, y).clamp(0.0, 1.0) * 255.0).round() as u32;
+                v.to_string()
+            })
+            .collect();
+        s.push_str(&row.join(" "));
+        s.push('\n');
+    }
+    s
+}
+
+/// Write a plain PGM file.
+///
+/// # Errors
+/// Propagates IO failures.
+pub fn write_pgm(img: &GrayImage, path: &Path) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_pgm_string(img).as_bytes())
+}
+
+/// Parse a plain PGM (P2) string.
+///
+/// # Errors
+/// Returns [`ImageError`] for malformed content.
+pub fn from_pgm_string(s: &str) -> Result<GrayImage, ImageError> {
+    let mut tokens = s
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .flat_map(|l| l.split_whitespace());
+    let magic = tokens.next().ok_or_else(|| ImageError("empty PGM".into()))?;
+    if magic != "P2" {
+        return Err(ImageError(format!("unsupported PGM magic '{magic}'")));
+    }
+    let mut next_num = |what: &str| -> Result<usize, ImageError> {
+        tokens
+            .next()
+            .ok_or_else(|| ImageError(format!("missing {what}")))?
+            .parse::<usize>()
+            .map_err(|e| ImageError(format!("bad {what}: {e}")))
+    };
+    let width = next_num("width")?;
+    let height = next_num("height")?;
+    let maxval = next_num("maxval")?;
+    if maxval == 0 {
+        return Err(ImageError("maxval must be positive".into()));
+    }
+    let mut pixels = Vec::with_capacity(width * height);
+    for _ in 0..width * height {
+        pixels.push(next_num("pixel")? as f64 / maxval as f64);
+    }
+    GrayImage::from_pixels(width, height, pixels)
+}
+
+/// Read a plain PGM file.
+///
+/// # Errors
+/// Returns [`ImageError`] for IO failures or malformed content.
+pub fn read_pgm(path: &Path) -> Result<GrayImage, ImageError> {
+    let s = fs::read_to_string(path).map_err(|e| ImageError(format!("read {path:?}: {e}")))?;
+    from_pgm_string(&s)
+}
+
+/// Serialise a binary image as plain PBM (P1); pixels are thresholded at
+/// 0.5 (PBM convention: 1 = black).
+pub fn to_pbm_string(img: &GrayImage) -> String {
+    let mut s = String::with_capacity(16 + img.len() * 2);
+    s.push_str("P1\n");
+    s.push_str(&format!("{} {}\n", img.width(), img.height()));
+    for y in 0..img.height() {
+        let row: Vec<&str> = (0..img.width())
+            .map(|x| if img.get(x, y) > 0.5 { "1" } else { "0" })
+            .collect();
+        s.push_str(&row.join(" "));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_roundtrip_preserves_quantised_pixels() {
+        let img = GrayImage::from_pixels(3, 2, vec![0.0, 0.5, 1.0, 0.25, 0.75, 1.0]).unwrap();
+        let s = to_pgm_string(&img);
+        let back = from_pgm_string(&s).unwrap();
+        assert_eq!((back.width(), back.height()), (3, 2));
+        for (a, b) in back.pixels().iter().zip(img.pixels()) {
+            assert!((a - b).abs() <= 0.5 / 255.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pgm_header_format() {
+        let img = GrayImage::zeros(4, 4);
+        let s = to_pgm_string(&img);
+        assert!(s.starts_with("P2\n4 4\n255\n"));
+    }
+
+    #[test]
+    fn pgm_parser_rejects_garbage() {
+        assert!(from_pgm_string("").is_err());
+        assert!(from_pgm_string("P5\n1 1\n255\n0").is_err());
+        assert!(from_pgm_string("P2\n2 2\n255\n0 0 0").is_err()); // missing pixel
+        assert!(from_pgm_string("P2\n1 1\n0\n0").is_err()); // bad maxval
+    }
+
+    #[test]
+    fn pgm_parser_skips_comments() {
+        let s = "P2\n# a comment\n1 1\n255\n128\n";
+        let img = from_pgm_string(s).unwrap();
+        assert!((img.get(0, 0) - 128.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("qn_pgm_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.pgm");
+        let img = GrayImage::from_pixels(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.thresholded(0.5), img);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pbm_binary_output() {
+        let img = GrayImage::from_pixels(2, 1, vec![0.9, 0.1]).unwrap();
+        let s = to_pbm_string(&img);
+        assert_eq!(s, "P1\n2 1\n1 0\n");
+    }
+}

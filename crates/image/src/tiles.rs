@@ -1,0 +1,192 @@
+//! Tiling large images into fixed-size patches.
+//!
+//! The paper's network operates on N = 16 amplitudes (4×4 images), yet
+//! its introduction motivates "large-scale image data". The standard
+//! bridge — identical to how JPEG applies an 8×8 transform — is tiling:
+//! split a big image into 4×4 patches, push every patch through the
+//! trained autoencoder, and stitch the reconstructions back together.
+//! [`tile`]/[`untile`] implement that bridge losslessly (edge tiles are
+//! zero-padded and cropped back).
+
+use crate::image::GrayImage;
+
+/// A tiling of an image into `tile_size × tile_size` patches, remembering
+/// the original dimensions for reassembly.
+#[derive(Debug, Clone)]
+pub struct Tiling {
+    /// Patches in row-major tile order, each `tile_size × tile_size`.
+    pub tiles: Vec<GrayImage>,
+    /// Patch edge length.
+    pub tile_size: usize,
+    /// Original image width.
+    pub width: usize,
+    /// Original image height.
+    pub height: usize,
+    /// Tiles per row.
+    pub tiles_x: usize,
+    /// Tiles per column.
+    pub tiles_y: usize,
+}
+
+/// Split an image into `tile_size × tile_size` patches (zero-padding the
+/// right/bottom edges when dimensions are not multiples of the tile size).
+///
+/// # Panics
+/// Panics when `tile_size == 0`.
+pub fn tile(img: &GrayImage, tile_size: usize) -> Tiling {
+    assert!(tile_size > 0, "tile size must be positive");
+    let tiles_x = img.width().div_ceil(tile_size).max(1);
+    let tiles_y = img.height().div_ceil(tile_size).max(1);
+    let mut tiles = Vec::with_capacity(tiles_x * tiles_y);
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let mut patch = GrayImage::zeros(tile_size, tile_size);
+            for py in 0..tile_size {
+                for px in 0..tile_size {
+                    let x = tx * tile_size + px;
+                    let y = ty * tile_size + py;
+                    if x < img.width() && y < img.height() {
+                        patch.set(px, py, img.get(x, y));
+                    }
+                }
+            }
+            tiles.push(patch);
+        }
+    }
+    Tiling {
+        tiles,
+        tile_size,
+        width: img.width(),
+        height: img.height(),
+        tiles_x,
+        tiles_y,
+    }
+}
+
+/// Reassemble an image from (possibly transformed) patches. The patch
+/// list must have the layout produced by [`tile`]; padding is cropped.
+///
+/// # Panics
+/// Panics when the patch count or patch dimensions disagree with the
+/// tiling metadata.
+pub fn untile(tiling: &Tiling, patches: &[GrayImage]) -> GrayImage {
+    assert_eq!(
+        patches.len(),
+        tiling.tiles_x * tiling.tiles_y,
+        "patch count mismatch"
+    );
+    let mut out = GrayImage::zeros(tiling.width, tiling.height);
+    for (idx, patch) in patches.iter().enumerate() {
+        assert_eq!(
+            (patch.width(), patch.height()),
+            (tiling.tile_size, tiling.tile_size),
+            "patch {idx} has wrong dimensions"
+        );
+        let tx = idx % tiling.tiles_x;
+        let ty = idx / tiling.tiles_x;
+        for py in 0..tiling.tile_size {
+            for px in 0..tiling.tile_size {
+                let x = tx * tiling.tile_size + px;
+                let y = ty * tiling.tile_size + py;
+                if x < tiling.width && y < tiling.height {
+                    out.set(x, y, patch.get(px, py));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply a patch transformation to every tile and reassemble — the
+/// "compress each block" pattern in one call. Patches whose transform
+/// fails (e.g. all-zero patches that cannot be amplitude-encoded) pass
+/// through unchanged.
+pub fn map_tiles(
+    img: &GrayImage,
+    tile_size: usize,
+    mut f: impl FnMut(&GrayImage) -> Option<GrayImage>,
+) -> GrayImage {
+    let tiling = tile(img, tile_size);
+    let patches: Vec<GrayImage> = tiling
+        .tiles
+        .iter()
+        .map(|p| f(p).unwrap_or_else(|| p.clone()))
+        .collect();
+    untile(&tiling, &patches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image(w: usize, h: usize) -> GrayImage {
+        let mut img = GrayImage::zeros(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, ((x + y) as f64) / ((w + h) as f64));
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn tile_untile_is_identity_on_aligned_sizes() {
+        let img = gradient_image(8, 8);
+        let t = tile(&img, 4);
+        assert_eq!(t.tiles.len(), 4);
+        assert_eq!((t.tiles_x, t.tiles_y), (2, 2));
+        let back = untile(&t, &t.tiles);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn tile_untile_handles_unaligned_sizes() {
+        let img = gradient_image(10, 7);
+        let t = tile(&img, 4);
+        assert_eq!((t.tiles_x, t.tiles_y), (3, 2));
+        let back = untile(&t, &t.tiles);
+        assert_eq!(back, img); // padding cropped away
+    }
+
+    #[test]
+    fn tiles_cover_disjoint_regions() {
+        let mut img = GrayImage::zeros(8, 4);
+        img.set(5, 1, 1.0); // lives in tile (1, 0)
+        let t = tile(&img, 4);
+        assert_eq!(t.tiles[0].pixels().iter().sum::<f64>(), 0.0);
+        assert_eq!(t.tiles[1].get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn map_tiles_applies_transform() {
+        let img = gradient_image(8, 8);
+        let inverted = map_tiles(&img, 4, |p| {
+            let inv: Vec<f64> = p.pixels().iter().map(|v| 1.0 - v).collect();
+            Some(GrayImage::from_pixels(4, 4, inv).expect("4x4"))
+        });
+        for (a, b) in inverted.pixels().iter().zip(img.pixels()) {
+            assert!((a - (1.0 - b)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn map_tiles_falls_back_on_failure() {
+        let img = gradient_image(4, 4);
+        let same = map_tiles(&img, 4, |_| None);
+        assert_eq!(same, img);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch count mismatch")]
+    fn untile_validates_count() {
+        let img = gradient_image(8, 8);
+        let t = tile(&img, 4);
+        untile(&t, &t.tiles[..2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size must be positive")]
+    fn zero_tile_size_rejected() {
+        tile(&gradient_image(4, 4), 0);
+    }
+}

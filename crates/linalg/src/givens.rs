@@ -1,0 +1,216 @@
+//! Givens (plane) rotations.
+//!
+//! A Givens rotation acts on two coordinates `(i, j)` of a vector:
+//!
+//! ```text
+//! | c  -s | | x_i |
+//! | s   c | | x_j |
+//! ```
+//!
+//! This is exactly the paper's beam-splitter gate `U(k,k+1)` with phase
+//! `α ≡ 0` (reflectivity `cos θ`): a real rotation between two adjacent
+//! modes of the interferometer. The same primitive also powers the QR and
+//! Jacobi algorithms in this crate.
+
+use crate::matrix::Matrix;
+
+/// A 2×2 plane rotation, stored as the cosine/sine pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Givens {
+    /// Cosine component.
+    pub c: f64,
+    /// Sine component.
+    pub s: f64,
+}
+
+impl Givens {
+    /// Rotation by angle `theta` (counter-clockwise).
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Givens { c, s }
+    }
+
+    /// Recover the angle in `(-π, π]`.
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        self.s.atan2(self.c)
+    }
+
+    /// The rotation that zeroes `b` in the pair `(a, b)`:
+    /// `G · (a, b)ᵀ = (r, 0)ᵀ` with `r = hypot(a, b) ≥ 0`.
+    ///
+    /// Uses the numerically-stable formulation that avoids overflow.
+    pub fn zeroing(a: f64, b: f64) -> Self {
+        if b == 0.0 {
+            let c = if a >= 0.0 { 1.0 } else { -1.0 };
+            return Givens { c, s: 0.0 };
+        }
+        if a == 0.0 {
+            return Givens {
+                c: 0.0,
+                s: if b > 0.0 { -1.0 } else { 1.0 },
+            };
+        }
+        // c = a/r, s = -b/r gives G·(a,b)ᵀ = (+r, 0)ᵀ for every sign of a, b.
+        let r = a.hypot(b);
+        Givens {
+            c: a / r,
+            s: -b / r,
+        }
+    }
+
+    /// Inverse (transpose) rotation.
+    #[inline]
+    pub fn inverse(&self) -> Self {
+        Givens {
+            c: self.c,
+            s: -self.s,
+        }
+    }
+
+    /// Apply to a coordinate pair, returning the rotated pair.
+    #[inline]
+    pub fn apply_pair(&self, x: f64, y: f64) -> (f64, f64) {
+        (self.c * x - self.s * y, self.s * x + self.c * y)
+    }
+
+    /// Rotate coordinates `i` and `j` of vector `v` in place.
+    ///
+    /// # Panics
+    /// Panics when `i == j` or an index is out of bounds.
+    #[inline]
+    pub fn apply_vec(&self, v: &mut [f64], i: usize, j: usize) {
+        assert_ne!(i, j, "givens: identical indices");
+        let (xi, xj) = (v[i], v[j]);
+        let (a, b) = self.apply_pair(xi, xj);
+        v[i] = a;
+        v[j] = b;
+    }
+
+    /// Left-multiply matrix `m` by the rotation acting on rows `i`, `j`
+    /// (i.e. `m ← G(i,j) · m`).
+    pub fn apply_rows(&self, m: &mut Matrix, i: usize, j: usize) {
+        assert_ne!(i, j, "givens: identical rows");
+        for k in 0..m.cols() {
+            let (a, b) = self.apply_pair(m.get(i, k), m.get(j, k));
+            m.set(i, k, a);
+            m.set(j, k, b);
+        }
+    }
+
+    /// Right-multiply matrix `m` by the rotation acting on columns `i`, `j`
+    /// (i.e. `m ← m · G(i,j)ᵀ` in the row-rotation convention, which rotates
+    /// the column pair the same way `apply_pair` rotates coordinates).
+    pub fn apply_cols(&self, m: &mut Matrix, i: usize, j: usize) {
+        assert_ne!(i, j, "givens: identical columns");
+        for k in 0..m.rows() {
+            let (a, b) = self.apply_pair(m.get(k, i), m.get(k, j));
+            m.set(k, i, a);
+            m.set(k, j, b);
+        }
+    }
+
+    /// Dense `n × n` matrix embedding of the rotation on coordinates `(i, j)`.
+    pub fn to_matrix(&self, n: usize, i: usize, j: usize) -> Matrix {
+        let mut m = Matrix::identity(n);
+        m.set(i, i, self.c);
+        m.set(i, j, -self.s);
+        m.set(j, i, self.s);
+        m.set(j, j, self.c);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-14;
+
+    #[test]
+    fn from_angle_roundtrip() {
+        for &t in &[0.0, 0.3, -1.2, std::f64::consts::FRAC_PI_2] {
+            let g = Givens::from_angle(t);
+            assert!((g.angle() - t).abs() < TOL);
+            assert!((g.c * g.c + g.s * g.s - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn zeroing_annihilates_second_component() {
+        for &(a, b) in &[
+            (3.0, 4.0),
+            (-3.0, 4.0),
+            (3.0, -4.0),
+            (-3.0, -4.0),
+            (0.0, 5.0),
+            (5.0, 0.0),
+            (-5.0, 0.0),
+            (1e-300, 1e-300),
+        ] {
+            let g = Givens::zeroing(a, b);
+            let (r, z) = g.apply_pair(a, b);
+            assert!(z.abs() <= 1e-12 * (1.0 + r.abs()), "z={z} for ({a},{b})");
+            assert!(r >= -TOL, "r should be non-negative, got {r}");
+            assert!((r - a.hypot(b)).abs() <= 1e-12 * (1.0 + r.abs()));
+        }
+    }
+
+    #[test]
+    fn zeroing_is_orthogonal() {
+        let g = Givens::zeroing(1.0, 2.0);
+        assert!((g.c * g.c + g.s * g.s - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn inverse_undoes_rotation() {
+        let g = Givens::from_angle(0.7);
+        let (x, y) = g.apply_pair(1.0, 2.0);
+        let (x2, y2) = g.inverse().apply_pair(x, y);
+        assert!((x2 - 1.0).abs() < TOL && (y2 - 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn apply_vec_preserves_norm() {
+        let g = Givens::from_angle(1.1);
+        let mut v = vec![1.0, -2.0, 3.0, 0.5];
+        let n0 = crate::vector::norm2(&v);
+        g.apply_vec(&mut v, 1, 3);
+        assert!((crate::vector::norm2(&v) - n0).abs() < TOL);
+        // Untouched coordinates stay put.
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[2], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical indices")]
+    fn apply_vec_rejects_equal_indices() {
+        Givens::from_angle(0.1).apply_vec(&mut [1.0, 2.0], 0, 0);
+    }
+
+    #[test]
+    fn row_and_col_application_match_dense_embedding() {
+        let g = Givens::from_angle(0.4);
+        let m0 = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+
+        let mut mr = m0.clone();
+        g.apply_rows(&mut mr, 1, 2);
+        let dense = g.to_matrix(4, 1, 2);
+        let expect = dense.matmul(&m0).unwrap();
+        assert!(mr.max_abs_diff(&expect).unwrap() < TOL);
+
+        let mut mc = m0.clone();
+        g.apply_cols(&mut mc, 0, 3);
+        let dense = g.to_matrix(4, 0, 3);
+        let expect = m0.matmul(&dense.transpose()).unwrap();
+        assert!(mc.max_abs_diff(&expect).unwrap() < TOL);
+    }
+
+    #[test]
+    fn dense_embedding_is_orthogonal() {
+        let g = Givens::from_angle(-0.9);
+        let m = g.to_matrix(5, 2, 4);
+        assert!(m.is_orthogonal(TOL));
+    }
+}

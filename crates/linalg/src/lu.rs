@@ -1,0 +1,217 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used for solving the small dense systems that appear in the OMP
+//! least-squares refits and for matrix inversion in tests.
+
+// Indexed loops with offset ranges mirror the textbook algorithms here;
+// iterator adaptors would obscure the pivoting/reflection structure.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Packed LU factorisation `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined storage: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper part holds `U`.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factorisation came from
+    /// `perm[i]` of the input.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 / -1.0), used for the determinant.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorise a square matrix.
+    ///
+    /// # Errors
+    /// - [`LinalgError::ShapeMismatch`] for non-square input.
+    /// - [`LinalgError::Singular`] when a pivot collapses to ~0.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "lu: {}x{} not square",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                lu.swap_rows(pivot_row, k);
+                perm.swap(pivot_row, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                for j in (k + 1)..n {
+                    let v = lu.get(i, j) - factor * lu.get(k, j);
+                    lu.set(i, j, v);
+                }
+            }
+        }
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "lu solve: system is {n}, rhs has {}",
+                b.len()
+            )));
+        }
+        // Forward substitution on permuted rhs: L y = P b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution: U x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.perm_sign;
+        for i in 0..n {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+
+    /// Inverse of the original matrix (column-by-column solve).
+    ///
+    /// # Errors
+    /// Propagates solve errors.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            inv.set_col(j, &col);
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// One-shot convenience: solve `A x = b`.
+///
+/// # Errors
+/// Propagates factorisation/solve errors.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        // Known solution x = (2, 3, -1) for b = (8, -11, -3).
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(LuDecomposition::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(LuDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_rows(&[vec![3.0, 8.0], vec![4.0, 6.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.det() + 14.0).abs() < 1e-12);
+        // Identity has det 1; permuted identity keeps |det| = 1.
+        let id = Matrix::identity(4);
+        assert!((LuDecomposition::new(&id).unwrap().det() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 7.0, 1.0],
+            vec![2.0, 6.0, 0.0],
+            vec![1.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic parallel reduction helpers.
+//!
+//! Floating-point addition is not associative, so a naive
+//! `par_iter().sum()` produces results that depend on rayon's work split.
+//! Training runs must be bit-identical across thread counts for the
+//! experiments to be reproducible, so reductions here use *fixed* chunk
+//! boundaries: items are grouped into chunks of a static size, each chunk
+//! is summed sequentially (possibly on different workers), and the per-chunk
+//! partials are combined sequentially in index order. The result is
+//! identical to a plain sequential fold over the same chunking, regardless
+//! of how many threads rayon uses.
+
+use rayon::prelude::*;
+
+/// Chunk size used by the deterministic reductions. Large enough to
+/// amortise scheduling, small enough to expose parallelism for the
+/// batch sizes used in the experiments.
+pub const DET_CHUNK: usize = 64;
+
+/// Deterministic parallel sum of `f(i)` for `i` in `0..n`.
+///
+/// Equivalent to `(0..n).map(f).sum()` evaluated with fixed chunk
+/// boundaries of [`DET_CHUNK`]; the value does not depend on thread count.
+pub fn par_sum_indexed<F>(n: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if n == 0 {
+        return 0.0;
+    }
+    let starts: Vec<usize> = (0..n).step_by(DET_CHUNK).collect();
+    let partials: Vec<f64> = starts
+        .par_iter()
+        .map(|&s| {
+            let end = (s + DET_CHUNK).min(n);
+            let mut acc = 0.0;
+            for i in s..end {
+                acc += f(i);
+            }
+            acc
+        })
+        .collect();
+    partials.iter().sum()
+}
+
+/// Deterministic parallel element-wise accumulation of vectors:
+/// returns `Σ_{i<n} f(i)` where each `f(i)` is a vector of length `len`.
+///
+/// Per-chunk partial vectors are produced in parallel, then combined
+/// sequentially in chunk order, so the result is thread-count invariant.
+///
+/// # Panics
+/// Panics if any `f(i)` has length different from `len`.
+pub fn par_sum_vectors<F>(n: usize, len: usize, f: F) -> Vec<f64>
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if n == 0 {
+        return vec![0.0; len];
+    }
+    let starts: Vec<usize> = (0..n).step_by(DET_CHUNK).collect();
+    let partials: Vec<Vec<f64>> = starts
+        .par_iter()
+        .map(|&s| {
+            let end = (s + DET_CHUNK).min(n);
+            let mut acc = vec![0.0; len];
+            for i in s..end {
+                f(i, &mut acc);
+            }
+            acc
+        })
+        .collect();
+    let mut out = vec![0.0; len];
+    for p in partials {
+        assert_eq!(p.len(), len, "par_sum_vectors: length mismatch");
+        for (o, v) in out.iter_mut().zip(&p) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Parallel map with order-preserving collection: `(0..n).map(f)` computed
+/// on the rayon pool. Each element is independent, so this is
+/// deterministic by construction.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    (0..n).into_par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_sum_matches_sequential_chunked_sum() {
+        let n = 1000;
+        let f = |i: usize| (i as f64).sin() * 1e-3 + (i as f64) * 1e-6;
+        let par = par_sum_indexed(n, f);
+        // Sequential reference with identical chunking.
+        let mut seq = 0.0;
+        let mut s = 0;
+        while s < n {
+            let end = (s + DET_CHUNK).min(n);
+            let mut acc = 0.0;
+            for i in s..end {
+                acc += f(i);
+            }
+            seq += acc;
+            s = end;
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_sum_empty_is_zero() {
+        assert_eq!(par_sum_indexed(0, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn par_sum_is_reproducible_across_invocations() {
+        let f = |i: usize| 1.0 / (i as f64 + 1.0);
+        let a = par_sum_indexed(5000, f);
+        let b = par_sum_indexed(5000, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_sum_vectors_accumulates_elementwise() {
+        let n = 300;
+        let len = 4;
+        let out = par_sum_vectors(n, len, |i, acc| {
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += (i * (j + 1)) as f64;
+            }
+        });
+        let total: f64 = (0..n).map(|i| i as f64).sum();
+        for (j, &v) in out.iter().enumerate() {
+            assert_eq!(v, total * (j + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn par_sum_vectors_empty() {
+        let out = par_sum_vectors(0, 3, |_, _| panic!("not called"));
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = par_map_indexed(100, |i| i * 2);
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,324 @@
+//! Singular value decomposition by one-sided Jacobi rotations.
+//!
+//! One-sided Jacobi orthogonalises the columns of `A` by repeatedly applying
+//! plane rotations on the right: after convergence `A V = U Σ`, so the
+//! column norms are the singular values and the normalised columns form `U`.
+//! It is slower asymptotically than Golub–Kahan but unconditionally robust
+//! and very accurate for the small dictionaries (≤ a few hundred columns)
+//! used by the K-SVD baseline — exactly the regime this workspace needs.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Maximum number of full sweeps before declaring failure.
+const MAX_SWEEPS: usize = 60;
+
+/// Result of `A = U Σ Vᵀ` with singular values sorted in descending order.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × k` where `k = min(m, n)`.
+    pub u: Matrix,
+    /// Singular values (length `k`, descending, non-negative).
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n × k` (columns are the right vectors).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstruct `U Σ Vᵀ` (useful in tests and low-rank truncations).
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.singular_values.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            for i in 0..us.rows() {
+                let v = us.get(i, j) * self.singular_values[j];
+                us.set(i, j, v);
+            }
+        }
+        us.matmul(&self.v.transpose()).expect("shape by construction")
+    }
+
+    /// Best rank-`r` approximation `U_r Σ_r V_rᵀ` (Eckart–Young).
+    pub fn truncate(&self, r: usize) -> Matrix {
+        let r = r.min(self.singular_values.len());
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for t in 0..r {
+            let s = self.singular_values[t];
+            for i in 0..m {
+                let uis = self.u.get(i, t) * s;
+                if uis == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let val = out.get(i, j) + uis * self.v.get(j, t);
+                    out.set(i, j, val);
+                }
+            }
+        }
+        out
+    }
+
+    /// Numerical rank: number of singular values above
+    /// `tol * max(singular value)`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        if max == 0.0 {
+            return 0;
+        }
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > tol * max)
+            .count()
+    }
+}
+
+/// Compute the thin SVD of `a` (any shape, including tall/wide).
+///
+/// # Errors
+/// - [`LinalgError::InvalidArgument`] for an empty matrix.
+/// - [`LinalgError::NoConvergence`] if Jacobi sweeps do not converge
+///   (practically unreachable for finite input).
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::InvalidArgument(
+            "svd: empty matrix".to_string(),
+        ));
+    }
+    // One-sided Jacobi wants at least as many rows as columns; transpose if
+    // needed and swap U/V at the end.
+    if m < n {
+        let t = svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        });
+    }
+
+    let mut w = a.clone(); // will converge to U Σ
+    let mut v = Matrix::identity(n);
+    let eps = 1e-15_f64;
+    // Absolute floor for the off-diagonal test: rotations between columns
+    // whose correlation is pure roundoff noise relative to the matrix
+    // scale (e.g. two numerically-zero columns of a rank-deficient input)
+    // must count as converged, or the sweep loop never terminates.
+    let frob_sq: f64 = a.data().iter().map(|x| x * x).sum();
+    let abs_floor = eps * frob_sq;
+
+    let mut converged = false;
+    let mut sweeps = 0;
+    while sweeps < MAX_SWEEPS && !converged {
+        converged = true;
+        for p in 0..n.saturating_sub(1) {
+            for q in (p + 1)..n {
+                // 2×2 Gram block of columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let wp = w.get(i, p);
+                    let wq = w.get(i, q);
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() || apq.abs() <= abs_floor {
+                    continue;
+                }
+                converged = false;
+                // Jacobi rotation that annihilates the off-diagonal entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Rotate columns p and q of both W and V.
+                for i in 0..m {
+                    let wp = w.get(i, p);
+                    let wq = w.get(i, q);
+                    w.set(i, p, c * wp - s * wq);
+                    w.set(i, q, s * wp + c * wq);
+                }
+                for i in 0..n {
+                    let vp = v.get(i, p);
+                    let vq = v.get(i, q);
+                    v.set(i, p, c * vp - s * vq);
+                    v.set(i, q, s * vp + c * vq);
+                }
+            }
+        }
+        sweeps += 1;
+    }
+    if !converged {
+        return Err(LinalgError::NoConvergence {
+            algorithm: "one-sided jacobi svd",
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    // Extract singular values (column norms) and normalise U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigmas = vec![0.0; n];
+    for (j, sig) in sigmas.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for i in 0..m {
+            s += w.get(i, j) * w.get(i, j);
+        }
+        *sig = s.sqrt();
+    }
+    order.sort_by(|&a, &b| sigmas[b].total_cmp(&sigmas[a]));
+
+    let k = n; // thin: k = min(m, n) = n here
+    let mut u = Matrix::zeros(m, k);
+    let mut v_sorted = Matrix::zeros(n, k);
+    let mut singular_values = Vec::with_capacity(k);
+    for (dst, &src) in order.iter().enumerate() {
+        let s = sigmas[src];
+        singular_values.push(s);
+        if s > 0.0 {
+            for i in 0..m {
+                u.set(i, dst, w.get(i, src) / s);
+            }
+        } else {
+            // Zero singular value: leave the U column zero; callers use
+            // `rank()` to know how many columns are meaningful.
+        }
+        for i in 0..n {
+            v_sorted.set(i, dst, v.get(i, src));
+        }
+    }
+
+    Ok(Svd {
+        u,
+        singular_values,
+        v: v_sorted,
+    })
+}
+
+/// Largest singular value (spectral norm) of `a`.
+///
+/// # Errors
+/// Propagates errors from [`svd`].
+pub fn spectral_norm(a: &Matrix) -> Result<f64> {
+    Ok(svd(a)?.singular_values.first().copied().unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruction_error(a: &Matrix) -> f64 {
+        let d = svd(a).unwrap();
+        d.reconstruct().max_abs_diff(a).unwrap()
+    }
+
+    #[test]
+    fn svd_of_diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let d = svd(&a).unwrap();
+        assert!((d.singular_values[0] - 3.0).abs() < 1e-12);
+        assert!((d.singular_values[1] - 2.0).abs() < 1e-12);
+        assert!((d.singular_values[2] - 1.0).abs() < 1e-12);
+        assert!(reconstruction_error(&a) < 1e-12);
+    }
+
+    #[test]
+    fn svd_square_general() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 0.0, -2.0],
+            vec![1.0, 3.0, 0.5],
+            vec![-1.0, 2.0, 2.0],
+        ])
+        .unwrap();
+        let d = svd(&a).unwrap();
+        assert!(reconstruction_error(&a) < 1e-10);
+        assert!(d.u.is_orthogonal(1e-10));
+        assert!(d.v.is_orthogonal(1e-10));
+        // Descending order.
+        for w in d.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-14);
+        }
+    }
+
+    #[test]
+    fn svd_tall_and_wide() {
+        let tall = Matrix::from_fn(7, 3, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0);
+        assert!(reconstruction_error(&tall) < 1e-10);
+        let d = svd(&tall).unwrap();
+        assert_eq!(d.u.shape(), (7, 3));
+        assert_eq!(d.v.shape(), (3, 3));
+
+        let wide = tall.transpose();
+        assert!(reconstruction_error(&wide) < 1e-10);
+        let d = svd(&wide).unwrap();
+        assert_eq!(d.u.shape(), (3, 3));
+        assert_eq!(d.v.shape(), (7, 3));
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // rank-1 outer product
+        let a = Matrix::from_fn(4, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+        let d = svd(&a).unwrap();
+        assert_eq!(d.rank(1e-10), 1);
+        assert!(reconstruction_error(&a) < 1e-10);
+        // Trailing singular values are ~0.
+        assert!(d.singular_values[1].abs() < 1e-10);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let d = svd(&a).unwrap();
+        assert_eq!(d.rank(1e-12), 0);
+        assert!(d.singular_values.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn svd_rejects_empty() {
+        assert!(svd(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn truncation_is_best_low_rank() {
+        // A = rank-2 + tiny rank-1 noise; truncating to rank 2 should strip
+        // the smallest singular direction.
+        let d = svd(&Matrix::from_rows(&[
+            vec![5.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+            vec![0.0, 0.0, 0.01],
+        ])
+        .unwrap())
+        .unwrap();
+        let t = d.truncate(2);
+        assert!((t.get(0, 0) - 5.0).abs() < 1e-12);
+        assert!((t.get(1, 1) - 3.0).abs() < 1e-12);
+        assert!(t.get(2, 2).abs() < 1e-12);
+        // Truncating beyond k is a full reconstruction.
+        let full = d.truncate(10);
+        assert!(full.max_abs_diff(&d.reconstruct()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn singular_values_match_eigentheory() {
+        // For A = [[3, 0], [4, 5]], AᵀA has eigenvalues 45 and 5,
+        // so σ = {√45, √5}.
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![4.0, 5.0]]).unwrap();
+        let d = svd(&a).unwrap();
+        assert!((d.singular_values[0] - 45.0_f64.sqrt()).abs() < 1e-10);
+        assert!((d.singular_values[1] - 5.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn spectral_norm_of_orthogonal_is_one() {
+        let g = crate::givens::Givens::from_angle(0.6).to_matrix(4, 1, 2);
+        assert!((spectral_norm(&g).unwrap() - 1.0).abs() < 1e-10);
+    }
+}

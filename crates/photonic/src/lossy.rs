@@ -1,0 +1,124 @@
+//! Non-ideal (lossy) propagation — failure injection.
+//!
+//! The paper assumes an *ideal lossless* interferometer. Real integrated
+//! photonics attenuates: every beam-splitter crossing costs a fraction of
+//! the amplitude. This module propagates through a gate sequence with a
+//! uniform per-gate amplitude transmission `η ∈ (0, 1]`, modelling
+//! insertion loss, so the robustness ablation can measure how quickly
+//! reconstruction accuracy degrades as the hardware departs from ideal.
+//!
+//! Loss is applied to the two modes a gate touches (the light actually
+//! traversing the splitter), leaving the untouched modes unattenuated —
+//! the standard directional-coupler insertion-loss model.
+
+use crate::sequence::GateSequence;
+
+/// Propagate real amplitudes through `seq` with per-gate amplitude
+/// transmission `eta` (1.0 = lossless). Returns the surviving norm²
+/// fraction relative to the input.
+///
+/// # Panics
+/// Panics when `eta` is outside `(0, 1]` or dimensions mismatch.
+pub fn propagate_lossy(seq: &GateSequence, amps: &mut [f64], eta: f64) -> f64 {
+    assert!(
+        eta > 0.0 && eta <= 1.0,
+        "transmission eta must be in (0, 1], got {eta}"
+    );
+    assert_eq!(amps.len(), seq.dim(), "amplitude dimension mismatch");
+    let norm_in: f64 = amps.iter().map(|a| a * a).sum();
+    for g in seq.gates() {
+        g.apply_real(amps);
+        amps[g.mode] *= eta;
+        amps[g.mode + 1] *= eta;
+    }
+    if let Some(signs) = seq.signs() {
+        for (a, &s) in amps.iter_mut().zip(signs) {
+            *a *= s;
+        }
+    }
+    let norm_out: f64 = amps.iter().map(|a| a * a).sum();
+    if norm_in > 0.0 {
+        norm_out / norm_in
+    } else {
+        1.0
+    }
+}
+
+/// Convert an insertion loss in dB-per-gate to an amplitude transmission
+/// `η` (power transmission is `10^(−dB/10)`, amplitude is its square
+/// root).
+pub fn db_to_amplitude_transmission(db_per_gate: f64) -> f64 {
+    10f64.powf(-db_per_gate / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beamsplitter::BeamSplitter;
+
+    fn two_gate_seq() -> GateSequence {
+        let mut s = GateSequence::new(3);
+        s.push(BeamSplitter::real(0, 0.6));
+        s.push(BeamSplitter::real(1, -0.9));
+        s
+    }
+
+    #[test]
+    fn unit_transmission_is_lossless() {
+        let seq = two_gate_seq();
+        let mut v = vec![0.5, 0.5, std::f64::consts::FRAC_1_SQRT_2];
+        let survived = propagate_lossy(&seq, &mut v, 1.0);
+        assert!((survived - 1.0).abs() < 1e-14);
+        let mut v2 = vec![0.5, 0.5, std::f64::consts::FRAC_1_SQRT_2];
+        seq.apply_real(&mut v2);
+        for (a, b) in v.iter().zip(&v2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn loss_reduces_norm_monotonically() {
+        let seq = two_gate_seq();
+        let mut prev = 1.0;
+        for eta in [0.99, 0.95, 0.9, 0.5] {
+            let mut v = vec![1.0, 0.0, 0.0];
+            let survived = propagate_lossy(&seq, &mut v, eta);
+            assert!(survived < prev, "eta={eta}");
+            prev = survived;
+        }
+    }
+
+    #[test]
+    fn worst_case_bound_matches_gate_count() {
+        // Every gate attenuates at most both touched modes by η, so the
+        // total survival is at least η^(2·gates).
+        let seq = two_gate_seq();
+        let eta = 0.9;
+        let mut v = vec![0.3, -0.8, 0.52];
+        let survived = propagate_lossy(&seq, &mut v, eta);
+        assert!(survived >= eta.powi(2 * 2 * 2) - 1e-12);
+        assert!(survived <= 1.0);
+    }
+
+    #[test]
+    fn db_conversion() {
+        assert!((db_to_amplitude_transmission(0.0) - 1.0).abs() < 1e-15);
+        // 3 dB power loss ≈ amplitude factor 10^(−3/20) ≈ 0.7079.
+        let a = db_to_amplitude_transmission(3.0);
+        assert!((a - 0.707_945_784_384_137_9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmission eta")]
+    fn eta_validated() {
+        let seq = two_gate_seq();
+        propagate_lossy(&seq, &mut [1.0, 0.0, 0.0], 0.0);
+    }
+
+    #[test]
+    fn zero_input_reports_full_survival() {
+        let seq = two_gate_seq();
+        let mut v = vec![0.0; 3];
+        assert_eq!(propagate_lossy(&seq, &mut v, 0.9), 1.0);
+    }
+}

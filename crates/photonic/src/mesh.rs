@@ -1,0 +1,735 @@
+//! The paper's layered beam-splitter mesh (Fig. 3).
+//!
+//! One **layer** is a cascade of `N−1` gates `U(k,k+1)` covering every
+//! adjacent mode pair once ("the number of single-layer quantum gates U is
+//! N−1"); a **mesh** is `l` such layers. The compression network in the
+//! paper uses `l_C = 12` layers on `N = 16` modes (12 × 15 parameters) and
+//! the reconstruction network `l_R = 14` (14 × 15 parameters).
+//!
+//! Within a layer, gates are applied to the amplitude vector in ascending
+//! mode order (`k = 0, 1, …, N−2`), the diagonal cascade drawn in the
+//! paper's Fig. 3. The reconstruction network connects gates "in reverse
+//! order of U" (Sec. II-C), so layers also support descending application
+//! order; [`Mesh::reversed`] produces exactly that reversed structure.
+
+use crate::beamsplitter::BeamSplitter;
+use crate::sequence::GateSequence;
+use qn_linalg::Matrix;
+use qn_sim::complex::Complex64;
+use rand::Rng;
+
+/// Gate application order within a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOrder {
+    /// `k = 0, 1, …, N−2` (the forward cascade of Fig. 3).
+    Ascending,
+    /// `k = N−2, …, 1, 0` (the reversed cascade used by `U_R`).
+    Descending,
+}
+
+/// One layer: `N−1` adjacent-mode rotations with per-gate parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshLayer {
+    dim: usize,
+    /// Reflectivity angles, `thetas[k]` for the gate on modes `(k, k+1)`.
+    thetas: Vec<f64>,
+    /// Phases (`α ≡ 0` for the paper's real network).
+    alphas: Vec<f64>,
+    order: GateOrder,
+}
+
+impl MeshLayer {
+    /// Zero-initialised (identity) layer on `dim` modes.
+    pub fn zeros(dim: usize) -> Self {
+        assert!(dim >= 2, "a layer needs at least two modes");
+        MeshLayer {
+            dim,
+            thetas: vec![0.0; dim - 1],
+            alphas: vec![0.0; dim - 1],
+            order: GateOrder::Ascending,
+        }
+    }
+
+    /// Layer from explicit angles (real gates, ascending order).
+    ///
+    /// # Panics
+    /// Panics when `thetas.len() != dim − 1`.
+    pub fn from_thetas(dim: usize, thetas: Vec<f64>) -> Self {
+        assert_eq!(thetas.len(), dim - 1, "layer needs dim−1 angles");
+        MeshLayer {
+            dim,
+            alphas: vec![0.0; dim - 1],
+            thetas,
+            order: GateOrder::Ascending,
+        }
+    }
+
+    /// Number of modes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of gates (`dim − 1`).
+    pub fn gate_count(&self) -> usize {
+        self.thetas.len()
+    }
+
+    /// Gate application order.
+    pub fn order(&self) -> GateOrder {
+        self.order
+    }
+
+    /// Borrow the angles.
+    pub fn thetas(&self) -> &[f64] {
+        &self.thetas
+    }
+
+    /// Borrow the phases.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Mode indices in application order.
+    fn positions(&self) -> Box<dyn Iterator<Item = usize>> {
+        match self.order {
+            GateOrder::Ascending => Box::new(0..self.dim - 1),
+            GateOrder::Descending => Box::new((0..self.dim - 1).rev()),
+        }
+    }
+
+    /// True when every phase is zero.
+    pub fn is_real(&self) -> bool {
+        self.alphas.iter().all(|&a| a == 0.0)
+    }
+
+    /// Apply the layer to real amplitudes in place.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or complex gates.
+    pub fn apply_real(&self, amps: &mut [f64]) {
+        assert_eq!(amps.len(), self.dim, "layer dimension mismatch");
+        assert!(self.is_real(), "complex layer applied to real amplitudes");
+        for k in self.positions() {
+            let (s, c) = self.thetas[k].sin_cos();
+            let a = amps[k];
+            let b = amps[k + 1];
+            amps[k] = c * a - s * b;
+            amps[k + 1] = s * a + c * b;
+        }
+    }
+
+    /// Apply the layer inverse (inverse gates in reverse order).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or complex gates.
+    pub fn apply_real_inverse(&self, amps: &mut [f64]) {
+        assert_eq!(amps.len(), self.dim, "layer dimension mismatch");
+        assert!(self.is_real(), "complex layer applied to real amplitudes");
+        let rev: Vec<usize> = self.positions().collect();
+        for &k in rev.iter().rev() {
+            let (s, c) = self.thetas[k].sin_cos();
+            let a = amps[k];
+            let b = amps[k + 1];
+            amps[k] = c * a + s * b;
+            amps[k + 1] = c * b - s * a;
+        }
+    }
+
+    /// Apply to complex amplitudes in place (used by the complex-network
+    /// extension; also valid for real layers).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn apply_complex(&self, amps: &mut [Complex64]) {
+        assert_eq!(amps.len(), self.dim, "layer dimension mismatch");
+        for k in self.positions() {
+            qn_sim::rotation::apply_complex(amps, k, self.thetas[k], self.alphas[k])
+                .expect("mode in range by construction");
+        }
+    }
+}
+
+/// A multi-layer beam-splitter mesh — the paper's quantum network `U`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    dim: usize,
+    layers: Vec<MeshLayer>,
+}
+
+impl Mesh {
+    /// Identity mesh: `n_layers` zero-angle layers on `dim` modes.
+    pub fn zeros(dim: usize, n_layers: usize) -> Self {
+        Mesh {
+            dim,
+            layers: (0..n_layers).map(|_| MeshLayer::zeros(dim)).collect(),
+        }
+    }
+
+    /// Mesh with θ drawn uniformly from `[0, 2π)` (the paper initialises θ
+    /// "randomly or uniformly"; trained values stabilise in `[0, 2π]`).
+    pub fn random(dim: usize, n_layers: usize, rng: &mut impl Rng) -> Self {
+        let mut mesh = Mesh::zeros(dim, n_layers);
+        for layer in &mut mesh.layers {
+            for t in &mut layer.thetas {
+                *t = rng.random::<f64>() * std::f64::consts::TAU;
+            }
+        }
+        mesh
+    }
+
+    /// Mesh with θ drawn uniformly from `[-scale, scale]` — a small-angle
+    /// initialisation that starts near the identity.
+    pub fn random_small(dim: usize, n_layers: usize, scale: f64, rng: &mut impl Rng) -> Self {
+        let mut mesh = Mesh::zeros(dim, n_layers);
+        for layer in &mut mesh.layers {
+            for t in &mut layer.thetas {
+                *t = (rng.random::<f64>() * 2.0 - 1.0) * scale;
+            }
+        }
+        mesh
+    }
+
+    /// Build from explicit layers.
+    ///
+    /// # Panics
+    /// Panics when layers disagree on dimension.
+    pub fn from_layers(layers: Vec<MeshLayer>) -> Self {
+        assert!(!layers.is_empty(), "mesh needs at least one layer");
+        let dim = layers[0].dim();
+        assert!(
+            layers.iter().all(|l| l.dim() == dim),
+            "all layers must share a dimension"
+        );
+        Mesh { dim, layers }
+    }
+
+    /// Number of modes `N`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of layers `l`.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow the layers.
+    pub fn layers(&self) -> &[MeshLayer] {
+        &self.layers
+    }
+
+    /// Total trainable θ count: `l × (N−1)` (the paper's "12×15
+    /// parameters" accounting).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.gate_count()).sum()
+    }
+
+    /// True when every layer is real.
+    pub fn is_real(&self) -> bool {
+        self.layers.iter().all(|l| l.is_real())
+    }
+
+    /// Flattened θ vector, layer-major.
+    pub fn thetas(&self) -> Vec<f64> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.thetas.iter().copied())
+            .collect()
+    }
+
+    /// Overwrite all θ from a flattened layer-major vector.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_thetas(&mut self, thetas: &[f64]) {
+        assert_eq!(thetas.len(), self.param_count(), "theta length mismatch");
+        let mut it = thetas.iter();
+        for layer in &mut self.layers {
+            for t in &mut layer.thetas {
+                *t = *it.next().expect("length checked");
+            }
+        }
+    }
+
+    /// θ of one gate.
+    pub fn theta_at(&self, layer: usize, gate: usize) -> f64 {
+        self.layers[layer].thetas[gate]
+    }
+
+    /// Set θ of one gate.
+    pub fn set_theta_at(&mut self, layer: usize, gate: usize, theta: f64) {
+        self.layers[layer].thetas[gate] = theta;
+    }
+
+    /// Flattened α vector, layer-major (complex-network extension).
+    pub fn alphas(&self) -> Vec<f64> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.alphas.iter().copied())
+            .collect()
+    }
+
+    /// Overwrite all α from a flattened layer-major vector.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_alphas(&mut self, alphas: &[f64]) {
+        assert_eq!(alphas.len(), self.param_count(), "alpha length mismatch");
+        let mut it = alphas.iter();
+        for layer in &mut self.layers {
+            for a in &mut layer.alphas {
+                *a = *it.next().expect("length checked");
+            }
+        }
+    }
+
+    /// Set α of one gate.
+    pub fn set_alpha_at(&mut self, layer: usize, gate: usize, alpha: f64) {
+        self.layers[layer].alphas[gate] = alpha;
+    }
+
+    /// Apply the full mesh to real amplitudes in place.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or complex gates.
+    pub fn forward_real(&self, amps: &mut [f64]) {
+        for layer in &self.layers {
+            layer.apply_real(amps);
+        }
+    }
+
+    /// Forward pass into a fresh vector.
+    pub fn forward_real_copy(&self, amps: &[f64]) -> Vec<f64> {
+        let mut v = amps.to_vec();
+        self.forward_real(&mut v);
+        v
+    }
+
+    /// Apply the exact inverse `U⁻¹` in place.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or complex gates.
+    pub fn inverse_real(&self, amps: &mut [f64]) {
+        for layer in self.layers.iter().rev() {
+            layer.apply_real_inverse(amps);
+        }
+    }
+
+    /// Apply to complex amplitudes in place.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn forward_complex(&self, amps: &mut [Complex64]) {
+        for layer in &self.layers {
+            layer.apply_complex(amps);
+        }
+    }
+
+    /// The mesh with gates connected in reverse order (paper Sec. II-C:
+    /// "the reconstruction network U_R can be the combination of the
+    /// quantum gates in the compression network, connected in reverse
+    /// order"): layers reversed, each layer's cascade direction flipped.
+    pub fn reversed(&self) -> Mesh {
+        let layers = self
+            .layers
+            .iter()
+            .rev()
+            .map(|l| MeshLayer {
+                dim: l.dim,
+                thetas: l.thetas.clone(),
+                alphas: l.alphas.clone(),
+                order: match l.order {
+                    GateOrder::Ascending => GateOrder::Descending,
+                    GateOrder::Descending => GateOrder::Ascending,
+                },
+            })
+            .collect();
+        Mesh {
+            dim: self.dim,
+            layers,
+        }
+    }
+
+    /// Forward pass with a single θ perturbed by `delta` — the
+    /// finite-difference probe `T_C(θ + Δ)` of the paper's Eq. (8),
+    /// computed without mutating or cloning the mesh.
+    pub fn forward_real_perturbed(
+        &self,
+        amps: &[f64],
+        layer: usize,
+        gate: usize,
+        delta: f64,
+    ) -> Vec<f64> {
+        let mut v = amps.to_vec();
+        for (li, l) in self.layers.iter().enumerate() {
+            if li != layer {
+                l.apply_real(&mut v);
+                continue;
+            }
+            for k in l.positions() {
+                let theta = if k == gate {
+                    l.thetas[k] + delta
+                } else {
+                    l.thetas[k]
+                };
+                let (s, c) = theta.sin_cos();
+                let a = v[k];
+                let b = v[k + 1];
+                v[k] = c * a - s * b;
+                v[k + 1] = s * a + c * b;
+            }
+        }
+        v
+    }
+
+    /// Exact analytic derivative `∂(U v)/∂θ_{layer,gate}`.
+    ///
+    /// The derivative of a single embedded rotation is the rotation
+    /// advanced by π/2 on its 2×2 block and **zero** on every other mode,
+    /// so the product rule collapses to: propagate to the target gate,
+    /// substitute the derivative block (zeroing all other components),
+    /// then propagate the rest linearly.
+    pub fn forward_real_derivative(&self, amps: &[f64], layer: usize, gate: usize) -> Vec<f64> {
+        let mut v = amps.to_vec();
+        let mut hit = false;
+        for (li, l) in self.layers.iter().enumerate() {
+            if li != layer {
+                l.apply_real(&mut v);
+                continue;
+            }
+            for k in l.positions() {
+                if k == gate {
+                    let (s, c) = l.thetas[k].sin_cos();
+                    let a = v[k];
+                    let b = v[k + 1];
+                    // d/dθ of [cθ·a − sθ·b, sθ·a + cθ·b]
+                    let da = -s * a - c * b;
+                    let db = c * a - s * b;
+                    v.iter_mut().for_each(|x| *x = 0.0);
+                    v[k] = da;
+                    v[k + 1] = db;
+                    hit = true;
+                } else {
+                    let (s, c) = l.thetas[k].sin_cos();
+                    let a = v[k];
+                    let b = v[k + 1];
+                    v[k] = c * a - s * b;
+                    v[k + 1] = s * a + c * b;
+                }
+            }
+        }
+        assert!(hit, "derivative target ({layer},{gate}) out of range");
+        v
+    }
+
+    /// The flat `(layer, mode)` gate order of the whole mesh, as applied
+    /// to an amplitude vector. The flattened parameter index of gate
+    /// `(layer, mode)` is `layer · (N−1) + mode`, matching
+    /// [`Mesh::thetas`]. Used by reverse-mode (backprop) gradients in
+    /// `qn-core`.
+    pub fn flat_gates(&self) -> Vec<(usize, usize)> {
+        let mut order = Vec::with_capacity(self.param_count());
+        for (li, l) in self.layers.iter().enumerate() {
+            for k in l.positions() {
+                order.push((li, k));
+            }
+        }
+        order
+    }
+
+    /// Pack an arbitrary [`GateSequence`] into mesh layers by ASAP list
+    /// scheduling: each gate is placed in the earliest layer after the
+    /// last use of either of its modes. Gates sharing a mode (the only
+    /// non-commuting pairs) keep their relative order across layers, and
+    /// gates within one layer act on disjoint mode pairs, so the layer's
+    /// fixed ascending application order reproduces the sequence exactly.
+    /// Unused positions stay θ = 0 (identity). The resulting depth is the
+    /// sequence's critical path — ≈ N layers for a Clements-pattern
+    /// sequence.
+    ///
+    /// Returns the mesh together with the sequence's trailing sign
+    /// diagonal, which the rigid layer structure cannot absorb; callers
+    /// that only care about probability patterns (e.g. the trash-penalty
+    /// compression loss) may ignore it, since `|±x|² = |x|²`.
+    pub fn from_sequence_packed(seq: &GateSequence) -> (Mesh, Option<Vec<f64>>) {
+        let dim = seq.dim();
+        let mut layers: Vec<MeshLayer> = Vec::new();
+        // Index of the first layer still available for each mode.
+        let mut ready: Vec<usize> = vec![0; dim];
+        for g in seq.gates() {
+            let slot = ready[g.mode].max(ready[g.mode + 1]);
+            if slot == layers.len() {
+                layers.push(MeshLayer::zeros(dim));
+            }
+            layers[slot].thetas[g.mode] = g.theta;
+            layers[slot].alphas[g.mode] = g.alpha;
+            ready[g.mode] = slot + 1;
+            ready[g.mode + 1] = slot + 1;
+        }
+        if layers.is_empty() {
+            layers.push(MeshLayer::zeros(dim));
+        }
+        (
+            Mesh { dim, layers },
+            seq.signs().map(|s| s.to_vec()),
+        )
+    }
+
+    /// Flatten to a [`GateSequence`] (loses nothing; used for interop with
+    /// the decomposition tooling and the lossy propagation model).
+    pub fn to_sequence(&self) -> GateSequence {
+        let mut seq = GateSequence::new(self.dim);
+        for l in &self.layers {
+            for k in l.positions() {
+                seq.push(BeamSplitter {
+                    mode: k,
+                    theta: l.thetas[k],
+                    alpha: l.alphas[k],
+                });
+            }
+        }
+        seq
+    }
+
+    /// Dense orthogonal matrix of the whole mesh.
+    pub fn as_matrix(&self) -> Matrix {
+        self.to_sequence().as_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_linalg::vector::norm2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-12;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn paper_parameter_counts() {
+        // l_C = 12 layers on N = 16 modes → 12 × 15 parameters.
+        let uc = Mesh::zeros(16, 12);
+        assert_eq!(uc.param_count(), 12 * 15);
+        // l_R = 14 layers → 14 × 15 parameters.
+        let ur = Mesh::zeros(16, 14);
+        assert_eq!(ur.param_count(), 14 * 15);
+    }
+
+    #[test]
+    fn zero_mesh_is_identity() {
+        let m = Mesh::zeros(8, 3);
+        let v0 = vec![0.5, -0.1, 0.3, 0.2, 0.0, 0.7, -0.2, 0.1];
+        let mut v = v0.clone();
+        m.forward_real(&mut v);
+        assert_eq!(v, v0);
+        assert!(m.as_matrix().max_abs_diff(&Matrix::identity(8)).unwrap() < TOL);
+    }
+
+    #[test]
+    fn forward_preserves_norm() {
+        let m = Mesh::random(16, 4, &mut rng());
+        let mut v = vec![0.25; 16];
+        let n0 = norm2(&v);
+        m.forward_real(&mut v);
+        assert!((norm2(&v) - n0).abs() < TOL);
+    }
+
+    #[test]
+    fn mesh_matrix_is_orthogonal() {
+        let m = Mesh::random(8, 3, &mut rng());
+        assert!(m.as_matrix().is_orthogonal(1e-11));
+    }
+
+    #[test]
+    fn inverse_is_exact() {
+        let m = Mesh::random(10, 5, &mut rng());
+        let orig: Vec<f64> = (0..10).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut v = orig.clone();
+        m.forward_real(&mut v);
+        m.inverse_real(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - b).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn theta_get_set_roundtrip() {
+        let mut m = Mesh::random(6, 2, &mut rng());
+        let t = m.thetas();
+        assert_eq!(t.len(), 10);
+        let mut m2 = Mesh::zeros(6, 2);
+        m2.set_thetas(&t);
+        assert_eq!(m2.thetas(), t);
+        assert_eq!(m2, m);
+        m.set_theta_at(1, 3, 9.0);
+        assert_eq!(m.theta_at(1, 3), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta length mismatch")]
+    fn set_thetas_validates_length() {
+        Mesh::zeros(4, 1).set_thetas(&[0.0; 5]);
+    }
+
+    #[test]
+    fn reversed_mesh_reverses_application_order() {
+        // For a single layer, reversed() applies the same gates in the
+        // opposite cascade direction — different operator in general.
+        let m = Mesh::random(5, 1, &mut rng());
+        let r = m.reversed();
+        assert_eq!(r.layers()[0].order(), GateOrder::Descending);
+        let a = m.as_matrix();
+        let b = r.as_matrix();
+        assert!(a.max_abs_diff(&b).unwrap() > 1e-3);
+        // Reversing twice restores the original.
+        assert_eq!(r.reversed(), m);
+    }
+
+    #[test]
+    fn reversed_of_inverse_angles_is_inverse() {
+        // U⁻¹ = reversed structure with negated angles.
+        let m = Mesh::random(6, 3, &mut rng());
+        let mut rinv = m.reversed();
+        let negated: Vec<f64> = rinv.thetas().iter().map(|t| -t).collect();
+        rinv.set_thetas(&negated);
+        let prod = m.as_matrix().matmul(&rinv.as_matrix()).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn perturbed_forward_matches_mutated_mesh() {
+        let m = Mesh::random(8, 3, &mut rng());
+        let v: Vec<f64> = (0..8).map(|i| ((i + 1) as f64).recip()).collect();
+        let delta = 0.123;
+        let fast = m.forward_real_perturbed(&v, 1, 4, delta);
+        let mut m2 = m.clone();
+        m2.set_theta_at(1, 4, m.theta_at(1, 4) + delta);
+        let slow = m2.forward_real_copy(&v);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn analytic_derivative_matches_central_difference() {
+        let m = Mesh::random(8, 3, &mut rng());
+        let v: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).cos() * 0.35).collect();
+        let h = 1e-6;
+        for (layer, gate) in [(0usize, 0usize), (1, 4), (2, 6), (2, 0)] {
+            let exact = m.forward_real_derivative(&v, layer, gate);
+            let plus = m.forward_real_perturbed(&v, layer, gate, h);
+            let minus = m.forward_real_perturbed(&v, layer, gate, -h);
+            for i in 0..8 {
+                let fd = (plus[i] - minus[i]) / (2.0 * h);
+                assert!(
+                    (fd - exact[i]).abs() < 1e-8,
+                    "({layer},{gate}) component {i}: fd={fd} exact={}",
+                    exact[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_sequence_matches_mesh() {
+        let m = Mesh::random(6, 2, &mut rng());
+        let seq = m.to_sequence();
+        assert_eq!(seq.len(), 2 * 5);
+        let x: Vec<f64> = (0..6).map(|i| (i as f64) * 0.1 - 0.2).collect();
+        let mut v1 = x.clone();
+        m.forward_real(&mut v1);
+        let mut v2 = x;
+        seq.apply_real(&mut v2);
+        for (a, b) in v1.iter().zip(&v2) {
+            assert!((a - b).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn complex_forward_matches_real_for_real_mesh() {
+        let m = Mesh::random(5, 2, &mut rng());
+        let x = [0.1, -0.4, 0.3, 0.7, 0.05];
+        let mut rv = x.to_vec();
+        m.forward_real(&mut rv);
+        let mut cv: Vec<Complex64> = x.iter().map(|&r| Complex64::from_real(r)).collect();
+        m.forward_complex(&mut cv);
+        for (c, r) in cv.iter().zip(&rv) {
+            assert!((c.re - r).abs() < TOL);
+            assert!(c.im.abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn complex_mesh_rejected_on_real_path() {
+        let mut m = Mesh::zeros(4, 1);
+        m.set_alpha_at(0, 1, 0.5);
+        assert!(!m.is_real());
+        let result = std::panic::catch_unwind(|| {
+            let mut v = vec![1.0, 0.0, 0.0, 0.0];
+            m.forward_real(&mut v);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn packed_mesh_reproduces_sequence() {
+        use crate::beamsplitter::BeamSplitter;
+        use crate::sequence::GateSequence;
+        // A deliberately awkward order with overlapping and disjoint gates.
+        let mut seq = GateSequence::new(6);
+        for (k, t) in [
+            (2usize, 0.3),
+            (4, -0.7), // disjoint from (2,3): same layer
+            (3, 1.1),  // overlaps both: new layer
+            (0, 0.5),  // disjoint: joins second layer
+            (0, 0.2),  // overlaps itself: third layer
+        ] {
+            seq.push(BeamSplitter::real(k, t));
+        }
+        let (mesh, signs) = Mesh::from_sequence_packed(&seq);
+        assert!(signs.is_none());
+        // ASAP scheduling: (2,·) and (4,·) share layer 0 with (0, 0.5);
+        // (3,·) and the second (0,·) land in layer 1.
+        assert_eq!(mesh.n_layers(), 2);
+        let x: Vec<f64> = (0..6).map(|i| ((i * i) as f64 * 0.1).sin()).collect();
+        let mut via_seq = x.clone();
+        seq.apply_real(&mut via_seq);
+        let via_mesh = mesh.forward_real_copy(&x);
+        for (a, b) in via_seq.iter().zip(&via_mesh) {
+            assert!((a - b).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn packed_mesh_from_decomposition_matches_up_to_signs() {
+        let u = qn_linalg::random::haar_orthogonal(8, 21);
+        let seq = crate::clements::clements_decompose(&u, 1e-10).unwrap();
+        let (mesh, signs) = Mesh::from_sequence_packed(&seq);
+        // mesh followed by the sign diagonal reproduces U exactly.
+        let mut m = mesh.as_matrix();
+        if let Some(s) = signs {
+            for (i, &si) in s.iter().enumerate() {
+                for j in 0..8 {
+                    let v = m.get(i, j) * si;
+                    m.set(i, j, v);
+                }
+            }
+        }
+        assert!(m.max_abs_diff(&u).unwrap() < 1e-10);
+        // Rectangular packing stays shallow: about N layers.
+        assert!(mesh.n_layers() <= 10, "layers = {}", mesh.n_layers());
+    }
+
+    #[test]
+    fn small_random_init_is_near_identity() {
+        let m = Mesh::random_small(8, 2, 0.01, &mut rng());
+        let d = m.as_matrix().max_abs_diff(&Matrix::identity(8)).unwrap();
+        assert!(d < 0.1);
+        assert!(d > 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Reck-style triangular decomposition of a real orthogonal matrix into
+//! adjacent-mode Givens rotations.
+//!
+//! Any `N × N` orthogonal matrix factors into at most `N(N−1)/2` rotations
+//! between *adjacent* modes plus a trailing ±1 diagonal — precisely the
+//! gate family the paper's optical network can realise. The triangular
+//! scheme zeroes the strict lower triangle column by column with left
+//! rotations; since an orthogonal triangular matrix is diagonal, what
+//! remains is the sign diagonal.
+//!
+//! Used by the spectral-initialisation extension (`qn-core::spectral`) to
+//! load a PCA rotation directly into mesh parameters.
+
+use crate::beamsplitter::BeamSplitter;
+use crate::sequence::GateSequence;
+use qn_linalg::givens::Givens;
+use qn_linalg::{LinalgError, Matrix};
+
+/// Decompose an orthogonal matrix `u` into a [`GateSequence`] `S` such
+/// that `S.as_matrix() == u` (within roundoff).
+///
+/// # Errors
+/// - [`LinalgError::ShapeMismatch`] for non-square input.
+/// - [`LinalgError::InvalidArgument`] when `u` is not orthogonal to `tol`.
+pub fn reck_decompose(u: &Matrix, tol: f64) -> Result<GateSequence, LinalgError> {
+    if !u.is_square() {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "reck: {}x{} not square",
+            u.rows(),
+            u.cols()
+        )));
+    }
+    if !u.is_orthogonal(tol) {
+        return Err(LinalgError::InvalidArgument(
+            "reck: input is not orthogonal".to_string(),
+        ));
+    }
+    let n = u.rows();
+    let mut r = u.clone();
+    // Rotations applied to U from the left, in application order.
+    // Entry: (mode k, angle θ) for the rotation on rows (k, k+1).
+    let mut applied: Vec<(usize, f64)> = Vec::with_capacity(n * (n - 1) / 2);
+
+    for j in 0..n.saturating_sub(1) {
+        for i in ((j + 1)..n).rev() {
+            let a = r.get(i - 1, j);
+            let b = r.get(i, j);
+            if b.abs() <= 1e-300 {
+                continue;
+            }
+            // θ with sinθ·a + cosθ·b = 0 and the surviving entry ≥ 0.
+            let theta = (-b).atan2(a);
+            let g = Givens::from_angle(theta);
+            g.apply_rows(&mut r, i - 1, i);
+            r.set(i, j, 0.0); // exact by construction
+            applied.push((i - 1, theta));
+        }
+    }
+
+    // r is now orthogonal upper-triangular = diagonal of ±1.
+    let signs: Vec<f64> = (0..n)
+        .map(|i| if r.get(i, i) >= 0.0 { 1.0 } else { -1.0 })
+        .collect();
+
+    // We have G_m ⋯ G_1 U = D, so U = G_1ᵀ ⋯ G_mᵀ D. Acting on a vector,
+    // D applies first, then G_mᵀ, …, G_1ᵀ. Push D rightwards through each
+    // rotation with the sign conjugation D·G(θ)·D = G(σθ), σ = d_k·d_{k+1}
+    // (D is unchanged), giving: gates [Gₘ'ᵀ, …, G₁'ᵀ] then trailing D.
+    let mut seq = GateSequence::new(n);
+    for &(k, theta) in applied.iter().rev() {
+        let sigma = signs[k] * signs[k + 1];
+        seq.push(BeamSplitter::real(k, -(theta * sigma)));
+    }
+    if signs.iter().any(|&s| s < 0.0) {
+        seq.set_signs(signs);
+    }
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_linalg::random::haar_orthogonal;
+
+    fn roundtrip_error(u: &Matrix) -> f64 {
+        let seq = reck_decompose(u, 1e-10).unwrap();
+        seq.as_matrix().max_abs_diff(u).unwrap()
+    }
+
+    #[test]
+    fn identity_decomposes_to_empty_sequence() {
+        let id = Matrix::identity(4);
+        let seq = reck_decompose(&id, 1e-12).unwrap();
+        assert_eq!(seq.len(), 0);
+        assert!(seq.signs().is_none());
+        assert!(roundtrip_error(&id) < 1e-14);
+    }
+
+    #[test]
+    fn single_adjacent_rotation_roundtrips() {
+        let g = Givens::from_angle(0.77).to_matrix(4, 1, 2);
+        assert!(roundtrip_error(&g) < 1e-12);
+    }
+
+    #[test]
+    fn haar_random_matrices_roundtrip_exactly() {
+        for (i, n) in [2usize, 3, 4, 8, 16].iter().enumerate() {
+            let u = haar_orthogonal(*n, 100 + i as u64);
+            let err = roundtrip_error(&u);
+            assert!(err < 1e-10, "n={n}: error {err}");
+        }
+    }
+
+    #[test]
+    fn gate_count_is_at_most_triangular() {
+        let u = haar_orthogonal(8, 5);
+        let seq = reck_decompose(&u, 1e-10).unwrap();
+        assert!(seq.len() <= 8 * 7 / 2);
+        // Generic matrices need the full count.
+        assert_eq!(seq.len(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn reflection_needs_sign_diagonal() {
+        // det = −1 cannot be realised by rotations alone.
+        let mut refl = Matrix::identity(3);
+        refl.set(2, 2, -1.0);
+        let seq = reck_decompose(&refl, 1e-12).unwrap();
+        assert!(seq.signs().is_some());
+        assert!(seq.as_matrix().max_abs_diff(&refl).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_matrix_roundtrips() {
+        // Cyclic shift on 4 modes.
+        let mut p = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            p.set((i + 1) % 4, i, 1.0);
+        }
+        assert!(roundtrip_error(&p) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_orthogonal_input() {
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            reck_decompose(&m, 1e-10),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+        assert!(reck_decompose(&Matrix::zeros(2, 3), 1e-10).is_err());
+    }
+}

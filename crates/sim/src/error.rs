@@ -1,0 +1,72 @@
+//! Error type for the simulator crate.
+
+use std::fmt;
+
+/// Errors produced by state-vector operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Dimension is not a power of two where a qubit register was required.
+    NotPowerOfTwo(usize),
+    /// Operand dimensions are incompatible.
+    DimensionMismatch {
+        /// The dimension the operation required.
+        expected: usize,
+        /// The dimension it was given.
+        got: usize,
+    },
+    /// A qubit index exceeds the register size.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The register size.
+        n_qubits: usize,
+    },
+    /// The state has (numerically) zero norm where a normalised state was
+    /// required.
+    ZeroNorm,
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotPowerOfTwo(d) => {
+                write!(f, "dimension {d} is not a power of two")
+            }
+            SimError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            SimError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            SimError::ZeroNorm => write!(f, "state has zero norm"),
+            SimError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::NotPowerOfTwo(6).to_string().contains('6'));
+        assert!(SimError::DimensionMismatch {
+            expected: 4,
+            got: 5
+        }
+        .to_string()
+        .contains("expected 4"));
+        assert!(SimError::QubitOutOfRange {
+            qubit: 7,
+            n_qubits: 3
+        }
+        .to_string()
+        .contains("qubit 7"));
+        assert_eq!(SimError::ZeroNorm.to_string(), "state has zero norm");
+    }
+}

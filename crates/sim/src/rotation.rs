@@ -1,0 +1,244 @@
+//! Mode rotations `U(k,k+1)` — the paper's quantum gate.
+//!
+//! The paper's network is built from lossless beam splitters acting between
+//! *adjacent vector-space dimensions* `k` and `k+1` (Sec. III-A, Fig. 2):
+//!
+//! ```text
+//! U(k,k+1) = | e^{iα} cos θ   −sin θ |
+//!            | e^{iα} sin θ    cos θ |
+//! ```
+//!
+//! with reflectivity `cos θ`, `θ ∈ [0, π/2]` nominal (training leaves θ
+//! unconstrained in ℝ; the paper observes trained values stabilise in
+//! `[0, 2π]`), and phase `α ∈ [0, 2π]`. The paper fixes `α ≡ 0`, making
+//! every gate a real Givens rotation; the complex form is kept for the
+//! "fully complex network" extension the paper's discussion proposes.
+//!
+//! Unlike qubit gates, a mode rotation touches exactly two amplitudes of
+//! the N-dimensional vector, so it works on vectors of *any* length, not
+//! just powers of two — matching the optical-circuit picture where each
+//! dimension is a waveguide mode.
+
+use crate::complex::Complex64;
+use crate::error::SimError;
+use crate::Result;
+
+/// Apply the real mode rotation (α = 0) with angle `theta` between
+/// components `k` and `k+1` of `amps`, in place.
+///
+/// ```text
+/// | cos θ  −sin θ | | a_k   |
+/// | sin θ   cos θ | | a_k+1 |
+/// ```
+///
+/// # Errors
+/// Returns [`SimError::InvalidArgument`] when `k + 1 ≥ amps.len()`.
+#[inline]
+pub fn apply_real(amps: &mut [f64], k: usize, theta: f64) -> Result<()> {
+    if k + 1 >= amps.len() {
+        return Err(SimError::InvalidArgument(format!(
+            "mode rotation at k={k} out of range for dimension {}",
+            amps.len()
+        )));
+    }
+    let (s, c) = theta.sin_cos();
+    let a = amps[k];
+    let b = amps[k + 1];
+    amps[k] = c * a - s * b;
+    amps[k + 1] = s * a + c * b;
+    Ok(())
+}
+
+/// Inverse of [`apply_real`] (rotation by −θ).
+///
+/// # Errors
+/// Returns [`SimError::InvalidArgument`] when `k + 1 ≥ amps.len()`.
+#[inline]
+pub fn apply_real_inverse(amps: &mut [f64], k: usize, theta: f64) -> Result<()> {
+    apply_real(amps, k, -theta)
+}
+
+/// Derivative of the rotated pair with respect to θ. Because
+/// `dU/dθ = U(θ + π/2)` on the 2×2 block, the analytic gradient of a mesh
+/// is computed by substituting this for the gate — see
+/// `qn-core::gradient`.
+#[inline]
+pub fn apply_real_derivative(amps: &mut [f64], k: usize, theta: f64) -> Result<()> {
+    apply_real(amps, k, theta + std::f64::consts::FRAC_PI_2)
+}
+
+/// Apply the complex beam-splitter `U(k,k+1)` with reflectivity angle
+/// `theta` and phase `alpha`, in place (Fig. 2 of the paper; the Clements
+/// convention with the phase on the first input mode).
+///
+/// # Errors
+/// Returns [`SimError::InvalidArgument`] when `k + 1 ≥ amps.len()`.
+#[inline]
+pub fn apply_complex(
+    amps: &mut [Complex64],
+    k: usize,
+    theta: f64,
+    alpha: f64,
+) -> Result<()> {
+    if k + 1 >= amps.len() {
+        return Err(SimError::InvalidArgument(format!(
+            "mode rotation at k={k} out of range for dimension {}",
+            amps.len()
+        )));
+    }
+    let (s, c) = theta.sin_cos();
+    let phase = Complex64::from_polar(1.0, alpha);
+    let a = amps[k];
+    let b = amps[k + 1];
+    amps[k] = phase * a.scale(c) - b.scale(s);
+    amps[k + 1] = phase * a.scale(s) + b.scale(c);
+    Ok(())
+}
+
+/// Apply the inverse (conjugate transpose) of the complex beam splitter.
+///
+/// # Errors
+/// Returns [`SimError::InvalidArgument`] when `k + 1 ≥ amps.len()`.
+#[inline]
+pub fn apply_complex_inverse(
+    amps: &mut [Complex64],
+    k: usize,
+    theta: f64,
+    alpha: f64,
+) -> Result<()> {
+    if k + 1 >= amps.len() {
+        return Err(SimError::InvalidArgument(format!(
+            "mode rotation at k={k} out of range for dimension {}",
+            amps.len()
+        )));
+    }
+    // U† = [[e^{-iα} cosθ, e^{-iα} sinθ], [−sinθ, cosθ]]
+    let (s, c) = theta.sin_cos();
+    let phase = Complex64::from_polar(1.0, -alpha);
+    let a = amps[k];
+    let b = amps[k + 1];
+    amps[k] = phase * (a.scale(c) + b.scale(s));
+    amps[k + 1] = b.scale(c) - a.scale(s);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::ZERO;
+
+    const TOL: f64 = 1e-14;
+
+    fn norm_sq(v: &[f64]) -> f64 {
+        v.iter().map(|x| x * x).sum()
+    }
+
+    #[test]
+    fn real_rotation_preserves_norm_and_other_components() {
+        let mut v = vec![0.5, -0.3, 0.7, 0.1];
+        let n0 = norm_sq(&v);
+        apply_real(&mut v, 1, 0.8).unwrap();
+        assert!((norm_sq(&v) - n0).abs() < TOL);
+        assert_eq!(v[0], 0.5);
+        assert_eq!(v[3], 0.1);
+    }
+
+    #[test]
+    fn real_rotation_quarter_turn() {
+        let mut v = vec![1.0, 0.0];
+        apply_real(&mut v, 0, std::f64::consts::FRAC_PI_2).unwrap();
+        assert!(v[0].abs() < TOL);
+        assert!((v[1] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn inverse_undoes_rotation() {
+        let mut v = vec![0.2, 0.9, -0.4];
+        let orig = v.clone();
+        apply_real(&mut v, 0, 1.234).unwrap();
+        apply_real_inverse(&mut v, 0, 1.234).unwrap();
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - b).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn derivative_is_finite_difference_limit() {
+        let theta = 0.6;
+        let h = 1e-7;
+        let base = [0.3, -0.8];
+        let mut plus = base;
+        apply_real(&mut plus, 0, theta + h).unwrap();
+        let mut minus = base;
+        apply_real(&mut minus, 0, theta - h).unwrap();
+        let mut deriv = base;
+        apply_real_derivative(&mut deriv, 0, theta).unwrap();
+        for i in 0..2 {
+            let fd = (plus[i] - minus[i]) / (2.0 * h);
+            assert!((fd - deriv[i]).abs() < 1e-7, "component {i}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut v = vec![1.0, 0.0];
+        assert!(apply_real(&mut v, 1, 0.1).is_err());
+        let mut c = vec![ZERO; 2];
+        assert!(apply_complex(&mut c, 1, 0.1, 0.0).is_err());
+        assert!(apply_complex_inverse(&mut c, 5, 0.1, 0.0).is_err());
+    }
+
+    #[test]
+    fn complex_rotation_with_zero_phase_matches_real() {
+        let mut cv: Vec<Complex64> = [0.6, -0.2, 0.5]
+            .iter()
+            .map(|&r| Complex64::from_real(r))
+            .collect();
+        let mut rv = vec![0.6, -0.2, 0.5];
+        apply_complex(&mut cv, 1, 0.9, 0.0).unwrap();
+        apply_real(&mut rv, 1, 0.9).unwrap();
+        for (c, r) in cv.iter().zip(&rv) {
+            assert!((c.re - r).abs() < TOL);
+            assert!(c.im.abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn complex_rotation_preserves_norm_with_any_phase() {
+        let mut cv: Vec<Complex64> = vec![
+            Complex64::new(0.3, 0.4),
+            Complex64::new(-0.5, 0.1),
+            Complex64::new(0.2, -0.6),
+        ];
+        let n0: f64 = cv.iter().map(|a| a.norm_sq()).sum();
+        apply_complex(&mut cv, 0, 1.1, 2.3).unwrap();
+        let n1: f64 = cv.iter().map(|a| a.norm_sq()).sum();
+        assert!((n0 - n1).abs() < TOL);
+    }
+
+    #[test]
+    fn complex_inverse_undoes_rotation() {
+        let mut cv: Vec<Complex64> = vec![
+            Complex64::new(0.3, 0.4),
+            Complex64::new(-0.5, 0.1),
+        ];
+        let orig = cv.clone();
+        apply_complex(&mut cv, 0, 0.7, 1.9).unwrap();
+        apply_complex_inverse(&mut cv, 0, 0.7, 1.9).unwrap();
+        for (a, b) in cv.iter().zip(&orig) {
+            assert!(a.approx_eq(*b, 1e-13));
+        }
+    }
+
+    #[test]
+    fn rotation_works_on_non_power_of_two_dimensions() {
+        // Optical modes need not come in powers of two.
+        let mut v = vec![1.0, 0.0, 0.0, 0.0, 0.0]; // 5 modes
+        apply_real(&mut v, 0, 0.5).unwrap();
+        apply_real(&mut v, 1, 0.5).unwrap();
+        apply_real(&mut v, 2, 0.5).unwrap();
+        apply_real(&mut v, 3, 0.5).unwrap();
+        assert!((norm_sq(&v) - 1.0).abs() < TOL);
+        assert!(v[4].abs() > 0.0); // amplitude has cascaded to the last mode
+    }
+}

@@ -1,0 +1,94 @@
+//! Compare the quantum network against every classical baseline in the
+//! workspace on the same dataset: CSC (the paper's comparison), PCA
+//! (ref [11]'s classical content) and plain low-rank SVD.
+//!
+//! Run with: `cargo run --release --example compare_baselines`
+
+use qn::classical::csc::{CscConfig, CscPipeline, SparseCoder};
+use qn::classical::pca::Pca;
+use qn::classical::svd_compress;
+use qn::core::config::NetworkConfig;
+use qn::core::trainer::Trainer;
+use qn::image::{datasets, metrics, GrayImage};
+
+fn binary_accuracy(recons: &[GrayImage], targets: &[GrayImage]) -> f64 {
+    let binarised: Vec<GrayImage> = recons.iter().map(|r| r.thresholded(0.5)).collect();
+    metrics::mean_pixel_accuracy(&binarised, targets, 0.01)
+}
+
+fn main() {
+    // The hard dataset keeps every method below 100 % so the ordering is
+    // visible.
+    let data = datasets::paper_binary_16_hard(25);
+    println!(
+        "dataset: 25 binary 4×4 images, rank-4 energy {:.3} (not exactly compressible)\n",
+        datasets::rank_energy(&data, 4)
+    );
+
+    // Quantum network.
+    let mut qn_trainer =
+        Trainer::new(NetworkConfig::paper_default(), &data).expect("valid configuration");
+    let qn_report = qn_trainer.train().expect("training runs");
+    let ae = qn_trainer.into_autoencoder();
+    let qn_recons: Vec<GrayImage> = data
+        .iter()
+        .map(|img| ae.roundtrip_image(img).expect("roundtrip"))
+        .collect();
+
+    // CSC with the paper-faithful ℓ₁ coder and with the stronger OMP coder.
+    let mut csc_l1 = CscPipeline::new(CscConfig::paper_default(), &data);
+    csc_l1.train();
+    let mut csc_omp = CscPipeline::new(
+        CscConfig {
+            coder: SparseCoder::Omp,
+            ..CscConfig::paper_default()
+        },
+        &data,
+    );
+    csc_omp.train();
+
+    // PCA at the same d = 4.
+    let samples: Vec<Vec<f64>> = data.iter().map(|i| i.to_vector()).collect();
+    let pca = Pca::fit(&samples, 4).expect("pca fits");
+    let pca_recons: Vec<GrayImage> = samples
+        .iter()
+        .zip(&data)
+        .map(|(x, img)| {
+            GrayImage::from_pixels(img.width(), img.height(), pca.roundtrip(x))
+                .expect("dims preserved")
+        })
+        .collect();
+
+    // SVD floor at rank 4.
+    let (svd_recons, svd_err) = svd_compress::compress_dataset(&data, 4).expect("svd runs");
+
+    println!("method                 binary-accuracy   mse");
+    let rows: Vec<(&str, Vec<GrayImage>)> = vec![
+        ("quantum network", qn_recons),
+        ("CSC (FISTA, paper)", csc_l1.reconstruct_images()),
+        ("CSC (OMP, strong)", csc_omp.reconstruct_images()),
+        ("PCA d=4", pca_recons),
+        ("SVD rank-4 floor", svd_recons),
+    ];
+    for (name, recons) in &rows {
+        let acc = binary_accuracy(recons, &data);
+        let mse: f64 = recons
+            .iter()
+            .zip(&data)
+            .map(|(r, t)| metrics::mse(r, t))
+            .sum::<f64>()
+            / data.len() as f64;
+        println!("{name:<22} {acc:>7.2}%          {mse:.5}");
+    }
+    println!(
+        "\nQN training: {:.2}s, final L_C {:.3e} (PCA/SVD bound on this set: {:.3e} per element)",
+        qn_report.train_seconds,
+        qn_report.final_compression_loss,
+        svd_err / (25.0 * 16.0)
+    );
+    println!(
+        "note: the QN is a *global rank-4* model like PCA/SVD, so those three \
+         agree; CSC's per-sample atom selection is a union-of-subspaces model \
+         and can beat rank-4 methods on incompressible data."
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: compress and reconstruct one image with a trained
+//! quantum network, in ~30 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qn::core::config::NetworkConfig;
+use qn::core::trainer::Trainer;
+use qn::image::{ascii, datasets};
+
+fn main() {
+    // The paper's data regime: 25 binary 4×4 images, N = 16 amplitudes.
+    let data = datasets::paper_binary_16(25);
+
+    // The paper's architecture: d = 4 compression channels, 12-layer
+    // compression mesh, 14-layer reconstruction mesh.
+    let config = NetworkConfig::paper_default().with_iterations(150);
+
+    // Train both networks (Algorithm 1).
+    let mut trainer = Trainer::new(config, &data).expect("valid configuration");
+    let report = trainer.train().expect("training runs");
+    println!(
+        "trained {} iterations in {:.2}s — L_C = {:.2e}, L_R = {:.2e}, binary accuracy {:.1}%",
+        trainer.config().iterations,
+        report.train_seconds,
+        report.final_compression_loss,
+        report.final_reconstruction_loss,
+        report.max_accuracy_binary,
+    );
+
+    // Use the trained autoencoder on an image.
+    let autoencoder = trainer.into_autoencoder();
+    let image = &data[7];
+    let (kept, norm) = autoencoder
+        .compressed_representation(image.pixels())
+        .expect("image encodes");
+    println!(
+        "compressed 16 pixels → {} amplitudes + 1 norm (ratio {:.2})",
+        kept.len(),
+        autoencoder.compression_ratio()
+    );
+    println!("compressed amplitudes: {kept:.3?}, norm {norm:.3}");
+
+    let reconstruction = autoencoder.roundtrip_image(image).expect("roundtrip");
+    println!("\ninput → reconstruction:");
+    println!(
+        "{}",
+        ascii::render_row(&[image, &reconstruction.thresholded(0.5)], "   →   ")
+    );
+}

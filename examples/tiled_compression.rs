@@ -1,0 +1,79 @@
+//! Extension application: compressing a *large* image with the 4×4
+//! quantum autoencoder by tiling — the bridge from the paper's N = 16
+//! network to its introduction's "large-scale image data" claim, in the
+//! same way JPEG applies a fixed 8×8 transform to arbitrary images.
+//!
+//! A 32×32 binary scene built from quadrant-union blocks is split into
+//! 4×4 tiles, every tile is compressed 16 → 4+1 numbers and
+//! reconstructed, and the stitched result is compared to the original.
+//!
+//! Run with: `cargo run --release --example tiled_compression`
+
+use qn::core::config::NetworkConfig;
+use qn::core::trainer::Trainer;
+use qn::image::{ascii, datasets, metrics, tiles, GrayImage};
+
+/// Build a 32×32 scene whose 4×4 blocks are random members of the
+/// quadrant-union family (so each tile lies in the trained subspace).
+fn big_scene() -> GrayImage {
+    let pool = datasets::paper_binary_16(64); // 64 tiles, seeded
+    let mut img = GrayImage::zeros(32, 32);
+    for (idx, patch) in pool.iter().enumerate() {
+        let tx = idx % 8;
+        let ty = idx / 8;
+        for py in 0..4 {
+            for px in 0..4 {
+                img.set(tx * 4 + px, ty * 4 + py, patch.get(px, py));
+            }
+        }
+    }
+    img
+}
+
+fn main() {
+    // Train the tile-level autoencoder once on the 25-image paper set.
+    let mut trainer = Trainer::new(
+        NetworkConfig::paper_default().with_iterations(300),
+        &datasets::paper_binary_16(25),
+    )
+    .expect("valid configuration");
+    let report = trainer.train().expect("training runs");
+    let ae = trainer.into_autoencoder();
+    println!(
+        "tile autoencoder trained: L_R = {:.2e}, per-tile payload {} amplitudes + 1 norm",
+        report.final_reconstruction_loss,
+        ae.compression.compressed_dim(),
+    );
+
+    let scene = big_scene();
+    let reconstructed = tiles::map_tiles(&scene, 4, |patch| {
+        // All-zero patches cannot be amplitude-encoded; pass them through
+        // (their compressed form is simply "norm = 0").
+        ae.roundtrip_image(patch).ok().map(|r| r.thresholded(0.5))
+    });
+
+    let acc = metrics::pixel_accuracy(&reconstructed, &scene, 0.01);
+    let stored = (32 / 4) * (32 / 4) * (4 + 1);
+    println!(
+        "32x32 scene: {} pixels → {} stored numbers ({:.1}% of raw), accuracy {:.2}%",
+        32 * 32,
+        stored,
+        stored as f64 / (32.0 * 32.0) * 100.0,
+        acc
+    );
+    println!("\ntop-left 16×8 corner, original vs reconstruction:");
+    let crop = |img: &GrayImage| {
+        let mut c = GrayImage::zeros(16, 8);
+        for y in 0..8 {
+            for x in 0..16 {
+                c.set(x, y, img.get(x, y));
+            }
+        }
+        c
+    };
+    println!(
+        "{}",
+        ascii::render_row(&[&crop(&scene), &crop(&reconstructed)], "   |   ")
+    );
+    assert!(acc > 97.0, "tiled accuracy regressed: {acc}");
+}

@@ -1,0 +1,43 @@
+//! # qn — quantum-network image compression & reconstruction
+//!
+//! Umbrella crate re-exporting the whole workspace. This is a full
+//! reproduction of *"Image Compression and Reconstruction Based on Quantum
+//! Network"* (Ji et al., IPPS 2024, arXiv:2404.11994): classical images are
+//! amplitude-encoded into quantum states, compressed by a trainable mesh of
+//! beam-splitter (Givens) rotations plus a subspace projection, and
+//! reconstructed by a second trainable mesh.
+//!
+//! ## Crates
+//!
+//! - [`core`](qn_core) — the paper's contribution: encoding, compression /
+//!   reconstruction networks, losses, gradients, the training loop.
+//! - [`sim`](qn_sim) — hand-rolled state-vector simulator.
+//! - [`photonic`](qn_photonic) — interferometer meshes, Clements/Reck
+//!   decompositions.
+//! - [`linalg`](qn_linalg) — dense linear algebra (QR, Jacobi SVD/eig, LU).
+//! - [`classical`](qn_classical) — the CSC sparse-coding baseline and PCA.
+//! - [`image`](qn_image) — images, datasets, metrics, PGM/ASCII IO.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the one-paragraph version:
+//!
+//! ```
+//! use qn::core::config::NetworkConfig;
+//! use qn::core::trainer::Trainer;
+//! use qn::image::datasets;
+//!
+//! // 25 binary 4×4 images, exactly the paper's data regime.
+//! let data = datasets::paper_binary_16(25);
+//! let cfg = NetworkConfig::paper_default().with_iterations(30);
+//! let mut trainer = Trainer::new(cfg, &data).unwrap();
+//! let report = trainer.train().unwrap();
+//! assert!(report.final_reconstruction_loss < 1.0);
+//! ```
+
+pub use qn_classical as classical;
+pub use qn_core as core;
+pub use qn_image as image;
+pub use qn_linalg as linalg;
+pub use qn_photonic as photonic;
+pub use qn_sim as sim;

@@ -1,0 +1,135 @@
+//! Cross-method consistency: the quantum network, PCA, the SVD floor and
+//! the spectral bound must all agree where theory says they coincide.
+
+use qn::classical::csc::{CscConfig, CscPipeline, SparseCoder};
+use qn::classical::pca::Pca;
+use qn::classical::svd_compress;
+use qn::core::config::NetworkConfig;
+use qn::core::{encoding, spectral};
+use qn::core::trainer::Trainer;
+use qn::image::datasets;
+
+#[test]
+fn trained_qn_reaches_the_pca_bound() {
+    // The trash-penalty optimum is the PCA subspace: after training, L_C
+    // (sum) must be within a few percent of the spectral bound.
+    let data = datasets::paper_binary_16_hard(25);
+    let inputs: Vec<Vec<f64>> = encoding::encode_images(&data, 16)
+        .expect("encodes")
+        .into_iter()
+        .map(|e| e.amplitudes)
+        .collect();
+    let bound = spectral::compression_loss_lower_bound(&inputs, 16, 4).expect("bound");
+    assert!(bound > 0.0);
+
+    let mut trainer = Trainer::new(NetworkConfig::paper_default(), &data)
+        .expect("valid configuration");
+    let report = trainer.train().expect("training runs");
+    let achieved = report.history.compression_loss.last().unwrap().sum;
+    assert!(
+        achieved <= bound * 1.05 + 1e-9,
+        "L_C {achieved} vs bound {bound}"
+    );
+    // And never below it (it is a true lower bound).
+    assert!(achieved >= bound - 1e-9, "L_C {achieved} broke the bound {bound}");
+}
+
+#[test]
+fn svd_floor_equals_spectral_bound_on_encoded_scale() {
+    // The SVD tail of the *encoded* (unit-norm) data matrix equals the
+    // compression-loss lower bound — two independent code paths.
+    let data = datasets::paper_binary_16_hard(25);
+    let encoded = encoding::encode_images(&data, 16).expect("encodes");
+    let inputs: Vec<Vec<f64>> = encoded.iter().map(|e| e.amplitudes.clone()).collect();
+    let bound = spectral::compression_loss_lower_bound(&inputs, 16, 4).expect("bound");
+
+    let rows: Vec<Vec<f64>> = inputs.clone();
+    let m = qn::linalg::Matrix::from_rows(&rows).expect("uniform rows");
+    let svd = qn::linalg::svd::svd(&m).expect("svd");
+    let tail: f64 = svd.singular_values.iter().skip(4).map(|s| s * s).sum();
+    assert!((tail - bound).abs() < 1e-9, "tail {tail} vs bound {bound}");
+}
+
+#[test]
+fn pca_and_qn_agree_on_rank4_data() {
+    // On exactly-rank-4 data both PCA (d=4) and the trained QN
+    // reconstruct perfectly (after thresholding).
+    let data = datasets::paper_binary_16(25);
+    let samples: Vec<Vec<f64>> = data.iter().map(|i| i.to_vector()).collect();
+    let pca = Pca::fit(&samples, 4).expect("pca fits");
+    for x in &samples {
+        let back = pca.roundtrip(x);
+        for (a, b) in back.iter().zip(x) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    let mut trainer = Trainer::new(
+        NetworkConfig::paper_default().with_iterations(150),
+        &data,
+    )
+    .expect("valid configuration");
+    let report = trainer.train().expect("training runs");
+    assert!(report.max_accuracy_binary >= 99.9);
+}
+
+#[test]
+fn csc_with_omp_matches_svd_floor_on_rank4_data() {
+    // A 16-atom dictionary with sparsity 4 can represent rank-4 data
+    // exactly; the trained CSC loss must approach the (zero) SVD floor.
+    let data = datasets::paper_binary_16(25);
+    let cfg = CscConfig {
+        iterations: 30,
+        coder: SparseCoder::Omp,
+        ..CscConfig::paper_default()
+    };
+    let mut p = CscPipeline::new(cfg, &data);
+    let report = p.train();
+    let (_, floor) = svd_compress::compress_dataset(&data, 4).expect("svd runs");
+    assert!(floor < 1e-12);
+    assert!(
+        *report.loss.last().unwrap() < 1e-6,
+        "CSC loss {}",
+        report.loss.last().unwrap()
+    );
+}
+
+#[test]
+fn l1_csc_is_biased_above_the_floor() {
+    // The FISTA coder's shrinkage keeps its loss strictly above the
+    // (zero) floor on the same data — the Fig. 5c separation.
+    let data = datasets::paper_binary_16(25);
+    let cfg = CscConfig {
+        iterations: 20,
+        ..CscConfig::paper_default() // FISTA default
+    };
+    let mut p = CscPipeline::new(cfg, &data);
+    let report = p.train();
+    assert!(
+        *report.loss.last().unwrap() > 1e-3,
+        "ℓ₁ bias vanished: {}",
+        report.loss.last().unwrap()
+    );
+}
+
+#[test]
+fn spectral_init_is_optimal_from_iteration_zero() {
+    use qn::core::config::InitStrategy;
+    let data = datasets::paper_binary_16_hard(25);
+    let inputs: Vec<Vec<f64>> = encoding::encode_images(&data, 16)
+        .expect("encodes")
+        .into_iter()
+        .map(|e| e.amplitudes)
+        .collect();
+    let bound = spectral::compression_loss_lower_bound(&inputs, 16, 4).expect("bound");
+    let cfg = NetworkConfig::paper_default()
+        .with_init(InitStrategy::Spectral)
+        .with_iterations(1);
+    let mut trainer = Trainer::new(cfg, &data).expect("valid configuration");
+    let report = trainer.train().expect("training runs");
+    let first = report.history.compression_loss[0].sum;
+    assert!(
+        (first - bound).abs() < 1e-6,
+        "spectral start {first} vs bound {bound}"
+    );
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration: the full paper pipeline across all crates.
+
+use qn::core::config::NetworkConfig;
+use qn::core::trainer::Trainer;
+use qn::image::{datasets, metrics};
+
+/// The paper's iteration budget (convergence on this landscape happens
+/// between iterations ~60 and 150, so tests use the full budget).
+fn quick() -> NetworkConfig {
+    NetworkConfig::paper_default().with_iterations(150)
+}
+
+#[test]
+fn losses_fall_and_accuracy_rises_on_paper_dataset() {
+    let data = datasets::paper_binary_16(25);
+    let mut trainer = Trainer::new(quick(), &data).expect("valid configuration");
+    let report = trainer.train().expect("training runs");
+    let h = &report.history;
+
+    // Both losses improve by at least 10×.
+    assert!(
+        h.compression_loss.last().unwrap().sum < h.compression_loss[0].sum * 0.1,
+        "L_C: {} → {}",
+        h.compression_loss[0].sum,
+        h.compression_loss.last().unwrap().sum
+    );
+    assert!(
+        h.reconstruction_loss.last().unwrap().sum < h.reconstruction_loss[0].sum * 0.1 + 1e-9,
+        "L_R: {} → {}",
+        h.reconstruction_loss[0].sum,
+        h.reconstruction_loss.last().unwrap().sum
+    );
+    // Binary-threshold accuracy reaches the paper's regime (≥ 97.75 %).
+    assert!(
+        report.max_accuracy_binary >= 97.75,
+        "binary accuracy {}",
+        report.max_accuracy_binary
+    );
+}
+
+#[test]
+fn full_paper_run_reaches_paper_numbers() {
+    // The headline check (E1–E3 shape): with the full budget the strict
+    // Eq. 10 accuracy must reach at least the paper's 97.75 %.
+    let data = datasets::paper_binary_16(25);
+    let cfg = NetworkConfig::paper_default().with_iterations(300);
+    let mut trainer = Trainer::new(cfg, &data).expect("valid configuration");
+    let report = trainer.train().expect("training runs");
+    assert!(
+        report.max_accuracy >= 97.75,
+        "snap accuracy {} below the paper's 97.75",
+        report.max_accuracy
+    );
+    assert!(report.final_compression_loss < 0.017, "L_C above the paper's 0.017");
+    assert!(report.final_reconstruction_loss < 0.023, "L_R above the paper's 0.023");
+}
+
+#[test]
+fn trained_autoencoder_reconstructs_unseen_family_members() {
+    // Train on 12 random members of the quadrant-union family; the
+    // family's span is rank 4, so *any* union — including members absent
+    // from training — must reconstruct after thresholding. Spectral
+    // initialisation pins the compression to the family's exact subspace,
+    // making the generalisation property hold from the start and the
+    // test independent of optimiser luck.
+    use qn::core::config::InitStrategy;
+    // The first 12 unions include all four single quadrants, so they span
+    // the full 4-dimensional family subspace.
+    let train = datasets::quadrant_unions()[..12].to_vec();
+    let cfg = quick().with_init(InitStrategy::Spectral);
+    let mut trainer = Trainer::new(cfg, &train).expect("valid configuration");
+    trainer.train().expect("training runs");
+    let ae = trainer.into_autoencoder();
+    for probe in datasets::quadrant_unions() {
+        let recon = ae
+            .roundtrip_image(&probe)
+            .expect("roundtrip")
+            .thresholded(0.5);
+        let acc = metrics::pixel_accuracy(&recon, &probe, 0.01);
+        assert!(acc >= 93.75, "union reconstructed at {acc}%");
+    }
+}
+
+#[test]
+fn compressed_representation_suffices_for_reconstruction() {
+    // The d kept amplitudes + norm are the entire payload: rebuilding the
+    // full state from them must reproduce the decoder path.
+    let data = datasets::paper_binary_16(25);
+    let mut trainer = Trainer::new(quick().with_iterations(150), &data)
+        .expect("valid configuration");
+    trainer.train().expect("training runs");
+    let ae = trainer.into_autoencoder();
+    let img = &data[3];
+    let (kept, norm) = ae
+        .compressed_representation(img.pixels())
+        .expect("image encodes");
+    assert_eq!(kept.len(), 4);
+
+    // Re-embed the kept amplitudes at the kept indices and reconstruct.
+    let mut state = vec![0.0; 16];
+    for (slot, &j) in ae
+        .compression
+        .projector()
+        .kept_indices()
+        .iter()
+        .enumerate()
+    {
+        state[j] = kept[slot];
+    }
+    let out = ae.reconstruction.reconstruct(&state);
+    let decoded = qn::core::encoding::decode(&out, norm, 16);
+    let direct = ae.roundtrip(img.pixels()).expect("roundtrip");
+    for (a, b) in decoded.iter().zip(&direct) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn training_is_bit_deterministic_across_runs() {
+    let data = datasets::paper_binary_16(25);
+    let r1 = Trainer::new(quick(), &data)
+        .expect("valid configuration")
+        .train()
+        .expect("training runs");
+    let r2 = Trainer::new(quick(), &data)
+        .expect("valid configuration")
+        .train()
+        .expect("training runs");
+    assert_eq!(r1.final_compression_loss, r2.final_compression_loss);
+    assert_eq!(r1.final_reconstruction_loss, r2.final_reconstruction_loss);
+    assert_eq!(r1.history.theta_c_trace, r2.history.theta_c_trace);
+}
+
+#[test]
+fn different_seeds_give_different_but_convergent_runs() {
+    let data = datasets::paper_binary_16(25);
+    let r1 = Trainer::new(quick().with_seed(1), &data)
+        .expect("valid configuration")
+        .train()
+        .expect("training runs");
+    let r2 = Trainer::new(quick().with_seed(2), &data)
+        .expect("valid configuration")
+        .train()
+        .expect("training runs");
+    // Different trajectories…
+    assert_ne!(r1.history.theta_c_trace[0], r2.history.theta_c_trace[0]);
+    // …same destination (both near zero loss).
+    assert!(r1.final_compression_loss < 1e-3);
+    assert!(r2.final_compression_loss < 1e-3);
+}

@@ -1,0 +1,146 @@
+//! Quantum-mechanical sanity of the simulator substrate, exercised
+//! through the umbrella crate's public API.
+
+use qn::photonic::Mesh;
+use qn::sim::circuit::{Circuit, Op};
+use qn::sim::density::DensityMatrix;
+use qn::sim::gates;
+use qn::sim::{Complex64, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn bell_pair_has_maximal_entanglement() {
+    let mut s = StateVector::zero_state(2);
+    let mut c = Circuit::new();
+    c.push(Op::H(0)).push(Op::Cnot(0, 1));
+    c.apply(&mut s).expect("circuit applies");
+    // Reduced state is maximally mixed → purity 1/2.
+    let rho = DensityMatrix::from_pure(&s);
+    let reduced = rho.partial_trace(&[0]).expect("trace out qubit 0");
+    assert!((reduced.purity() - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn mesh_acting_on_statevector_matches_raw_amplitudes() {
+    // The photonic mesh and the circuit's ModeRotation op must agree:
+    // same gates, two code paths.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mesh = Mesh::random(8, 2, &mut rng);
+    let mut sv = StateVector::uniform(3);
+    let mut raw = sv.real_parts();
+
+    // Path 1: circuit ops.
+    let mut circuit = Circuit::new();
+    for layer in mesh.layers() {
+        for (k, &theta) in layer.thetas().iter().enumerate() {
+            circuit.push(Op::ModeRotation {
+                k,
+                theta,
+                alpha: 0.0,
+            });
+        }
+    }
+    circuit.apply(&mut sv).expect("circuit applies");
+
+    // Path 2: the mesh's own forward.
+    mesh.forward_real(&mut raw);
+
+    for (a, &r) in sv.amplitudes().iter().zip(&raw) {
+        assert!((a.re - r).abs() < 1e-12);
+        assert!(a.im.abs() < 1e-14);
+    }
+}
+
+#[test]
+fn measurement_statistics_match_born_rule() {
+    let s = StateVector::from_real(&[0.5, 0.5, 0.5, 0.5]).expect("4 amplitudes");
+    let mut rng = StdRng::seed_from_u64(11);
+    let counts = s.sample_counts(40_000, &mut rng);
+    for c in counts {
+        let p = c as f64 / 40_000.0;
+        assert!((p - 0.25).abs() < 0.02, "p = {p}");
+    }
+}
+
+#[test]
+fn global_phase_is_unobservable() {
+    let a = StateVector::from_real(&[0.6, 0.8]).expect("2 amplitudes");
+    let phased = StateVector::from_amplitudes(
+        a.amplitudes()
+            .iter()
+            .map(|z| *z * Complex64::from_polar(1.0, 1.234))
+            .collect(),
+    )
+    .expect("2 amplitudes");
+    for (pa, pb) in a.probabilities().iter().zip(phased.probabilities()) {
+        assert!((pa - pb).abs() < 1e-12, "{pa} vs {pb}");
+    }
+    assert!((a.fidelity(&phased).expect("same dims") - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn all_standard_gates_preserve_norm_on_random_states() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let base: Vec<f64> = qn::linalg::random::gaussian_vec(8, &mut rng);
+    let mut s = StateVector::from_real(&base).expect("8 amplitudes");
+    s.normalize().expect("nonzero");
+    for (i, g) in [
+        gates::hadamard(),
+        gates::pauli_x(),
+        gates::pauli_y(),
+        gates::pauli_z(),
+        gates::s_gate(),
+        gates::t_gate(),
+        gates::rx(0.4),
+        gates::ry(-0.9),
+        gates::rz(2.2),
+        gates::phase(0.1),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        gates::apply_single(&mut s, i % 3, &g).expect("gate applies");
+        assert!((s.norm() - 1.0).abs() < 1e-12, "gate {i} broke the norm");
+    }
+}
+
+#[test]
+fn deutsch_like_interference() {
+    // H-Z-H = X up to phase: |0⟩ → |1⟩.
+    let mut s = StateVector::zero_state(1);
+    gates::apply_single(&mut s, 0, &gates::hadamard()).expect("h");
+    gates::apply_single(&mut s, 0, &gates::pauli_z()).expect("z");
+    gates::apply_single(&mut s, 0, &gates::hadamard()).expect("h");
+    assert!((s.probability(1).expect("in range") - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn ghz_state_collapses_consistently() {
+    let mut s = StateVector::zero_state(3);
+    let mut c = Circuit::new();
+    c.push(Op::H(0)).push(Op::Cnot(0, 1)).push(Op::Cnot(1, 2));
+    c.apply(&mut s).expect("circuit applies");
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..200 {
+        let outcome = s.sample(&mut rng);
+        assert!(
+            outcome == 0 || outcome == 7,
+            "GHZ measured a non-correlated outcome: {outcome}"
+        );
+    }
+}
+
+#[test]
+fn shot_estimates_converge_at_inverse_sqrt_rate() {
+    use qn::sim::shots;
+    let s = StateVector::from_real(&[0.8, 0.6]).expect("2 amplitudes");
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut errs = Vec::new();
+    for shots_n in [100usize, 10_000] {
+        let p = shots::estimate_probabilities(&s, shots_n, &mut rng);
+        errs.push((p[0] - 0.64).abs());
+    }
+    // 100× more shots → ~10× smaller error; allow generous slack.
+    assert!(errs[1] < errs[0], "errors {errs:?}");
+}
