@@ -30,8 +30,7 @@ fn bench_gate_position(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("qubit", q), &q, |b, &q| {
             let mut s = StateVector::uniform(n);
             b.iter(|| {
-                gates::apply_single(black_box(&mut s), q, &gates::ry(0.3))
-                    .expect("gate applies");
+                gates::apply_single(black_box(&mut s), q, &gates::ry(0.3)).expect("gate applies");
             });
         });
     }
@@ -60,8 +59,7 @@ fn bench_mode_rotation(c: &mut Criterion) {
             let mut v = vec![0.0; dim];
             v[0] = 1.0;
             b.iter(|| {
-                qn_sim::rotation::apply_real(black_box(&mut v), 0, 0.01)
-                    .expect("rotation applies");
+                qn_sim::rotation::apply_real(black_box(&mut v), 0, 0.01).expect("rotation applies");
             });
         });
     }

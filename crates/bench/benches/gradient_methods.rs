@@ -38,7 +38,10 @@ fn bench_gradient_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("gradient/paper_scale_12x15_params_25_samples");
     for (name, method) in [
         ("analytic", GradientMethod::Analytic),
-        ("central_1e-6", GradientMethod::CentralDifference { delta: 1e-6 }),
+        (
+            "central_1e-6",
+            GradientMethod::CentralDifference { delta: 1e-6 },
+        ),
         ("forward_1e-8_paper", GradientMethod::paper()),
     ] {
         group.bench_function(name, |b| {

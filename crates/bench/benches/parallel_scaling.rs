@@ -67,22 +67,18 @@ fn bench_thread_scaling(c: &mut Criterion) {
                 assert_eq!(*g, result.1, "gradient differs at {threads} threads");
             }
         }
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    pool.install(|| {
-                        black_box(loss_and_gradient(
-                            net.mesh(),
-                            black_box(&inputs),
-                            &|i, out, buf| net.residual(i, out, buf),
-                            GradientMethod::Analytic,
-                        ))
-                    })
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.install(|| {
+                    black_box(loss_and_gradient(
+                        net.mesh(),
+                        black_box(&inputs),
+                        &|i, out, buf| net.residual(i, out, buf),
+                        GradientMethod::Analytic,
+                    ))
+                })
+            });
+        });
     }
     group.finish();
 }

@@ -42,12 +42,24 @@ fn main() {
 
     let methods: Vec<(&str, GradientMethod)> = vec![
         ("analytic (backprop)", GradientMethod::Analytic),
-        ("central Δ=1e-6", GradientMethod::CentralDifference { delta: 1e-6 }),
+        (
+            "central Δ=1e-6",
+            GradientMethod::CentralDifference { delta: 1e-6 },
+        ),
         ("forward Δ=1e-8 (paper)", GradientMethod::paper()),
-        ("forward Δ=1e-4", GradientMethod::ForwardDifference { delta: 1e-4 }),
+        (
+            "forward Δ=1e-4",
+            GradientMethod::ForwardDifference { delta: 1e-4 },
+        ),
     ];
 
-    let mut t = Table::new(&["method", "max |g − g*|", "L_C final", "acc_binary", "train s"]);
+    let mut t = Table::new(&[
+        "method",
+        "max |g − g*|",
+        "L_C final",
+        "acc_binary",
+        "train s",
+    ]);
     let mut rows = Vec::new();
     for (idx, (name, method)) in methods.iter().enumerate() {
         let (_, g) = loss_and_gradient(net.mesh(), &inputs, &residual, *method);
@@ -78,7 +90,13 @@ fn main() {
     println!("{}", t.render());
     write_csv(
         &results_dir().join("ablation_gradient.csv"),
-        &["method", "max_grad_error", "lc_final_mean", "accuracy_binary", "seconds"],
+        &[
+            "method",
+            "max_grad_error",
+            "lc_final_mean",
+            "accuracy_binary",
+            "seconds",
+        ],
         &rows,
     );
 }

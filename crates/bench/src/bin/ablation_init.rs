@@ -23,15 +23,21 @@ fn main() {
         ("spectral (PCA)", InitStrategy::Spectral),
     ];
 
-    let mut t = Table::new(&["init", "L_C iter0", "L_C final", "iters to 2×bound", "acc_binary"]);
+    let mut t = Table::new(&[
+        "init",
+        "L_C iter0",
+        "L_C final",
+        "iters to 2×bound",
+        "acc_binary",
+    ]);
     let mut curves: Vec<Vec<f64>> = Vec::new();
     let inputs: Vec<Vec<f64>> = qn_core::encoding::encode_images(&data, 16)
         .expect("dataset encodes")
         .into_iter()
         .map(|e| e.amplitudes)
         .collect();
-    let bound = qn_core::spectral::compression_loss_lower_bound(&inputs, 16, 4)
-        .expect("bound computable");
+    let bound =
+        qn_core::spectral::compression_loss_lower_bound(&inputs, 16, 4).expect("bound computable");
     println!("PCA bound (sum): {bound:.4}\n");
 
     let mut all_rows: Vec<Vec<f64>> = Vec::new();

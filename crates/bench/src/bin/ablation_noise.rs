@@ -58,7 +58,12 @@ fn main() {
     let recon_seq = trainer.reconstruction().mesh().to_sequence();
     let projector = trainer.compression().projector().clone();
 
-    let mut t = Table::new(&["loss dB/gate", "amp transmission", "acc_binary", "mean survival"]);
+    let mut t = Table::new(&[
+        "loss dB/gate",
+        "amp transmission",
+        "acc_binary",
+        "mean survival",
+    ]);
     let mut rows = Vec::new();
     for db in [0.0, 0.001, 0.005, 0.01, 0.05, 0.1] {
         let eta = db_to_amplitude_transmission(db);
@@ -89,7 +94,12 @@ fn main() {
     println!("{}", t.render());
     write_csv(
         &dir.join("ablation_loss_db.csv"),
-        &["db_per_gate", "amplitude_transmission", "accuracy_binary", "mean_survival"],
+        &[
+            "db_per_gate",
+            "amplitude_transmission",
+            "accuracy_binary",
+            "mean_survival",
+        ],
         &rows,
     );
 }

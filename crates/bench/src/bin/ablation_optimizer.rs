@@ -17,7 +17,10 @@ use qn_image::datasets;
 fn main() {
     let data = datasets::paper_binary_16(25);
     let runs: Vec<(&str, NetworkConfig)> = vec![
-        ("paper-exact (GD η=.01, /MN, FD Δ=1e-8)", NetworkConfig::paper_exact()),
+        (
+            "paper-exact (GD η=.01, /MN, FD Δ=1e-8)",
+            NetworkConfig::paper_exact(),
+        ),
         (
             "GD η=0.1",
             NetworkConfig::paper_default()
@@ -36,13 +39,16 @@ fn main() {
                 .with_optimizer(OptimizerKind::Momentum { beta: 0.9 })
                 .with_learning_rate(0.05),
         ),
-        (
-            "adam η=0.05 (default)",
-            NetworkConfig::paper_default(),
-        ),
+        ("adam η=0.05 (default)", NetworkConfig::paper_default()),
     ];
 
-    let mut t = Table::new(&["optimizer", "L_C final", "L_R final", "acc_binary", "seconds"]);
+    let mut t = Table::new(&[
+        "optimizer",
+        "L_C final",
+        "L_R final",
+        "acc_binary",
+        "seconds",
+    ]);
     let mut rows = Vec::new();
     for (idx, (name, cfg)) in runs.into_iter().enumerate() {
         let mut trainer = Trainer::new(cfg, &data).expect("valid configuration");
@@ -65,7 +71,13 @@ fn main() {
     println!("{}", t.render());
     write_csv(
         &results_dir().join("ablation_optimizer.csv"),
-        &["run", "lc_final_mean", "lr_final_mean", "accuracy_binary", "seconds"],
+        &[
+            "run",
+            "lc_final_mean",
+            "lr_final_mean",
+            "accuracy_binary",
+            "seconds",
+        ],
         &rows,
     );
 }

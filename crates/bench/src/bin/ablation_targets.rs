@@ -50,7 +50,13 @@ fn main() {
     );
     write_csv(
         &results_dir().join("ablation_targets.csv"),
-        &["target", "lc_final_mean", "lr_final_mean", "accuracy_snap", "accuracy_binary"],
+        &[
+            "target",
+            "lc_final_mean",
+            "lr_final_mean",
+            "accuracy_snap",
+            "accuracy_binary",
+        ],
         &rows,
     );
 }

@@ -18,9 +18,9 @@
 
 use qn_bench::{results_dir, write_csv, Table};
 use qn_core::config::NetworkConfig;
+use qn_core::encoding;
 use qn_core::spectral;
 use qn_core::trainer::Trainer;
-use qn_core::encoding;
 use qn_image::{ascii, datasets, pgm};
 
 fn main() {
@@ -41,9 +41,8 @@ fn main() {
         .into_iter()
         .map(|e| e.amplitudes)
         .collect();
-    let bound =
-        spectral::compression_loss_lower_bound(&inputs, cfg.dim, cfg.compressed_dim)
-            .expect("bound computable");
+    let bound = spectral::compression_loss_lower_bound(&inputs, cfg.dim, cfg.compressed_dim)
+        .expect("bound computable");
     println!(
         "dataset: effective rank {} | rank-4 energy {:.4} | PCA loss bound (sum) {:.3e}",
         datasets::effective_rank(&data, 1e-10),
@@ -126,7 +125,10 @@ fn main() {
         pgm::write_pgm(img, &dir.join(format!("fig4a_input_{i:02}.pgm"))).expect("pgm write");
         pgm::write_pgm(&recon, &dir.join(format!("fig4b_recon_{i:02}.pgm"))).expect("pgm write");
         if i < 5 {
-            println!("{}", ascii::render_row(&[img, &recon.snapped()], "   ->   "));
+            println!(
+                "{}",
+                ascii::render_row(&[img, &recon.snapped()], "   ->   ")
+            );
         }
     }
 
@@ -136,12 +138,24 @@ fn main() {
     t.row(&[
         "min L_C (mean)".into(),
         "0.017".into(),
-        format!("{:.4}", h.compression_loss.iter().map(|l| l.mean).fold(f64::MAX, f64::min)),
+        format!(
+            "{:.4}",
+            h.compression_loss
+                .iter()
+                .map(|l| l.mean)
+                .fold(f64::MAX, f64::min)
+        ),
     ]);
     t.row(&[
         "min L_R (mean)".into(),
         "0.023".into(),
-        format!("{:.4}", h.reconstruction_loss.iter().map(|l| l.mean).fold(f64::MAX, f64::min)),
+        format!(
+            "{:.4}",
+            h.reconstruction_loss
+                .iter()
+                .map(|l| l.mean)
+                .fold(f64::MAX, f64::min)
+        ),
     ]);
     t.row(&[
         "max accuracy (Eq.10+snap)".into(),
@@ -151,7 +165,10 @@ fn main() {
     t.row(&[
         "accuracy @ iter 150".into(),
         "97.75%".into(),
-        format!("{:.2}% (binary {:.2}%)", h.accuracy[it150], h.accuracy_binary[it150]),
+        format!(
+            "{:.2}% (binary {:.2}%)",
+            h.accuracy[it150], h.accuracy_binary[it150]
+        ),
     ]);
     t.row(&[
         "max accuracy (binary 0.5)".into(),

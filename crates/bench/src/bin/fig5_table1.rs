@@ -73,7 +73,13 @@ fn main() {
     let dir = results_dir();
     write_csv(
         &dir.join("fig5c_loss.csv"),
-        &["iteration", "qn_loss_sum", "qn_loss_mean", "csc_loss_sum", "csc_loss_mean"],
+        &[
+            "iteration",
+            "qn_loss_sum",
+            "qn_loss_mean",
+            "csc_loss_sum",
+            "csc_loss_mean",
+        ],
         &rows,
     );
 
@@ -82,8 +88,18 @@ fn main() {
         &dir.join("table1.csv"),
         &["method", "accuracy_pct", "cpu_seconds", "matrix_size"],
         &[
-            vec![0.0, qn_report.max_accuracy_binary, qn_report.train_seconds, 16.0],
-            vec![1.0, csc_report.max_accuracy_binary, csc_report.train_seconds, 16.0],
+            vec![
+                0.0,
+                qn_report.max_accuracy_binary,
+                qn_report.train_seconds,
+                16.0,
+            ],
+            vec![
+                1.0,
+                csc_report.max_accuracy_binary,
+                csc_report.train_seconds,
+                16.0,
+            ],
             vec![2.0, pca_accuracy_binary, pca_seconds, 16.0],
         ],
     );
@@ -91,7 +107,13 @@ fn main() {
     // Binary images in, binary images out: the §IV-B binary-threshold
     // accuracy is the comparable metric; the strict Eq. 10 snap accuracy
     // is reported alongside.
-    let mut t = Table::new(&["Method", "Accuracy (binary)", "Accuracy (snap)", "CPU Runs", "Matrix Size"]);
+    let mut t = Table::new(&[
+        "Method",
+        "Accuracy (binary)",
+        "Accuracy (snap)",
+        "CPU Runs",
+        "Matrix Size",
+    ]);
     t.row(&[
         "QN-based".into(),
         format!("{:.2}% (paper: 97.75%)", qn_report.max_accuracy_binary),
@@ -154,7 +176,12 @@ fn main() {
         &hard,
     );
     let csc_h_report = csc_h.train();
-    let mut th = Table::new(&["Method (hard set)", "Accuracy (binary)", "Accuracy (snap)", "CPU Runs"]);
+    let mut th = Table::new(&[
+        "Method (hard set)",
+        "Accuracy (binary)",
+        "Accuracy (snap)",
+        "CPU Runs",
+    ]);
     th.row(&[
         "QN-based".into(),
         format!("{:.2}%", qn_h_report.max_accuracy_binary),
@@ -170,7 +197,12 @@ fn main() {
     println!("\n{}", th.render());
     write_csv(
         &dir.join("table1_hard.csv"),
-        &["method", "accuracy_binary_pct", "accuracy_snap_pct", "cpu_seconds"],
+        &[
+            "method",
+            "accuracy_binary_pct",
+            "accuracy_snap_pct",
+            "cpu_seconds",
+        ],
         &[
             vec![
                 0.0,

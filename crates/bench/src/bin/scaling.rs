@@ -23,7 +23,13 @@ fn main() {
     // --- Sweep 1: image size (fixed d/N = 1/4, rank-d datasets). ---
     println!("size sweep (iterations = 150, rank-matched data):");
     let mut t = Table::new(&[
-        "size", "N", "d", "params", "L_C(final)", "acc_binary", "seconds",
+        "size",
+        "N",
+        "d",
+        "params",
+        "L_C(final)",
+        "acc_binary",
+        "seconds",
     ]);
     let mut rows = Vec::new();
     for &(side, layers) in &[(4usize, 12usize), (8, 16), (16, 24)] {
@@ -56,7 +62,14 @@ fn main() {
     println!("{}", t.render());
     write_csv(
         &dir.join("scaling_size.csv"),
-        &["n", "d", "params", "lc_final_mean", "accuracy_binary", "seconds"],
+        &[
+            "n",
+            "d",
+            "params",
+            "lc_final_mean",
+            "accuracy_binary",
+            "seconds",
+        ],
         &rows,
     );
 

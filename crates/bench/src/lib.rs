@@ -113,7 +113,10 @@ mod tests {
         let s = fs::read_to_string(&p).unwrap();
         let mut lines = s.lines();
         assert_eq!(lines.next().unwrap(), "a,b");
-        assert!(lines.next().unwrap().starts_with("1.0000000000,2.0000000000"));
+        assert!(lines
+            .next()
+            .unwrap()
+            .starts_with("1.0000000000,2.0000000000"));
         fs::remove_file(&p).ok();
     }
 

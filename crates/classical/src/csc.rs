@@ -147,9 +147,7 @@ impl CscPipeline {
     /// Sparse-code the whole dataset with the configured coder.
     fn code_batch(&self) -> Vec<SparseCode> {
         match self.config.coder {
-            SparseCoder::Omp => {
-                omp::batch(&self.dict, &self.samples, self.config.sparsity, 1e-12)
-            }
+            SparseCoder::Omp => omp::batch(&self.dict, &self.samples, self.config.sparsity, 1e-12),
             SparseCoder::Mp => self
                 .samples
                 .iter()
@@ -216,8 +214,7 @@ impl CscPipeline {
             .zip(&self.images)
             .map(|(c, img)| {
                 let y = self.dict.synthesize(&c.coefficients);
-                GrayImage::from_pixels(img.width(), img.height(), y)
-                    .expect("dimensions preserved")
+                GrayImage::from_pixels(img.width(), img.height(), y).expect("dimensions preserved")
             })
             .collect()
     }
@@ -229,13 +226,11 @@ impl CscPipeline {
             .zip(&self.images)
             .map(|(c, img)| {
                 let y = self.dict.synthesize(&c.coefficients);
-                GrayImage::from_pixels(img.width(), img.height(), y)
-                    .expect("dimensions preserved")
+                GrayImage::from_pixels(img.width(), img.height(), y).expect("dimensions preserved")
             })
             .collect();
         let snapped: Vec<GrayImage> = decoded.iter().map(GrayImage::snapped).collect();
-        let binarised: Vec<GrayImage> =
-            decoded.iter().map(|d| d.thresholded(0.5)).collect();
+        let binarised: Vec<GrayImage> = decoded.iter().map(|d| d.thresholded(0.5)).collect();
         (
             metrics::mean_pixel_accuracy(&snapped, &self.images, self.config.accuracy_tol),
             metrics::mean_pixel_accuracy(&binarised, &self.images, self.config.accuracy_tol),
@@ -334,7 +329,10 @@ mod tests {
         let mut p = CscPipeline::new(cfg, &data);
         let report = p.train();
         let last = *report.loss.last().unwrap();
-        assert!(last > 1e-3, "shrinkage bias should keep loss positive: {last}");
+        assert!(
+            last > 1e-3,
+            "shrinkage bias should keep loss positive: {last}"
+        );
         assert!(last < report.loss[0] * 2.0 + 1.0, "loss exploded: {last}");
         assert_eq!(report.accuracy_binary.len(), 15);
     }

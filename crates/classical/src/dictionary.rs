@@ -95,7 +95,9 @@ impl Dictionary {
     /// # Panics
     /// Panics when `r.len() != N`.
     pub fn correlations(&self, r: &[f64]) -> Vec<f64> {
-        self.atoms.matvec_t(r).expect("residual length = signal dim")
+        self.atoms
+            .matvec_t(r)
+            .expect("residual length = signal dim")
     }
 
     /// Mutual coherence: the largest |inner product| between distinct

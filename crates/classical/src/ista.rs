@@ -31,11 +31,7 @@ pub struct IstaResult {
 
 fn objective(dict: &Dictionary, y: &[f64], s: &[f64], lambda: f64) -> f64 {
     let approx = dict.synthesize(s);
-    let r2: f64 = y
-        .iter()
-        .zip(&approx)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum();
+    let r2: f64 = y.iter().zip(&approx).map(|(a, b)| (a - b) * (a - b)).sum();
     0.5 * r2 + lambda * vector::norm1(s)
 }
 
@@ -45,7 +41,10 @@ fn objective(dict: &Dictionary, y: &[f64], s: &[f64], lambda: f64) -> f64 {
 /// Panics on dimension mismatch.
 pub fn ista(dict: &Dictionary, y: &[f64], lambda: f64, iterations: usize) -> IstaResult {
     assert_eq!(y.len(), dict.signal_dim(), "ista: dimension mismatch");
-    let l = spectral_norm(dict.matrix()).expect("non-empty dictionary").powi(2).max(1e-12);
+    let l = spectral_norm(dict.matrix())
+        .expect("non-empty dictionary")
+        .powi(2)
+        .max(1e-12);
     let step = 1.0 / l;
     let k = dict.atom_count();
     let mut s = vec![0.0; k];
@@ -72,7 +71,10 @@ pub fn ista(dict: &Dictionary, y: &[f64], lambda: f64, iterations: usize) -> Ist
 /// Panics on dimension mismatch.
 pub fn fista(dict: &Dictionary, y: &[f64], lambda: f64, iterations: usize) -> IstaResult {
     assert_eq!(y.len(), dict.signal_dim(), "fista: dimension mismatch");
-    let l = spectral_norm(dict.matrix()).expect("non-empty dictionary").powi(2).max(1e-12);
+    let l = spectral_norm(dict.matrix())
+        .expect("non-empty dictionary")
+        .powi(2)
+        .max(1e-12);
     let step = 1.0 / l;
     let k = dict.atom_count();
     let mut s = vec![0.0; k];

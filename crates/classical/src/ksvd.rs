@@ -65,11 +65,7 @@ pub fn ksvd_update(dict: &mut Dictionary, codes: &mut [SparseCode], samples: &[V
 }
 
 /// Total squared reconstruction error `Σ_i ‖y_i − D s_i‖²`.
-pub fn reconstruction_error(
-    dict: &Dictionary,
-    codes: &[SparseCode],
-    samples: &[Vec<f64>],
-) -> f64 {
+pub fn reconstruction_error(dict: &Dictionary, codes: &[SparseCode], samples: &[Vec<f64>]) -> f64 {
     codes
         .iter()
         .zip(samples)

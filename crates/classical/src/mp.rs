@@ -38,12 +38,7 @@ impl SparseCode {
 ///
 /// # Panics
 /// Panics when `y.len()` differs from the dictionary's signal dimension.
-pub fn matching_pursuit(
-    dict: &Dictionary,
-    y: &[f64],
-    max_atoms: usize,
-    tol: f64,
-) -> SparseCode {
+pub fn matching_pursuit(dict: &Dictionary, y: &[f64], max_atoms: usize, tol: f64) -> SparseCode {
     assert_eq!(y.len(), dict.signal_dim(), "mp: signal dimension mismatch");
     let mut residual = y.to_vec();
     let mut coefficients = vec![0.0; dict.atom_count()];

@@ -54,7 +54,9 @@ pub fn orthogonal_matching_pursuit(
         coeffs_on_support = lstsq_svd(&sub, y, 1e-12).expect("non-empty subdictionary");
 
         // Residual = y − D_S s_S.
-        let approx = sub.matvec(&coeffs_on_support).expect("shape by construction");
+        let approx = sub
+            .matvec(&coeffs_on_support)
+            .expect("shape by construction");
         residual = y.iter().zip(&approx).map(|(a, b)| a - b).collect();
     }
 
@@ -69,12 +71,7 @@ pub fn orthogonal_matching_pursuit(
 }
 
 /// Code a whole batch (returns one [`SparseCode`] per sample).
-pub fn batch(
-    dict: &Dictionary,
-    ys: &[Vec<f64>],
-    max_atoms: usize,
-    tol: f64,
-) -> Vec<SparseCode> {
+pub fn batch(dict: &Dictionary, ys: &[Vec<f64>], max_atoms: usize, tol: f64) -> Vec<SparseCode> {
     qn_linalg::parallel::par_map_indexed(ys.len(), |i| {
         orthogonal_matching_pursuit(dict, &ys[i], max_atoms, tol)
     })

@@ -173,11 +173,7 @@ mod tests {
     #[test]
     fn more_components_reconstruct_better() {
         let data: Vec<Vec<f64>> = (0..12)
-            .map(|i| {
-                (0..6)
-                    .map(|j| ((i * 6 + j) as f64 * 0.7).sin())
-                    .collect()
-            })
+            .map(|i| (0..6).map(|j| ((i * 6 + j) as f64 * 0.7).sin()).collect())
             .collect();
         let mut prev = f64::INFINITY;
         for d in 1..=4 {

@@ -27,12 +27,7 @@ pub fn compress_dataset(
     let y = Matrix::from_rows(&rows)?;
     let d = svd(&y)?;
     let approx = d.truncate(r);
-    let err = approx
-        .sub(&y)?
-        .data()
-        .iter()
-        .map(|v| v * v)
-        .sum::<f64>();
+    let err = approx.sub(&y)?.data().iter().map(|v| v * v).sum::<f64>();
     let recons = images
         .iter()
         .enumerate()
@@ -59,9 +54,7 @@ pub fn error_floor(images: &[GrayImage], max_rank: usize) -> Result<Vec<f64>, Li
     let y = Matrix::from_rows(&rows)?;
     let d = svd(&y)?;
     let sq: Vec<f64> = d.singular_values.iter().map(|s| s * s).collect();
-    Ok((1..=max_rank)
-        .map(|r| sq.iter().skip(r).sum())
-        .collect())
+    Ok((1..=max_rank).map(|r| sq.iter().skip(r).sum()).collect())
 }
 
 #[cfg(test)]

@@ -1,0 +1,391 @@
+//! `qnc` — the quantum-network image codec CLI.
+//!
+//! ```text
+//! qnc compress   <input.pgm> -o <out.qnc> [options]
+//! qnc decompress <input.qnc> -o <out.pgm> [options]
+//! qnc train      <input.pgm> -o <model.qnm> [options]
+//! qnc info       <file.qnc | file.qnm>
+//! ```
+//!
+//! Argument parsing is hand-rolled (the dependency set is frozen); every
+//! failure exits with a message on stderr and a non-zero status — no
+//! panics on user input.
+
+use qn_codec::{decode_standalone, model, Codec, CodecOptions};
+use qn_core::config::{
+    CompressionTargetKind, InitStrategy, NetworkConfig, OptimizerKind, SubspaceKind,
+};
+use qn_core::trainer::Trainer;
+use qn_image::{metrics, pgm, tiles, GrayImage};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qnc — quantum-network image codec
+
+USAGE:
+    qnc compress   <input.pgm> -o <out.qnc> [--model <m.qnm>] [--tile N]
+                   [--latent D] [--bits B] [--per-tile-scale]
+                   [--no-inline-model] [--serial] [--no-verify]
+    qnc decompress <input.qnc> -o <out.pgm> [--model <m.qnm>] [--serial]
+    qnc train      <input.pgm> -o <model.qnm> [--tile N] [--latent D]
+                   [--layers-c N] [--layers-r N] [--iters N] [--seed S]
+    qnc info       <file.qnc | file.qnm>
+
+Defaults: tile 4, latent 8, bits 8, inline model, parallel tiles.
+`compress` without --model builds a PCA-spectral model from the input
+image itself and (unless --no-inline-model) embeds it in the container,
+so the .qnc decodes standalone. `train` distills a model from an image's
+tiles: spectral initialisation plus --iters gradient refinement steps
+(0 = spectral only).";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("qnc: {msg}");
+    ExitCode::from(2)
+}
+
+fn usage(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("qnc: {msg}\n\n{USAGE}");
+    ExitCode::from(1)
+}
+
+/// Minimal flag cracker: positionals plus `--flag [value]` options.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags: Vec<(String, Option<String>)> = Vec::new();
+        let takes_value = [
+            "-o",
+            "--output",
+            "--model",
+            "--tile",
+            "--latent",
+            "--bits",
+            "--layers-c",
+            "--layers-r",
+            "--iters",
+            "--seed",
+        ];
+        let boolean = [
+            "--per-tile-scale",
+            "--no-inline-model",
+            "--serial",
+            "--no-verify",
+            "--help",
+            "-h",
+        ];
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if takes_value.contains(&arg.as_str()) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag {arg} needs a value"))?;
+                flags.push((arg.clone(), Some(value.clone())));
+            } else if boolean.contains(&arg.as_str()) {
+                flags.push((arg.clone(), None));
+            } else if arg.starts_with('-') && arg.len() > 1 {
+                return Err(format!("unknown flag {arg}"));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(f, _)| f == name)
+    }
+
+    fn value(&self, names: &[&str]) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(f, _)| names.contains(&f.as_str()))
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn numeric<T: std::str::FromStr>(&self, names: &[&str], default: T) -> Result<T, String> {
+        match self.value(names) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("{} needs a number, got {s:?}", names[0])),
+        }
+    }
+}
+
+fn read_image(path: &Path) -> Result<GrayImage, String> {
+    pgm::read_pgm(path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+/// The codec for `compress`: an explicit model file, or a spectral model
+/// distilled from the image itself.
+fn codec_for_compress(
+    args: &Args,
+    img: &GrayImage,
+    tile: usize,
+    latent: usize,
+) -> Result<(Codec, &'static str), String> {
+    match args.value(&["--model"]) {
+        Some(path) => Codec::from_model_file(Path::new(path))
+            .map(|c| (c, "file"))
+            .map_err(|e| format!("loading model {path}: {e}")),
+        None => Codec::spectral_for_image(img, tile, latent)
+            .map(|c| (c, "spectral"))
+            .map_err(|e| format!("building spectral model: {e}")),
+    }
+}
+
+fn cmd_compress(args: &Args) -> Result<(), String> {
+    let [input] = args.positional.as_slice() else {
+        return Err("compress needs exactly one input image".into());
+    };
+    let output = PathBuf::from(
+        args.value(&["-o", "--output"])
+            .ok_or("compress needs -o <out.qnc>")?,
+    );
+    let tile: usize = args.numeric(&["--tile"], 4)?;
+    let latent: usize = args.numeric(&["--latent"], 8)?;
+    let opts = CodecOptions {
+        tile_size: tile,
+        bits: args.numeric(&["--bits"], 8u8)?,
+        per_tile_scale: args.has("--per-tile-scale"),
+        inline_model: !args.has("--no-inline-model"),
+        parallel: !args.has("--serial"),
+    };
+
+    let img = read_image(Path::new(input))?;
+    let (codec, model_source) = codec_for_compress(args, &img, tile, latent)?;
+    let (bytes, stats) = codec
+        .encode_image_with_stats(&img, &opts)
+        .map_err(|e| format!("encoding: {e}"))?;
+    std::fs::write(&output, &bytes).map_err(|e| format!("writing {}: {e}", output.display()))?;
+
+    println!(
+        "compressed {}x{} ({} px) -> {} bytes  [{:.3} bpp, ratio {:.2}x, {} tiles, {} empty, model: {model_source}]",
+        img.width(),
+        img.height(),
+        img.len(),
+        stats.container_bytes,
+        stats.bits_per_pixel,
+        stats.ratio(),
+        stats.tiles,
+        stats.empty_tiles,
+    );
+
+    if !args.has("--no-verify") {
+        let back = codec
+            .decode_bytes_with(&bytes, opts.parallel)
+            .map_err(|e| format!("verify decode: {e}"))?;
+        let psnr = metrics::psnr(&img, &back.clamped());
+        println!(
+            "verify: PSNR {psnr:.2} dB, SSIM {:.4}",
+            metrics::ssim(&img, &back.clamped())
+        );
+    }
+    Ok(())
+}
+
+fn cmd_decompress(args: &Args) -> Result<(), String> {
+    let [input] = args.positional.as_slice() else {
+        return Err("decompress needs exactly one input container".into());
+    };
+    let output = PathBuf::from(
+        args.value(&["-o", "--output"])
+            .ok_or("decompress needs -o <out.pgm>")?,
+    );
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let parallel = !args.has("--serial");
+
+    let img = match args.value(&["--model"]) {
+        Some(path) => {
+            let codec = Codec::from_model_file(Path::new(path))
+                .map_err(|e| format!("loading model {path}: {e}"))?;
+            codec
+                .decode_bytes_with(&bytes, parallel)
+                .map_err(|e| format!("decoding: {e}"))?
+        }
+        None => decode_standalone(&bytes).map_err(|e| format!("decoding: {e}"))?,
+    };
+
+    pgm::write_pgm(&img.clamped(), &output)
+        .map_err(|e| format!("writing {}: {e}", output.display()))?;
+    println!(
+        "decompressed -> {} ({}x{})",
+        output.display(),
+        img.width(),
+        img.height()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let [input] = args.positional.as_slice() else {
+        return Err("train needs exactly one input image".into());
+    };
+    let output = PathBuf::from(
+        args.value(&["-o", "--output"])
+            .ok_or("train needs -o <model.qnm>")?,
+    );
+    let tile: usize = args.numeric(&["--tile"], 4)?;
+    let latent: usize = args.numeric(&["--latent"], 8)?;
+    let iters: usize = args.numeric(&["--iters"], 0)?;
+    let dim = tile * tile;
+
+    let img = read_image(Path::new(input))?;
+    let model = if iters == 0 {
+        Codec::spectral_for_image(&img, tile, latent)
+            .map_err(|e| format!("spectral model: {e}"))?
+            .model()
+            .clone()
+    } else {
+        // Gradient refinement from the spectral start, on the image's
+        // own non-empty tiles.
+        let tiling = tiles::tile(&img, tile);
+        let samples: Vec<GrayImage> = tiling
+            .tiles
+            .into_iter()
+            .filter(|t| t.pixels().iter().any(|&p| p > 0.0))
+            .collect();
+        if samples.is_empty() {
+            return Err("image is entirely black; nothing to train on".into());
+        }
+        let config = NetworkConfig {
+            dim,
+            compressed_dim: latent,
+            layers_c: args.numeric(&["--layers-c"], 12)?,
+            layers_r: args.numeric(&["--layers-r"], 14)?,
+            iterations: iters,
+            seed: args.numeric(&["--seed"], 7u64)?,
+            init: InitStrategy::Spectral,
+            target: CompressionTargetKind::TrashPenalty,
+            subspace: SubspaceKind::KeepLast,
+            // Plain GD on sample-normalised gradients: the spectral
+            // start is already near-optimal, and adaptive optimizers
+            // (Adam normalises tiny gradients up to full-size steps)
+            // walk away from it before re-converging; unnormalised sum
+            // gradients diverge outright on hundreds of tiles.
+            optimizer: OptimizerKind::Gd,
+            learning_rate: 0.05,
+            normalize_gradient: true,
+            ..NetworkConfig::paper_default()
+        };
+        let mut trainer =
+            Trainer::new(config, &samples).map_err(|e| format!("trainer setup: {e}"))?;
+        let report = trainer.train().map_err(|e| format!("training: {e}"))?;
+        println!(
+            "trained {iters} iterations on {} tiles: L_C {:.3e}, L_R {:.3e}",
+            samples.len(),
+            report.final_compression_loss,
+            report.final_reconstruction_loss
+        );
+        trainer.into_autoencoder()
+    };
+
+    model::save_model(&output, &model).map_err(|e| format!("saving model: {e}"))?;
+    println!(
+        "model -> {} (N={}, d={}, id {:#018x})",
+        output.display(),
+        model.dim(),
+        model.compression.compressed_dim(),
+        model::model_id(&model)
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let [input] = args.positional.as_slice() else {
+        return Err("info needs exactly one file".into());
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    match bytes.get(..4) {
+        Some(m) if m == qn_codec::container::CONTAINER_MAGIC => {
+            let c = qn_codec::Container::from_bytes(&bytes)
+                .map_err(|e| format!("parsing container: {e}"))?;
+            let h = &c.header;
+            println!("qnc container v{}", h.version);
+            println!("  image        {}x{} px", h.width, h.height);
+            println!(
+                "  tiles        {}x{} of {}px ({} total)",
+                h.tiles_x(),
+                h.tiles_y(),
+                h.tile_size,
+                h.tile_count()
+            );
+            println!("  latents      d={} @ {} bits", h.latent_dim, h.bits);
+            println!("  model id     {:#018x}", h.model_id);
+            println!("  per-tile scale  {}", h.per_tile_scale());
+            println!(
+                "  inline model {}",
+                c.inline_model
+                    .as_ref()
+                    .map_or("no".to_string(), |m| format!("{} bytes", m.len()))
+            );
+            println!(
+                "  occupied     {}/{} tiles",
+                c.tiles.iter().filter(|t| t.is_some()).count(),
+                c.tiles.len()
+            );
+            println!("  file size    {} bytes", bytes.len());
+        }
+        Some(m) if m == qn_codec::model::MODEL_MAGIC => {
+            let model =
+                qn_codec::model::decode_model(&bytes).map_err(|e| format!("parsing model: {e}"))?;
+            println!("qnm model v{}", qn_codec::model::MODEL_VERSION);
+            println!(
+                "  dimensions   N={} -> d={}",
+                model.dim(),
+                model.compression.compressed_dim()
+            );
+            println!(
+                "  mesh U_C     {} layers, {} parameters",
+                model.compression.mesh().n_layers(),
+                model.compression.mesh().param_count()
+            );
+            println!(
+                "  mesh U_R     {} layers, {} parameters",
+                model.reconstruction.mesh().n_layers(),
+                model.reconstruction.mesh().param_count()
+            );
+            println!("  model id     {:#018x}", qn_codec::model::model_id(&model));
+            println!("  file size    {} bytes", bytes.len());
+        }
+        _ => return Err(format!("{input}: not a .qnc container or .qnm model")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        return usage("missing command");
+    };
+    let args = match Args::parse(rest) {
+        Ok(args) => args,
+        Err(e) => return usage(e),
+    };
+    if args.has("--help") || args.has("-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match command.as_str() {
+        "compress" => cmd_compress(&args),
+        "decompress" => cmd_decompress(&args),
+        "train" => cmd_train(&args),
+        "info" => cmd_info(&args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return usage(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}

@@ -1,0 +1,512 @@
+//! Bit-level IO, Rice entropy coding, and the checksums/hashes the file
+//! formats use.
+//!
+//! The latent payload of a `.qnc` container is a single bitstream:
+//! per-tile occupancy flags, quantized norms, and Rice-coded latent
+//! symbols, all packed LSB-first. Rice coding fits here because the
+//! zigzag-mapped quantizer output is sharply peaked at zero (latent
+//! amplitudes of unit-norm states cluster near 0), and the per-tile
+//! parameter `k` adapts to each tile's energy at a cost of
+//! [`RICE_K_BITS`] bits — the same adaptivity trick QPIXL uses with its
+//! compression-ratio gate threshold, applied to a classical bitstream.
+
+use crate::error::{CodecError, Result};
+
+/// Bits used to store a tile's Rice parameter.
+pub const RICE_K_BITS: u32 = 5;
+
+/// Hard cap on a single Rice unary run. The largest legal zigzag symbol
+/// is `2^17` (16-bit quantizer), so any run beyond this signals corrupt
+/// input rather than data.
+const MAX_UNARY_RUN: u32 = 1 << 18;
+
+// ---------------------------------------------------------------------
+// Bit-level writer / reader
+// ---------------------------------------------------------------------
+
+/// Append-only bit sink, LSB-first within each byte.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0 = byte boundary).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << self.used;
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Append the `n` low bits of `value`, LSB first (`n ≤ 64`).
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64, "write_bits supports at most 64 bits");
+        for i in 0..n {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        match self.used {
+            0 => self.bytes.len() * 8,
+            used => (self.bytes.len() - 1) * 8 + used as usize,
+        }
+    }
+
+    /// Finish, returning the padded byte buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Bit source over a byte slice, LSB-first within each byte.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Read one bit.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(CodecError::Truncated {
+                context: "bitstream payload",
+            });
+        }
+        let bit = (self.bytes[byte] >> (self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Read `n ≤ 64` bits, LSB first.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64, "read_bits supports at most 64 bits");
+        let mut v = 0u64;
+        for i in 0..n {
+            if self.read_bit()? {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rice coding
+// ---------------------------------------------------------------------
+
+/// Bits Rice(k) spends on `value`.
+#[inline]
+pub fn rice_len(value: u32, k: u32) -> usize {
+    (value >> k) as usize + 1 + k as usize
+}
+
+/// The `k` minimising the total Rice length of `values`, searched over
+/// `0..=max_k`.
+pub fn best_rice_k(values: &[u32], max_k: u32) -> u32 {
+    let mut best = (usize::MAX, 0u32);
+    for k in 0..=max_k {
+        let total: usize = values.iter().map(|&v| rice_len(v, k)).sum();
+        if total < best.0 {
+            best = (total, k);
+        }
+    }
+    best.1
+}
+
+/// Write `value` with Rice parameter `k`: unary quotient (q ones, one
+/// zero), then the k low remainder bits.
+pub fn write_rice(w: &mut BitWriter, value: u32, k: u32) {
+    let q = value >> k;
+    for _ in 0..q {
+        w.write_bit(true);
+    }
+    w.write_bit(false);
+    w.write_bits(u64::from(value) & ((1u64 << k) - 1), k);
+}
+
+/// Read one Rice(k) value.
+///
+/// # Errors
+/// [`CodecError::Truncated`] at end of input, [`CodecError::Invalid`]
+/// when the unary run exceeds any symbol a supported quantizer emits
+/// (corrupt stream).
+pub fn read_rice(r: &mut BitReader<'_>, k: u32) -> Result<u32> {
+    let mut q: u32 = 0;
+    while r.read_bit()? {
+        q += 1;
+        if q > MAX_UNARY_RUN {
+            return Err(CodecError::Invalid(
+                "rice unary run exceeds maximum symbol".to_string(),
+            ));
+        }
+    }
+    let rem = r.read_bits(k)? as u32;
+    // Assemble in u64: with k near its maximum a corrupt unary run can
+    // push q << k past 32 bits, and a wrapping result would alias a huge
+    // symbol onto a small "valid" one instead of erroring.
+    let value = (u64::from(q) << k) | u64::from(rem);
+    u32::try_from(value)
+        .map_err(|_| CodecError::Invalid("rice symbol exceeds the 32-bit symbol range".to_string()))
+}
+
+// ---------------------------------------------------------------------
+// Checksums / ids
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the integrity check both file formats
+/// append.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit hash — the stable model identifier stored in `.qnc`
+/// containers to detect model/container mismatches.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Byte-level little-endian helpers (shared by model and container)
+// ---------------------------------------------------------------------
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    bytes: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.bytes.extend_from_slice(b);
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian f32 (bit pattern).
+    pub fn put_f32(&mut self, v: f32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian f64 (bit pattern; bit-exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Borrow the buffer (for checksumming before finishing).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Take the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Cursor over a byte slice with typed, truncation-checked reads.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { context });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Raw bytes.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] when fewer than `n` bytes remain.
+    pub fn get_bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        self.take(n, context)
+    }
+
+    /// One byte.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Little-endian u16.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn get_u16(&mut self, context: &'static str) -> Result<u16> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Little-endian u32.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Little-endian u64.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Little-endian f32.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn get_f32(&mut self, context: &'static str) -> Result<f32> {
+        let b = self.take(4, context)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Little-endian f64 (bit-exact).
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn get_f64(&mut self, context: &'static str) -> Result<f64> {
+        let b = self.take(8, context)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip_lsb_first() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bit(true);
+        w.write_bits(0x3FF, 10);
+        assert_eq!(w.bit_len(), 15);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+    }
+
+    #[test]
+    fn reader_reports_truncation() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(matches!(r.read_bit(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rice_roundtrips_every_small_value() {
+        for k in 0..8u32 {
+            let mut w = BitWriter::new();
+            for v in 0..200u32 {
+                write_rice(&mut w, v, k);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for v in 0..200u32 {
+                assert_eq!(read_rice(&mut r, k).unwrap(), v, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_k_minimises_length() {
+        // Small symbols → small k; large symbols → larger k.
+        assert_eq!(best_rice_k(&[0, 1, 0, 2, 1], 15), 0);
+        let big: Vec<u32> = (0..32).map(|i| 1000 + i).collect();
+        let k = best_rice_k(&big, 15);
+        assert!(k >= 8, "large symbols want a large k, got {k}");
+        // The chosen k really is no worse than its neighbours.
+        let len = |kk: u32| -> usize { big.iter().map(|&v| rice_len(v, kk)).sum() };
+        assert!(len(k) <= len(k.saturating_sub(1)));
+        assert!(len(k) <= len(k + 1));
+    }
+
+    #[test]
+    fn rice_symbols_past_u32_error_instead_of_wrapping() {
+        // k = 17 with a long unary run pushes q << k past 32 bits; the
+        // decoder must error, not alias the symbol onto a small value.
+        let mut w = BitWriter::new();
+        let q = 1u32 << 15;
+        for _ in 0..q {
+            w.write_bit(true);
+        }
+        w.write_bit(false);
+        w.write_bits(0, 17);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(read_rice(&mut r, 17), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn corrupt_unary_run_is_a_typed_error() {
+        // All-ones payload: unary run never terminates.
+        let bytes = vec![0xFFu8; 1 << 16];
+        let mut r = BitReader::new(&bytes);
+        match read_rice(&mut r, 0) {
+            Err(CodecError::Invalid(_)) | Err(CodecError::Truncated { .. }) => {}
+            other => panic!("expected typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // FNV-1a 64 official vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn byte_reader_roundtrips_and_truncates() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(513);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_f32(1.5);
+        w.put_f64(-0.1);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u16("b").unwrap(), 513);
+        assert_eq!(r.get_u32("c").unwrap(), 70_000);
+        assert_eq!(r.get_u64("d").unwrap(), 1 << 40);
+        assert_eq!(r.get_f32("e").unwrap(), 1.5);
+        assert_eq!(r.get_f64("f").unwrap(), -0.1);
+        assert!(matches!(
+            r.get_u8("g"),
+            Err(CodecError::Truncated { context: "g" })
+        ));
+    }
+}

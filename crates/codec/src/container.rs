@@ -1,0 +1,592 @@
+//! The `.qnc` compressed-image container.
+//!
+//! # Byte layout (format version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "QNC1"
+//! 4       2     format version (current: 1)
+//! 6       2     flags: bit 0 = per-tile scaled quantization
+//!                      bit 1 = inline model present
+//! 8       8     model id (FNV-1a 64 of the encoder's model body)
+//! 16      4     image width   (pixels)
+//! 20      4     image height  (pixels)
+//! 24      2     tile size     (pixels per tile edge)
+//! 26      2     latent dimension d (kept amplitudes per tile)
+//! 28      1     quantizer bit depth
+//! 29      3     reserved (must be 0)
+//! 32      4     max tile norm (f32) — scale for 16-bit norm quantization
+//! 36      …     [flags bit 1] inline model: length u32 + model bytes
+//! …       4     payload length (bytes)
+//! …       …     payload bitstream (layout below)
+//! end−4   4     CRC-32 (IEEE) of every preceding byte
+//! ```
+//!
+//! Payload bitstream, tiles in row-major tile order, bits LSB-first:
+//!
+//! ```text
+//! per tile:
+//!   1 bit   occupancy (0 = all-zero tile, nothing follows)
+//!   16 bits tile norm, quantized against the header's max norm
+//!   [flags bit 0] 32 bits per-tile scale (f32 bit pattern)
+//!   5 bits  Rice parameter k for this tile
+//!   d ×     Rice(k)-coded zigzag symbols of the quantized latents
+//! ```
+//!
+//! # Versioning rules
+//!
+//! Same policy as the model format: readers reject versions above
+//! [`CONTAINER_VERSION`]; any layout change bumps the version; the
+//! reserved header bytes absorb small additions without a bump.
+
+use crate::bitstream::{
+    best_rice_k, crc32, read_rice, write_rice, BitReader, BitWriter, ByteReader, ByteWriter,
+    RICE_K_BITS,
+};
+use crate::error::{CodecError, Result};
+use crate::quantize::MAX_BITS;
+
+/// Leading magic of a container file.
+pub const CONTAINER_MAGIC: [u8; 4] = *b"QNC1";
+/// Highest container version this build reads and the version it writes.
+pub const CONTAINER_VERSION: u16 = 1;
+
+/// Flag bit 0: per-tile scaled quantization.
+pub const FLAG_PER_TILE_SCALE: u16 = 1 << 0;
+/// Flag bit 1: the container embeds its own model file.
+pub const FLAG_INLINE_MODEL: u16 = 1 << 1;
+
+/// Levels of the 16-bit norm quantizer.
+const NORM_LEVELS: u32 = u16::MAX as u32;
+
+/// Upper bound on header dimensions (defends allocations against
+/// corrupt headers; 2³⁰ pixels ≈ 1 gigapixel per side is far beyond any
+/// workload this serves).
+const MAX_DIM: u32 = 1 << 30;
+
+/// Parsed fixed-size header of a container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerHeader {
+    /// Format version the file was written with.
+    pub version: u16,
+    /// Feature flags (`FLAG_*`).
+    pub flags: u16,
+    /// Identity of the encoding model.
+    pub model_id: u64,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Tile edge length in pixels.
+    pub tile_size: u16,
+    /// Kept amplitudes per tile.
+    pub latent_dim: u16,
+    /// Quantizer bit depth.
+    pub bits: u8,
+    /// Largest tile norm (norm-quantization scale).
+    pub max_norm: f32,
+}
+
+impl ContainerHeader {
+    /// Tiles per row.
+    pub fn tiles_x(&self) -> usize {
+        (self.width as usize)
+            .div_ceil(self.tile_size as usize)
+            .max(1)
+    }
+
+    /// Tiles per column.
+    pub fn tiles_y(&self) -> usize {
+        (self.height as usize)
+            .div_ceil(self.tile_size as usize)
+            .max(1)
+    }
+
+    /// Total tile count.
+    pub fn tile_count(&self) -> usize {
+        self.tiles_x() * self.tiles_y()
+    }
+
+    /// Whether per-tile scales are stored.
+    pub fn per_tile_scale(&self) -> bool {
+        self.flags & FLAG_PER_TILE_SCALE != 0
+    }
+
+    /// Whether a model file is embedded.
+    pub fn inline_model(&self) -> bool {
+        self.flags & FLAG_INLINE_MODEL != 0
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.version == 0 || self.version > CONTAINER_VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: self.version,
+                supported: CONTAINER_VERSION,
+            });
+        }
+        let known = FLAG_PER_TILE_SCALE | FLAG_INLINE_MODEL;
+        if self.flags & !known != 0 {
+            return Err(CodecError::Invalid(format!(
+                "unknown container flags: {:#06x}",
+                self.flags & !known
+            )));
+        }
+        if self.width == 0 || self.height == 0 || self.width > MAX_DIM || self.height > MAX_DIM {
+            return Err(CodecError::Invalid(format!(
+                "image dimensions {}x{} out of range",
+                self.width, self.height
+            )));
+        }
+        if self.tile_size == 0 {
+            return Err(CodecError::Invalid("tile size must be positive".into()));
+        }
+        if self.latent_dim == 0 {
+            return Err(CodecError::Invalid(
+                "latent dimension must be positive".into(),
+            ));
+        }
+        if self.bits == 0 || self.bits > MAX_BITS {
+            return Err(CodecError::Invalid(format!(
+                "bit depth must be in 1..={MAX_BITS}, got {}",
+                self.bits
+            )));
+        }
+        if !self.max_norm.is_finite() || self.max_norm < 0.0 {
+            return Err(CodecError::Invalid(format!(
+                "max norm {} is not a finite non-negative value",
+                self.max_norm
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One occupied tile's compressed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilePayload {
+    /// Tile norm quantized against the header's `max_norm`
+    /// (`norm ≈ norm_q / 65535 · max_norm`).
+    pub norm_q: u16,
+    /// Per-tile amplitude scale (present iff [`FLAG_PER_TILE_SCALE`]).
+    pub scale: Option<f32>,
+    /// Quantizer level per latent amplitude (length = `latent_dim`).
+    pub levels: Vec<u32>,
+}
+
+/// A fully parsed (or to-be-written) container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Container {
+    /// Fixed-size header.
+    pub header: ContainerHeader,
+    /// Embedded model file bytes, when present.
+    pub inline_model: Option<Vec<u8>>,
+    /// Per-tile payloads, row-major; `None` marks an all-zero tile.
+    pub tiles: Vec<Option<TilePayload>>,
+}
+
+/// Quantize a tile norm against the container's max norm.
+pub fn quantize_norm(norm: f64, max_norm: f32) -> u16 {
+    if max_norm <= 0.0 {
+        return 0;
+    }
+    let unit = (norm / f64::from(max_norm)).clamp(0.0, 1.0);
+    (unit * f64::from(NORM_LEVELS)).round() as u16
+}
+
+/// Reconstruct a tile norm.
+pub fn dequantize_norm(norm_q: u16, max_norm: f32) -> f64 {
+    f64::from(norm_q) / f64::from(NORM_LEVELS) * f64::from(max_norm)
+}
+
+impl Container {
+    /// Serialise to complete file bytes (header + payload + CRC).
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] when the container is internally
+    /// inconsistent (wrong tile count, levels out of range for the bit
+    /// depth, scale presence disagreeing with the flags).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        self.header.validate()?;
+        if self.tiles.len() != self.header.tile_count() {
+            return Err(CodecError::Invalid(format!(
+                "container has {} tiles, header implies {}",
+                self.tiles.len(),
+                self.header.tile_count()
+            )));
+        }
+        if self.header.inline_model() != self.inline_model.is_some() {
+            return Err(CodecError::Invalid(
+                "inline-model flag disagrees with inline model presence".into(),
+            ));
+        }
+        let quantizer = crate::quantize::Quantizer::new(self.header.bits)?;
+        let levels = quantizer.levels();
+        let zero_level = quantizer.zero_level();
+
+        // Payload bitstream.
+        let mut bits = BitWriter::new();
+        for tile in &self.tiles {
+            match tile {
+                None => bits.write_bit(false),
+                Some(payload) => {
+                    if payload.levels.len() != self.header.latent_dim as usize {
+                        return Err(CodecError::Invalid(format!(
+                            "tile has {} latents, header says {}",
+                            payload.levels.len(),
+                            self.header.latent_dim
+                        )));
+                    }
+                    if payload.scale.is_some() != self.header.per_tile_scale() {
+                        return Err(CodecError::Invalid(
+                            "tile scale presence disagrees with container flags".into(),
+                        ));
+                    }
+                    bits.write_bit(true);
+                    bits.write_bits(u64::from(payload.norm_q), 16);
+                    if let Some(scale) = payload.scale {
+                        bits.write_bits(u64::from(scale.to_bits()), 32);
+                    }
+                    let mut symbols = Vec::with_capacity(payload.levels.len());
+                    for &level in &payload.levels {
+                        if level >= levels {
+                            return Err(CodecError::Invalid(format!(
+                                "level {level} out of range for {}-bit quantizer",
+                                self.header.bits
+                            )));
+                        }
+                        symbols.push(crate::quantize::zigzag(level, zero_level));
+                    }
+                    let k = best_rice_k(&symbols, u32::from(self.header.bits) + 1);
+                    bits.write_bits(u64::from(k), RICE_K_BITS);
+                    for &s in &symbols {
+                        write_rice(&mut bits, s, k);
+                    }
+                }
+            }
+        }
+        let payload = bits.finish();
+
+        let mut w = ByteWriter::new();
+        w.put_bytes(&CONTAINER_MAGIC);
+        w.put_u16(self.header.version);
+        w.put_u16(self.header.flags);
+        w.put_u64(self.header.model_id);
+        w.put_u32(self.header.width);
+        w.put_u32(self.header.height);
+        w.put_u16(self.header.tile_size);
+        w.put_u16(self.header.latent_dim);
+        w.put_u8(self.header.bits);
+        w.put_bytes(&[0, 0, 0]); // reserved
+        w.put_f32(self.header.max_norm);
+        if let Some(model) = &self.inline_model {
+            w.put_u32(model.len() as u32);
+            w.put_bytes(model);
+        }
+        w.put_u32(payload.len() as u32);
+        w.put_bytes(&payload);
+        let mut bytes = w.finish();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        Ok(bytes)
+    }
+
+    /// Parse container bytes (the inverse of [`Container::to_bytes`]).
+    ///
+    /// # Errors
+    /// Typed [`CodecError`] for every malformation — truncation, bad
+    /// magic, unknown versions/flags, checksum or field-range failures.
+    /// Never panics on arbitrary input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 4 {
+            return Err(CodecError::Truncated {
+                context: "container magic",
+            });
+        }
+        let found: [u8; 4] = bytes[..4].try_into().expect("length checked");
+        if found != CONTAINER_MAGIC {
+            return Err(CodecError::BadMagic {
+                expected: CONTAINER_MAGIC,
+                found,
+            });
+        }
+        if bytes.len() < 40 {
+            return Err(CodecError::Truncated {
+                context: "container header",
+            });
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = ByteReader::new(body);
+        r.get_bytes(4, "container magic")?;
+        let header = ContainerHeader {
+            version: r.get_u16("container version")?,
+            flags: r.get_u16("container flags")?,
+            model_id: r.get_u64("model id")?,
+            width: r.get_u32("image width")?,
+            height: r.get_u32("image height")?,
+            tile_size: r.get_u16("tile size")?,
+            latent_dim: r.get_u16("latent dimension")?,
+            bits: {
+                let b = r.get_u8("bit depth")?;
+                r.get_bytes(3, "reserved header bytes")?;
+                b
+            },
+            max_norm: r.get_f32("max norm")?,
+        };
+        header.validate()?;
+
+        let inline_model = if header.inline_model() {
+            let len = r.get_u32("inline model length")? as usize;
+            if len > r.remaining() {
+                return Err(CodecError::Truncated {
+                    context: "inline model bytes",
+                });
+            }
+            Some(r.get_bytes(len, "inline model bytes")?.to_vec())
+        } else {
+            None
+        };
+
+        let payload_len = r.get_u32("payload length")? as usize;
+        if payload_len != r.remaining() {
+            return Err(CodecError::Invalid(format!(
+                "payload length field says {payload_len} bytes, {} remain",
+                r.remaining()
+            )));
+        }
+        let payload = r.get_bytes(payload_len, "payload bytes")?;
+
+        // Every tile costs at least its occupancy bit, so a grid larger
+        // than the payload's bit count is corrupt — reject it before the
+        // tile vector is allocated (a crafted width/height pair can
+        // otherwise imply ~2^60 tiles and abort on allocation).
+        if header.tile_count() > payload.len() * 8 {
+            return Err(CodecError::Invalid(format!(
+                "header implies {} tiles but the payload holds only {} bits",
+                header.tile_count(),
+                payload.len() * 8
+            )));
+        }
+        let quantizer = crate::quantize::Quantizer::new(header.bits)?;
+        let levels = quantizer.levels();
+        let zero_level = quantizer.zero_level();
+        let mut bits = BitReader::new(payload);
+        let mut tiles = Vec::with_capacity(header.tile_count());
+        for _ in 0..header.tile_count() {
+            if !bits.read_bit()? {
+                tiles.push(None);
+                continue;
+            }
+            let norm_q = bits.read_bits(16)? as u16;
+            let scale = if header.per_tile_scale() {
+                let raw = bits.read_bits(32)? as u32;
+                let s = f32::from_bits(raw);
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(CodecError::Invalid(format!(
+                        "tile scale {s} is not a positive finite value"
+                    )));
+                }
+                Some(s)
+            } else {
+                None
+            };
+            let k = bits.read_bits(RICE_K_BITS)? as u32;
+            if k > u32::from(header.bits) + 1 {
+                return Err(CodecError::Invalid(format!(
+                    "rice parameter {k} exceeds the maximum for {}-bit symbols",
+                    header.bits
+                )));
+            }
+            let mut tile_levels = Vec::with_capacity(header.latent_dim as usize);
+            for _ in 0..header.latent_dim {
+                let symbol = read_rice(&mut bits, k)?;
+                if symbol >= levels {
+                    return Err(CodecError::Invalid(format!(
+                        "zigzag symbol {symbol} out of range for {}-bit quantizer",
+                        header.bits
+                    )));
+                }
+                tile_levels.push(crate::quantize::unzigzag(symbol, zero_level));
+            }
+            tiles.push(Some(TilePayload {
+                norm_q,
+                scale,
+                levels: tile_levels,
+            }));
+        }
+
+        Ok(Container {
+            header,
+            inline_model,
+            tiles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_container(per_tile_scale: bool, inline_model: Option<Vec<u8>>) -> Container {
+        let mut flags = 0u16;
+        if per_tile_scale {
+            flags |= FLAG_PER_TILE_SCALE;
+        }
+        if inline_model.is_some() {
+            flags |= FLAG_INLINE_MODEL;
+        }
+        let header = ContainerHeader {
+            version: CONTAINER_VERSION,
+            flags,
+            model_id: 0xDEAD_BEEF_CAFE_F00D,
+            width: 10,
+            height: 7,
+            tile_size: 4,
+            latent_dim: 5,
+            bits: 8,
+            max_norm: 3.5,
+        };
+        let tiles = (0..header.tile_count())
+            .map(|i| {
+                if i % 3 == 2 {
+                    None
+                } else {
+                    Some(TilePayload {
+                        norm_q: (i * 9991 % 65536) as u16,
+                        scale: per_tile_scale.then_some(0.25 + i as f32 * 0.1),
+                        levels: (0..5).map(|j| ((i * 37 + j * 11) % 256) as u32).collect(),
+                    })
+                }
+            })
+            .collect();
+        Container {
+            header,
+            inline_model,
+            tiles,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        for per_tile in [false, true] {
+            for model in [None, Some(vec![1u8, 2, 3, 4, 5])] {
+                let c = sample_container(per_tile, model);
+                let bytes = c.to_bytes().unwrap();
+                let back = Container::from_bytes(&bytes).unwrap();
+                assert_eq!(back, c);
+                // Deterministic re-serialisation.
+                assert_eq!(back.to_bytes().unwrap(), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn header_geometry_matches_tiling_rules() {
+        let c = sample_container(false, None);
+        // 10×7 at tile 4 → 3×2 tiles, like qn_image::tiles::tile.
+        assert_eq!(c.header.tiles_x(), 3);
+        assert_eq!(c.header.tiles_y(), 2);
+        assert_eq!(c.header.tile_count(), 6);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = sample_container(true, Some(vec![9u8; 64]))
+            .to_bytes()
+            .unwrap();
+        for cut in 0..bytes.len() {
+            let err = Container::from_bytes(&bytes[..cut]).expect_err("must fail");
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. } | CodecError::ChecksumMismatch { .. }
+                ),
+                "cut {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_caught() {
+        let bytes = sample_container(false, None).to_bytes().unwrap();
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                Container::from_bytes(&bad).is_err(),
+                "flip at {pos} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_flags_and_versions_are_rejected() {
+        let mut c = sample_container(false, None);
+        c.header.flags = 0x8000;
+        assert!(matches!(c.to_bytes(), Err(CodecError::Invalid(_))));
+        c.header.flags = 0;
+        c.header.version = CONTAINER_VERSION + 1;
+        assert!(matches!(
+            c.to_bytes(),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_containers_cannot_serialise() {
+        // Wrong tile count.
+        let mut c = sample_container(false, None);
+        c.tiles.pop();
+        assert!(c.to_bytes().is_err());
+        // Level out of range for the bit depth.
+        let mut c = sample_container(false, None);
+        if let Some(Some(t)) = c.tiles.first_mut().map(|t| t.as_mut()) {
+            t.levels[0] = 256;
+        }
+        assert!(c.to_bytes().is_err());
+        // Scale present without the flag.
+        let mut c = sample_container(false, None);
+        if let Some(Some(t)) = c.tiles.first_mut().map(|t| t.as_mut()) {
+            t.scale = Some(1.0);
+        }
+        assert!(c.to_bytes().is_err());
+    }
+
+    #[test]
+    fn gigapixel_header_bomb_is_rejected_not_allocated() {
+        // A crafted header claiming a ~2^60-tile grid must produce a
+        // typed error before the tile vector is allocated.
+        let mut bytes = sample_container(false, None).to_bytes().unwrap();
+        bytes[16..20].copy_from_slice(&(1u32 << 30).to_le_bytes()); // width
+        bytes[20..24].copy_from_slice(&(1u32 << 30).to_le_bytes()); // height
+        bytes[24..26].copy_from_slice(&1u16.to_le_bytes()); // tile_size
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        let err = Container::from_bytes(&bytes).expect_err("bomb must fail");
+        assert!(
+            matches!(err, CodecError::Invalid(ref m) if m.contains("tiles")),
+            "unexpected {err:?}"
+        );
+    }
+
+    #[test]
+    fn norm_quantization_is_tight() {
+        let max_norm = 4.0f32;
+        for i in 0..=1000 {
+            let norm = f64::from(max_norm) * f64::from(i) / 1000.0;
+            let back = dequantize_norm(quantize_norm(norm, max_norm), max_norm);
+            assert!(
+                (back - norm).abs() <= f64::from(max_norm) / f64::from(u16::MAX) + 1e-12,
+                "norm {norm} → {back}"
+            );
+        }
+        assert_eq!(quantize_norm(99.0, 4.0), u16::MAX, "clamped above");
+        assert_eq!(quantize_norm(1.0, 0.0), 0, "degenerate scale");
+    }
+}

@@ -1,0 +1,167 @@
+//! Typed errors for the codec. Corrupt or truncated input must surface
+//! as one of these variants — never as a panic — so serving layers can
+//! map them to protocol errors.
+
+use qn_core::CoreError;
+use std::fmt;
+
+/// Everything that can go wrong encoding or decoding models and
+/// containers.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying file-system failure.
+    Io(std::io::Error),
+    /// Input ended before a complete field could be read.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// Leading magic bytes identify a different (or no) format.
+    BadMagic {
+        /// The magic expected for this format.
+        expected: [u8; 4],
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// Format version newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Highest version this build reads.
+        supported: u16,
+    },
+    /// Stored checksum disagrees with the recomputed one.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+    /// The container was produced by a different model than the one
+    /// supplied for decoding.
+    ModelMismatch {
+        /// Model id recorded in the container.
+        container: u64,
+        /// Model id of the supplied model.
+        supplied: u64,
+    },
+    /// A header field or argument is out of its valid range.
+    Invalid(String),
+    /// Forwarded pipeline error from `qn-core`.
+    Core(CoreError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "io error: {e}"),
+            CodecError::Truncated { context } => {
+                write!(f, "truncated input while reading {context}")
+            }
+            CodecError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            CodecError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads up to {supported})"
+            ),
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CodecError::ModelMismatch {
+                container,
+                supplied,
+            } => write!(
+                f,
+                "model mismatch: container was encoded with model {container:#018x}, \
+                 supplied model is {supplied:#018x}"
+            ),
+            CodecError::Invalid(msg) => write!(f, "invalid: {msg}"),
+            CodecError::Core(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            CodecError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+impl From<CoreError> for CodecError {
+    fn from(e: CoreError) -> Self {
+        CodecError::Core(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_every_variant() {
+        let cases: Vec<(CodecError, &str)> = vec![
+            (
+                CodecError::Truncated { context: "header" },
+                "truncated input while reading header",
+            ),
+            (
+                CodecError::BadMagic {
+                    expected: *b"QNC1",
+                    found: *b"P2\n4",
+                },
+                "bad magic",
+            ),
+            (
+                CodecError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "unsupported format version 9",
+            ),
+            (
+                CodecError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                "checksum mismatch",
+            ),
+            (
+                CodecError::ModelMismatch {
+                    container: 1,
+                    supplied: 2,
+                },
+                "model mismatch",
+            ),
+            (CodecError::Invalid("bits".into()), "invalid: bits"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let io: CodecError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, CodecError::Io(_)));
+        let core: CodecError = CoreError::InvalidData("x".into()).into();
+        assert!(matches!(core, CodecError::Core(_)));
+    }
+}

@@ -1,0 +1,40 @@
+//! End-to-end image codec for the quantum-network autoencoder.
+//!
+//! The paper's pipeline (encode → trainable compression mesh `U_C` →
+//! projector `P1` → reconstruction mesh `U_R` → decode) exists in
+//! `qn-core` as an in-memory training loop. This crate turns a trained
+//! model into a **file-format codec**, the way related work treats
+//! quantum compression as a real bitstream (QPIXL's compression-ratio
+//! gate budget; the hybrid JPEG-style scheme of arXiv:2602.06201 that
+//! quantizes transformed coefficients into a classical container):
+//!
+//! - [`model`] — versioned binary save/load of the trained meshes
+//!   (`.qnm`), bit-exact, checksummed, no external serde;
+//! - [`quantize`] — uniform scalar quantization of the d kept latent
+//!   amplitudes, global or per-tile scaled, 1–16 bits;
+//! - [`bitstream`] — bit-level IO plus Rice entropy coding of
+//!   zigzag-mapped symbols, CRC-32 and FNV-1a identities;
+//! - [`container`] — the `.qnc` layout: header, model id, tile grid,
+//!   per-tile payloads, optional inline model, trailing checksum;
+//! - [`pipeline`] — the full-image path: `qn-image` tiling → batch
+//!   amplitude encode → `U_C`/`P1` → quantize + entropy-code, and the
+//!   reverse through `U_R`, with serial and parallel tile modes;
+//! - the `qnc` binary — `compress` / `decompress` / `train` / `info`
+//!   over PGM files.
+//!
+//! Every decoder path returns typed [`CodecError`]s on malformed input;
+//! corrupt or truncated bytes never panic. See the workspace README for
+//! the byte-level format specifications and versioning rules.
+
+pub mod bitstream;
+pub mod container;
+pub mod error;
+pub mod model;
+pub mod pipeline;
+pub mod quantize;
+
+pub use container::{Container, ContainerHeader, TilePayload};
+pub use error::{CodecError, Result};
+pub use model::{load_model, save_model};
+pub use pipeline::{decode_standalone, Codec, CodecOptions, EncodeStats};
+pub use quantize::Quantizer;

@@ -1,0 +1,601 @@
+//! The full-image codec pipeline: tiling → amplitude encoding → the
+//! trained compression mesh → quantized, entropy-coded latents in a
+//! [`Container`] — and the exact reverse through the reconstruction
+//! mesh.
+//!
+//! This is the layer that turns the paper's in-memory training loop
+//! into a shippable codec: a [`Codec`] owns a trained
+//! [`QuantumAutoencoder`] (loaded from a `.qnm` file, trained in
+//! process, or PCA-spectrally initialised from the image itself) and
+//! converts `GrayImage`s to `.qnc` bytes and back. Per-tile work — the
+//! mesh forward passes that dominate runtime — optionally fans out
+//! across threads via `qn_linalg::parallel`, the same deterministic
+//! parallel substrate training uses.
+
+use crate::container::{
+    dequantize_norm, quantize_norm, Container, ContainerHeader, TilePayload, CONTAINER_VERSION,
+    FLAG_INLINE_MODEL, FLAG_PER_TILE_SCALE,
+};
+use crate::error::{CodecError, Result};
+use crate::model;
+use crate::quantize::{tile_scale, Quantizer};
+use qn_core::config::{CompressionTargetKind, SubspaceKind};
+use qn_core::reconstruction::ReconstructionNetwork;
+use qn_core::{compression::CompressionNetwork, encoding, QuantumAutoencoder};
+use qn_image::{tiles, GrayImage};
+use qn_linalg::parallel::par_map_indexed;
+use std::path::Path;
+
+/// Knobs for [`Codec::encode_image`].
+#[derive(Debug, Clone)]
+pub struct CodecOptions {
+    /// Tile edge length; `tile_size²` pixels feed one state vector.
+    pub tile_size: usize,
+    /// Quantizer bit depth for latent amplitudes.
+    pub bits: u8,
+    /// Spend 32 bits/tile on a per-tile amplitude scale for extra
+    /// precision on low-energy tiles.
+    pub per_tile_scale: bool,
+    /// Embed the model file in the container so it decodes standalone.
+    pub inline_model: bool,
+    /// Fan per-tile mesh work out across threads.
+    pub parallel: bool,
+}
+
+impl Default for CodecOptions {
+    fn default() -> Self {
+        CodecOptions {
+            tile_size: 4,
+            bits: 8,
+            per_tile_scale: false,
+            inline_model: true,
+            parallel: true,
+        }
+    }
+}
+
+/// Encode-side accounting, for logs and benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeStats {
+    /// Total tiles in the grid.
+    pub tiles: usize,
+    /// Tiles skipped as all-zero (1 bit each in the stream).
+    pub empty_tiles: usize,
+    /// Raw payload: one byte per pixel.
+    pub raw_bytes: usize,
+    /// Bytes of the finished container (model included if inline).
+    pub container_bytes: usize,
+    /// Container bits per pixel.
+    pub bits_per_pixel: f64,
+}
+
+impl EncodeStats {
+    /// Compression ratio (raw ÷ compressed; > 1 means smaller).
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.container_bytes as f64
+    }
+}
+
+/// A trained model bound to its stable identity — the object that
+/// encodes and decodes images.
+#[derive(Debug, Clone)]
+pub struct Codec {
+    model: QuantumAutoencoder,
+    model_id: u64,
+}
+
+impl Codec {
+    /// Wrap a trained autoencoder.
+    pub fn new(model: QuantumAutoencoder) -> Self {
+        let model_id = model::model_id(&model);
+        Codec { model, model_id }
+    }
+
+    /// Load the model from a `.qnm` file.
+    ///
+    /// # Errors
+    /// IO and format errors from [`model::load_model`].
+    pub fn from_model_file(path: &Path) -> Result<Self> {
+        Ok(Codec::new(model::load_model(path)?))
+    }
+
+    /// Borrow the model.
+    pub fn model(&self) -> &QuantumAutoencoder {
+        &self.model
+    }
+
+    /// The model's stable identity (recorded in every container).
+    pub fn model_id(&self) -> u64 {
+        self.model_id
+    }
+
+    /// Build a codec whose compression mesh is the PCA-optimal rotation
+    /// for this image's own tiles (spectral initialisation through the
+    /// Clements decomposition) and whose reconstruction mesh is its
+    /// exact inverse. Deterministic, training-free, and optimal in L2
+    /// among orthogonal compressions of this tile distribution — the
+    /// default model source for `qnc compress` when no model file is
+    /// given.
+    ///
+    /// # Errors
+    /// Propagates eigensolver/decomposition failures; an all-zero image
+    /// falls back to the identity mesh (every tile is then empty
+    /// anyway).
+    pub fn spectral_for_image(
+        img: &GrayImage,
+        tile_size: usize,
+        latent_dim: usize,
+    ) -> Result<Self> {
+        let dim = tile_size * tile_size;
+        if latent_dim == 0 || latent_dim > dim {
+            return Err(CodecError::Invalid(format!(
+                "latent dimension must be in 1..={dim}, got {latent_dim}"
+            )));
+        }
+        let tiling = tiles::tile(img, tile_size);
+        let inputs: Vec<Vec<f64>> = tiling
+            .tiles
+            .iter()
+            .filter_map(|t| encoding::encode(t.pixels(), dim).ok())
+            .map(|e| e.amplitudes)
+            .collect();
+        let mesh_c = if inputs.is_empty() {
+            qn_photonic::Mesh::zeros(dim, 1)
+        } else {
+            qn_core::spectral::spectral_mesh(&inputs, dim, latent_dim, SubspaceKind::KeepLast, 1)?
+        };
+        let compression = CompressionNetwork::new(
+            mesh_c,
+            latent_dim,
+            SubspaceKind::KeepLast,
+            CompressionTargetKind::TrashPenalty,
+        )?;
+        let n_layers = compression.mesh().n_layers();
+        let reconstruction =
+            ReconstructionNetwork::from_reversed_compression(&compression, n_layers);
+        Ok(Codec::new(QuantumAutoencoder::new(
+            compression,
+            reconstruction,
+        )))
+    }
+
+    /// Compress an image into `.qnc` bytes.
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] for empty images or tile sizes whose
+    /// pixel count exceeds the model's state dimension.
+    pub fn encode_image(&self, img: &GrayImage, opts: &CodecOptions) -> Result<Vec<u8>> {
+        Ok(self.encode_image_with_stats(img, opts)?.0)
+    }
+
+    /// Compress, also returning size accounting.
+    ///
+    /// # Errors
+    /// See [`Codec::encode_image`].
+    pub fn encode_image_with_stats(
+        &self,
+        img: &GrayImage,
+        opts: &CodecOptions,
+    ) -> Result<(Vec<u8>, EncodeStats)> {
+        if img.is_empty() {
+            return Err(CodecError::Invalid("cannot encode an empty image".into()));
+        }
+        if opts.tile_size == 0 {
+            return Err(CodecError::Invalid("tile size must be positive".into()));
+        }
+        let dim = self.model.dim();
+        if opts.tile_size * opts.tile_size > dim {
+            return Err(CodecError::Invalid(format!(
+                "tile of {0}×{0} = {1} pixels exceeds the model's state dimension {2}",
+                opts.tile_size,
+                opts.tile_size * opts.tile_size,
+                dim
+            )));
+        }
+        let quantizer = Quantizer::new(opts.bits)?;
+        let latent_dim = self.model.compression.compressed_dim();
+
+        let tiling = tiles::tile(img, opts.tile_size);
+        // Per-tile forward pass: encode → U_C → P1 → kept amplitudes.
+        let latents = self.forward_tiles(&tiling.tiles, opts.parallel);
+
+        let max_norm = latents.iter().flatten().fold(0.0f64, |m, l| m.max(l.norm)) as f32;
+
+        let mut flags = 0u16;
+        if opts.per_tile_scale {
+            flags |= FLAG_PER_TILE_SCALE;
+        }
+        if opts.inline_model {
+            flags |= FLAG_INLINE_MODEL;
+        }
+        let header = ContainerHeader {
+            version: CONTAINER_VERSION,
+            flags,
+            model_id: self.model_id,
+            width: img.width() as u32,
+            height: img.height() as u32,
+            tile_size: opts.tile_size as u16,
+            latent_dim: latent_dim as u16,
+            bits: opts.bits,
+            max_norm,
+        };
+
+        let mut empty_tiles = 0usize;
+        let tile_payloads: Vec<Option<TilePayload>> = latents
+            .into_iter()
+            .map(|latent| match latent {
+                None => {
+                    empty_tiles += 1;
+                    None
+                }
+                Some(latent) => {
+                    let (scale, scaled): (Option<f32>, Vec<f64>) = if opts.per_tile_scale {
+                        let s = tile_scale(&latent.kept);
+                        (
+                            Some(s),
+                            latent.kept.iter().map(|a| a / f64::from(s)).collect(),
+                        )
+                    } else {
+                        (None, latent.kept)
+                    };
+                    Some(TilePayload {
+                        norm_q: quantize_norm(latent.norm, max_norm),
+                        scale,
+                        levels: quantizer.quantize_block(&scaled),
+                    })
+                }
+            })
+            .collect();
+
+        let container = Container {
+            header,
+            inline_model: opts.inline_model.then(|| model::encode_model(&self.model)),
+            tiles: tile_payloads,
+        };
+        let bytes = container.to_bytes()?;
+        let stats = EncodeStats {
+            tiles: tiling.tiles_x * tiling.tiles_y,
+            empty_tiles,
+            raw_bytes: img.len(),
+            container_bytes: bytes.len(),
+            bits_per_pixel: bytes.len() as f64 * 8.0 / img.len() as f64,
+        };
+        Ok((bytes, stats))
+    }
+
+    /// Decompress `.qnc` bytes produced with this codec's model.
+    ///
+    /// # Errors
+    /// All container parse errors, plus [`CodecError::ModelMismatch`]
+    /// when the container was encoded with a different model.
+    pub fn decode_bytes(&self, bytes: &[u8]) -> Result<GrayImage> {
+        self.decode_bytes_with(bytes, true)
+    }
+
+    /// Decompress with control over tile-level parallelism.
+    ///
+    /// # Errors
+    /// See [`Codec::decode_bytes`].
+    pub fn decode_bytes_with(&self, bytes: &[u8], parallel: bool) -> Result<GrayImage> {
+        let container = Container::from_bytes(bytes)?;
+        if container.header.model_id != self.model_id {
+            return Err(CodecError::ModelMismatch {
+                container: container.header.model_id,
+                supplied: self.model_id,
+            });
+        }
+        self.decode_container(&container, parallel)
+    }
+
+    /// Decode a parsed container against this codec's model.
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] when the container geometry disagrees
+    /// with the model (latent dimension, state dimension).
+    pub fn decode_container(&self, container: &Container, parallel: bool) -> Result<GrayImage> {
+        let header = &container.header;
+        let dim = self.model.dim();
+        let tile_px = header.tile_size as usize * header.tile_size as usize;
+        if tile_px > dim {
+            return Err(CodecError::Invalid(format!(
+                "container tile size {} exceeds the model's state dimension {dim}",
+                header.tile_size
+            )));
+        }
+        if header.latent_dim as usize != self.model.compression.compressed_dim() {
+            return Err(CodecError::Invalid(format!(
+                "container stores {} latents per tile, model compresses to {}",
+                header.latent_dim,
+                self.model.compression.compressed_dim()
+            )));
+        }
+        let quantizer = Quantizer::new(header.bits)?;
+        let kept_indices = self.model.compression.projector().kept_indices();
+        let tile_size = header.tile_size as usize;
+        let max_norm = header.max_norm;
+
+        let reconstruct_one = |payload: &TilePayload| -> GrayImage {
+            let mut amps = quantizer.dequantize_block(&payload.levels);
+            if let Some(scale) = payload.scale {
+                for a in &mut amps {
+                    *a *= f64::from(scale);
+                }
+            }
+            // Re-embed the latents at the kept basis states…
+            let mut state = vec![0.0; dim];
+            for (&j, &a) in kept_indices.iter().zip(&amps) {
+                state[j] = a;
+            }
+            // …and run the reconstruction mesh.
+            let out = self.model.reconstruction.reconstruct(&state);
+            let norm = dequantize_norm(payload.norm_q, max_norm);
+            let pixels = encoding::decode(&out, norm, tile_px);
+            GrayImage::from_pixels(tile_size, tile_size, pixels)
+                .expect("tile geometry fixed by construction")
+        };
+
+        let patches: Vec<GrayImage> = if parallel {
+            par_map_indexed(container.tiles.len(), |i| match &container.tiles[i] {
+                None => GrayImage::zeros(tile_size, tile_size),
+                Some(payload) => reconstruct_one(payload),
+            })
+        } else {
+            container
+                .tiles
+                .iter()
+                .map(|t| match t {
+                    None => GrayImage::zeros(tile_size, tile_size),
+                    Some(payload) => reconstruct_one(payload),
+                })
+                .collect()
+        };
+
+        let tiling = tiles::Tiling {
+            tiles: Vec::new(),
+            tile_size,
+            width: header.width as usize,
+            height: header.height as usize,
+            tiles_x: header.tiles_x(),
+            tiles_y: header.tiles_y(),
+        };
+        Ok(tiles::untile(&tiling, &patches))
+    }
+
+    /// Per-tile forward pass through encode → `U_C` → `P1`.
+    fn forward_tiles(&self, patches: &[GrayImage], parallel: bool) -> Vec<Option<TileLatent>> {
+        let one = |patch: &GrayImage| -> Option<TileLatent> {
+            let enc = encoding::encode(patch.pixels(), self.model.dim()).ok()?;
+            let compressed = self.model.compression.compress(&enc.amplitudes);
+            let kept: Vec<f64> = self
+                .model
+                .compression
+                .projector()
+                .kept_indices()
+                .iter()
+                .map(|&j| compressed[j])
+                .collect();
+            Some(TileLatent {
+                norm: enc.norm,
+                kept,
+            })
+        };
+        if parallel {
+            par_map_indexed(patches.len(), |i| one(&patches[i]))
+        } else {
+            patches.iter().map(one).collect()
+        }
+    }
+}
+
+/// Decode `.qnc` bytes that carry their model inline, with no external
+/// model — the standalone path `qnc decompress` uses by default.
+///
+/// # Errors
+/// [`CodecError::Invalid`] when no model is embedded; otherwise all
+/// container/model parse errors.
+pub fn decode_standalone(bytes: &[u8]) -> Result<GrayImage> {
+    let container = Container::from_bytes(bytes)?;
+    let model_bytes = container.inline_model.as_deref().ok_or_else(|| {
+        CodecError::Invalid(
+            "container has no inline model; supply the model file it was encoded with".into(),
+        )
+    })?;
+    let codec = Codec::new(model::decode_model(model_bytes)?);
+    if container.header.model_id != codec.model_id() {
+        return Err(CodecError::ModelMismatch {
+            container: container.header.model_id,
+            supplied: codec.model_id(),
+        });
+    }
+    codec.decode_container(&container, true)
+}
+
+/// One tile's compressed-domain representation before quantization.
+#[derive(Debug, Clone)]
+struct TileLatent {
+    norm: f64,
+    kept: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_image::{datasets, metrics};
+
+    fn test_image() -> GrayImage {
+        // A 32×24 grayscale blob image: smooth structure, non-trivial.
+        datasets::grayscale_blobs(1, 32, 24, 9).remove(0)
+    }
+
+    fn spectral_codec(img: &GrayImage, d: usize) -> Codec {
+        Codec::spectral_for_image(img, 4, d).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_meets_psnr_floor_at_8_bits() {
+        let img = test_image();
+        let codec = spectral_codec(&img, 8);
+        let (bytes, stats) = codec
+            .encode_image_with_stats(&img, &CodecOptions::default())
+            .unwrap();
+        let back = codec.decode_bytes(&bytes).unwrap();
+        assert_eq!((back.width(), back.height()), (32, 24));
+        let psnr = metrics::psnr(&img, &back.clamped());
+        assert!(psnr >= 20.0, "PSNR {psnr:.2} dB below floor");
+        assert!(stats.bits_per_pixel > 0.0);
+    }
+
+    #[test]
+    fn container_without_model_is_smaller_than_raw() {
+        let img = datasets::grayscale_blobs(1, 64, 64, 5).remove(0);
+        let codec = spectral_codec(&img, 8);
+        let opts = CodecOptions {
+            inline_model: false,
+            ..CodecOptions::default()
+        };
+        let (bytes, stats) = codec.encode_image_with_stats(&img, &opts).unwrap();
+        assert!(
+            bytes.len() < img.len(),
+            "container {} bytes ≥ raw {} bytes",
+            bytes.len(),
+            img.len()
+        );
+        assert!(stats.ratio() > 1.0);
+    }
+
+    #[test]
+    fn serial_and_parallel_paths_agree_exactly() {
+        let img = test_image();
+        let codec = spectral_codec(&img, 8);
+        let par = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+        let ser = codec
+            .encode_image(
+                &img,
+                &CodecOptions {
+                    parallel: false,
+                    ..CodecOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(par, ser, "encode must not depend on the tile schedule");
+        let d_par = codec.decode_bytes_with(&par, true).unwrap();
+        let d_ser = codec.decode_bytes_with(&par, false).unwrap();
+        assert_eq!(d_par, d_ser, "decode must not depend on the tile schedule");
+    }
+
+    #[test]
+    fn standalone_decode_uses_the_inline_model() {
+        let img = test_image();
+        let codec = spectral_codec(&img, 8);
+        let bytes = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+        let via_codec = codec.decode_bytes(&bytes).unwrap();
+        let via_inline = decode_standalone(&bytes).unwrap();
+        assert_eq!(via_codec, via_inline);
+        // Without the inline model the standalone path refuses.
+        let lean = codec
+            .encode_image(
+                &img,
+                &CodecOptions {
+                    inline_model: false,
+                    ..CodecOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(matches!(
+            decode_standalone(&lean),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn model_mismatch_is_detected() {
+        let img = test_image();
+        let codec = spectral_codec(&img, 8);
+        let other = spectral_codec(&datasets::grayscale_blobs(1, 32, 24, 77).remove(0), 8);
+        let bytes = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+        assert!(matches!(
+            other.decode_bytes(&bytes),
+            Err(CodecError::ModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_tiles_cost_one_bit_and_decode_to_black() {
+        // Mostly-black image with one lit region.
+        let mut img = GrayImage::zeros(16, 16);
+        img.set(1, 1, 0.8);
+        let codec = spectral_codec(&img, 4);
+        let opts = CodecOptions {
+            inline_model: false,
+            ..CodecOptions::default()
+        };
+        let (bytes, stats) = codec.encode_image_with_stats(&img, &opts).unwrap();
+        assert_eq!(stats.tiles, 16);
+        assert_eq!(stats.empty_tiles, 15);
+        let back = codec.decode_bytes(&bytes).unwrap();
+        for (y, x) in (0..16).flat_map(|y| (0..16).map(move |x| (y, x))) {
+            if x >= 4 || y >= 4 {
+                assert_eq!(back.get(x, y), 0.0, "empty tile pixel ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn per_tile_scale_improves_low_energy_tiles() {
+        // A dim image: amplitudes per tile are small, so the global
+        // [-1,1] grid wastes levels; per-tile scaling must not be worse.
+        let img = {
+            let mut img = datasets::grayscale_blobs(1, 32, 32, 13).remove(0);
+            for p in img.pixels_mut() {
+                *p *= 0.2;
+            }
+            img
+        };
+        let codec = spectral_codec(&img, 8);
+        let base = CodecOptions {
+            bits: 5,
+            inline_model: false,
+            ..CodecOptions::default()
+        };
+        let scaled = CodecOptions {
+            per_tile_scale: true,
+            ..base.clone()
+        };
+        let flat = codec.encode_image(&img, &base).unwrap();
+        let tight = codec.encode_image(&img, &scaled).unwrap();
+        let psnr_flat = metrics::psnr(&img, &codec.decode_bytes(&flat).unwrap().clamped());
+        let psnr_tight = metrics::psnr(&img, &codec.decode_bytes(&tight).unwrap().clamped());
+        assert!(
+            psnr_tight + 1e-9 >= psnr_flat,
+            "per-tile scale regressed PSNR: {psnr_flat:.2} → {psnr_tight:.2}"
+        );
+    }
+
+    #[test]
+    fn oversize_tiles_and_empty_images_are_rejected() {
+        let img = test_image();
+        let codec = spectral_codec(&img, 8);
+        let opts = CodecOptions {
+            tile_size: 5, // 25 pixels > N = 16
+            ..CodecOptions::default()
+        };
+        assert!(matches!(
+            codec.encode_image(&img, &opts),
+            Err(CodecError::Invalid(_))
+        ));
+        assert!(codec
+            .encode_image(&GrayImage::zeros(0, 0), &CodecOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn unaligned_image_sizes_roundtrip() {
+        let img = datasets::grayscale_blobs(1, 13, 9, 21).remove(0);
+        let codec = spectral_codec(&img, 8);
+        let bytes = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+        let back = codec.decode_bytes(&bytes).unwrap();
+        assert_eq!((back.width(), back.height()), (13, 9));
+        let psnr = metrics::psnr(&img, &back.clamped());
+        assert!(psnr >= 20.0, "PSNR {psnr:.2} dB");
+    }
+}

@@ -1,0 +1,212 @@
+//! Scalar quantization of latent amplitudes.
+//!
+//! The compressed representation of a tile is its `d` kept amplitudes —
+//! real values in `[-1, 1]` because the input states are unit-norm and
+//! the mesh is orthogonal. A [`Quantizer`] maps them onto `2^bits`
+//! uniform levels; [`zigzag`] then folds the level index around the
+//! quantizer's zero level so that near-zero amplitudes (the common case
+//! for energy-compacted latents) become small symbols, which is what
+//! makes the Rice stage of the bitstream effective — the same
+//! transform-quantize-entropy-code chain as the hybrid JPEG-style
+//! quantum codec of arXiv:2602.06201, with the trained mesh playing the
+//! role of the DCT.
+//!
+//! Two modes:
+//!
+//! - **Global** (default): the fixed range `[-1, 1]`. No side
+//!   information.
+//! - **Per-tile scaled**: amplitudes are divided by the tile's peak
+//!   `max |a|` first, spending 32 bits/tile on the scale to win back
+//!   precision when a tile's energy concentrates in few latents.
+
+use crate::error::{CodecError, Result};
+
+/// Highest supported bit depth (symbols fit comfortably in `u32`).
+pub const MAX_BITS: u8 = 16;
+
+/// Uniform scalar quantizer over `[-1, 1]` with `2^bits` levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    bits: u8,
+    levels: u32,
+}
+
+impl Quantizer {
+    /// Quantizer with `2^bits` levels.
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] unless `1 ≤ bits ≤ 16`.
+    pub fn new(bits: u8) -> Result<Self> {
+        if bits == 0 || bits > MAX_BITS {
+            return Err(CodecError::Invalid(format!(
+                "bit depth must be in 1..={MAX_BITS}, got {bits}"
+            )));
+        }
+        Ok(Quantizer {
+            bits,
+            levels: 1u32 << bits,
+        })
+    }
+
+    /// Configured bit depth.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The level an amplitude of exactly zero maps to — the center the
+    /// zigzag transform folds around.
+    pub fn zero_level(&self) -> u32 {
+        // round((0 + 1)/2 * (levels-1)) — computed once, exactly.
+        (self.levels - 1).div_ceil(2)
+    }
+
+    /// Quantize one amplitude (clamped to `[-1, 1]`).
+    pub fn quantize(&self, a: f64) -> u32 {
+        let unit = (a.clamp(-1.0, 1.0) + 1.0) / 2.0;
+        let level = (unit * f64::from(self.levels - 1)).round();
+        // Clamp defensively against rounding at the top edge.
+        level.min(f64::from(self.levels - 1)).max(0.0) as u32
+    }
+
+    /// Reconstruct the amplitude at a level's bin center.
+    pub fn dequantize(&self, level: u32) -> f64 {
+        let level = level.min(self.levels - 1);
+        f64::from(level) / f64::from(self.levels - 1) * 2.0 - 1.0
+    }
+
+    /// Quantize a slice.
+    pub fn quantize_block(&self, amps: &[f64]) -> Vec<u32> {
+        amps.iter().map(|&a| self.quantize(a)).collect()
+    }
+
+    /// Dequantize a slice.
+    pub fn dequantize_block(&self, levels: &[u32]) -> Vec<f64> {
+        levels.iter().map(|&l| self.dequantize(l)).collect()
+    }
+
+    /// Worst-case absolute reconstruction error per amplitude (half a
+    /// step).
+    pub fn max_error(&self) -> f64 {
+        1.0 / f64::from(self.levels - 1)
+    }
+}
+
+/// Per-tile normalisation scale: the peak |amplitude|, floored so a
+/// (theoretically impossible, but defensively handled) all-zero latent
+/// block never divides by zero.
+pub fn tile_scale(amps: &[f64]) -> f32 {
+    let peak = amps.iter().fold(0.0f64, |m, &a| m.max(a.abs()));
+    (peak.max(1e-9)) as f32
+}
+
+/// Fold a level index around `zero_level` so near-zero amplitudes get
+/// small symbols: 0, +1, −1, +2, −2, … → 0, 1, 2, 3, 4, …
+pub fn zigzag(level: u32, zero_level: u32) -> u32 {
+    if level >= zero_level {
+        2 * (level - zero_level)
+    } else {
+        2 * (zero_level - level) - 1
+    }
+}
+
+/// Inverse of [`zigzag`]; saturates at level 0 rather than wrapping on
+/// corrupt symbols (the container layer separately validates symbol
+/// range).
+pub fn unzigzag(symbol: u32, zero_level: u32) -> u32 {
+    if symbol.is_multiple_of(2) {
+        zero_level + symbol / 2
+    } else {
+        zero_level.saturating_sub(symbol / 2 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_bit_depths() {
+        assert!(Quantizer::new(0).is_err());
+        assert!(Quantizer::new(17).is_err());
+        assert!(Quantizer::new(1).is_ok());
+        assert!(Quantizer::new(16).is_ok());
+    }
+
+    #[test]
+    fn quantize_covers_endpoints_exactly() {
+        let q = Quantizer::new(8).unwrap();
+        assert_eq!(q.quantize(-1.0), 0);
+        assert_eq!(q.quantize(1.0), 255);
+        assert_eq!(q.dequantize(0), -1.0);
+        assert_eq!(q.dequantize(255), 1.0);
+        // Out-of-range inputs clamp instead of wrapping.
+        assert_eq!(q.quantize(-7.0), 0);
+        assert_eq!(q.quantize(7.0), 255);
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_half_step() {
+        for bits in [2u8, 4, 8, 12] {
+            let q = Quantizer::new(bits).unwrap();
+            let n = 1000;
+            for i in 0..=n {
+                let a = -1.0 + 2.0 * (i as f64) / (n as f64);
+                let back = q.dequantize(q.quantize(a));
+                assert!(
+                    (back - a).abs() <= q.max_error() + 1e-12,
+                    "bits={bits} a={a} back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dequantize_saturates_corrupt_levels() {
+        let q = Quantizer::new(4).unwrap();
+        assert_eq!(q.dequantize(u32::MAX), 1.0);
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_levels() {
+        let q = Quantizer::new(6).unwrap();
+        let zero = q.zero_level();
+        let mut seen = vec![false; q.levels() as usize];
+        for level in 0..q.levels() {
+            let z = zigzag(level, zero);
+            assert!(z < q.levels(), "zigzag output in range");
+            assert!(!seen[z as usize], "zigzag collision at {z}");
+            seen[z as usize] = true;
+            assert_eq!(unzigzag(z, zero), level);
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_gets_symbol_zero() {
+        let q = Quantizer::new(8).unwrap();
+        let level = q.quantize(0.0);
+        assert_eq!(zigzag(level, q.zero_level()), 0);
+    }
+
+    #[test]
+    fn tile_scale_tracks_peak() {
+        assert!((tile_scale(&[0.1, -0.6, 0.3]) - 0.6).abs() < 1e-7);
+        assert!(tile_scale(&[0.0, 0.0]) > 0.0, "floored, never zero");
+    }
+
+    #[test]
+    fn block_helpers_match_scalar_paths() {
+        let q = Quantizer::new(8).unwrap();
+        let amps = [0.0, 0.5, -0.5, 1.0, -1.0, 0.123];
+        let levels = q.quantize_block(&amps);
+        let back = q.dequantize_block(&levels);
+        for (i, &a) in amps.iter().enumerate() {
+            assert_eq!(levels[i], q.quantize(a));
+            assert_eq!(back[i], q.dequantize(levels[i]));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end tests of the `qnc` binary: the acceptance path
+//! (`compress` → `decompress` → PSNR floor, size bound), model
+//! training/reuse, `info`, and error behaviour on malformed input.
+
+use qn_image::{datasets, metrics, pgm};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn qnc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qnc"))
+}
+
+fn work_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("qnc_cli_tests").join(name);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn write_dataset_image(path: &Path, w: usize, h: usize, seed: u64) -> qn_image::GrayImage {
+    let img = datasets::grayscale_blobs(1, w, h, seed).remove(0);
+    pgm::write_pgm(&img, path).expect("write pgm");
+    img
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn qnc");
+    assert!(
+        out.status.success(),
+        "qnc failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// The PR's acceptance criterion: compress a dataset image at d=8 /
+/// 8-bit latents, decompress it standalone, and require PSNR ≥ 20 dB
+/// with the container smaller than the raw pixel payload.
+#[test]
+fn compress_decompress_roundtrip_meets_acceptance() {
+    let dir = work_dir("roundtrip");
+    let input = dir.join("img.pgm");
+    let container = dir.join("out.qnc");
+    let restored = dir.join("rt.pgm");
+    let img = write_dataset_image(&input, 128, 96, 42);
+
+    run_ok(qnc().arg("compress").arg(&input).arg("-o").arg(&container));
+    run_ok(
+        qnc()
+            .arg("decompress")
+            .arg(&container)
+            .arg("-o")
+            .arg(&restored),
+    );
+
+    let container_bytes = std::fs::metadata(&container).unwrap().len() as usize;
+    let raw_bytes = img.len(); // one byte per pixel
+    assert!(
+        container_bytes < raw_bytes,
+        "container {container_bytes} B not smaller than raw {raw_bytes} B"
+    );
+
+    let back = pgm::read_pgm(&restored).unwrap();
+    assert_eq!((back.width(), back.height()), (128, 96));
+    let psnr = metrics::psnr(&img, &back);
+    assert!(psnr >= 20.0, "PSNR {psnr:.2} dB below the 20 dB floor");
+}
+
+/// Model save → load reproduces identical reconstructions: compressing
+/// with a saved model file and decompressing with the same file must
+/// give byte-identical output to the standalone (inline-model) path.
+#[test]
+fn trained_model_file_reproduces_identical_output() {
+    let dir = work_dir("model_reuse");
+    let input = dir.join("img.pgm");
+    let model = dir.join("model.qnm");
+    write_dataset_image(&input, 64, 64, 7);
+
+    run_ok(qnc().arg("train").arg(&input).arg("-o").arg(&model));
+
+    // Compress twice with the same model file; outputs must be
+    // byte-identical (bit-exact model load).
+    let c1 = dir.join("a.qnc");
+    let c2 = dir.join("b.qnc");
+    for c in [&c1, &c2] {
+        run_ok(
+            qnc()
+                .arg("compress")
+                .arg(&input)
+                .arg("-o")
+                .arg(c)
+                .arg("--model")
+                .arg(&model)
+                .arg("--no-inline-model")
+                .arg("--no-verify"),
+        );
+    }
+    assert_eq!(
+        std::fs::read(&c1).unwrap(),
+        std::fs::read(&c2).unwrap(),
+        "same model file must produce identical containers"
+    );
+
+    // Decompress with the model file (no inline model present).
+    let restored = dir.join("rt.pgm");
+    run_ok(
+        qnc()
+            .arg("decompress")
+            .arg(&c1)
+            .arg("-o")
+            .arg(&restored)
+            .arg("--model")
+            .arg(&model),
+    );
+    let img = pgm::read_pgm(&input).unwrap();
+    let back = pgm::read_pgm(&restored).unwrap();
+    let psnr = metrics::psnr(&img, &back);
+    assert!(psnr >= 20.0, "PSNR {psnr:.2} dB below the 20 dB floor");
+}
+
+#[test]
+fn gradient_refined_training_runs() {
+    let dir = work_dir("train_iters");
+    let input = dir.join("img.pgm");
+    let model = dir.join("model.qnm");
+    write_dataset_image(&input, 16, 16, 3);
+    run_ok(
+        qnc()
+            .arg("train")
+            .arg(&input)
+            .arg("-o")
+            .arg(&model)
+            .arg("--iters")
+            .arg("5")
+            .arg("--latent")
+            .arg("8"),
+    );
+    assert!(model.exists());
+}
+
+#[test]
+fn info_reports_both_formats() {
+    let dir = work_dir("info");
+    let input = dir.join("img.pgm");
+    let container = dir.join("out.qnc");
+    let model = dir.join("model.qnm");
+    write_dataset_image(&input, 32, 32, 11);
+    run_ok(
+        qnc()
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(&container)
+            .arg("--no-verify"),
+    );
+    run_ok(qnc().arg("train").arg(&input).arg("-o").arg(&model));
+
+    let out = run_ok(qnc().arg("info").arg(&container));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("qnc container v1"), "got: {text}");
+    assert!(text.contains("32x32 px"));
+
+    let out = run_ok(qnc().arg("info").arg(&model));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("qnm model v1"), "got: {text}");
+    assert!(text.contains("N=16 -> d=8"));
+}
+
+#[test]
+fn corrupt_container_fails_cleanly_without_panicking() {
+    let dir = work_dir("corrupt");
+    let input = dir.join("img.pgm");
+    let container = dir.join("out.qnc");
+    write_dataset_image(&input, 32, 32, 13);
+    run_ok(
+        qnc()
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(&container)
+            .arg("--no-verify"),
+    );
+
+    let mut bytes = std::fs::read(&container).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    let corrupt = dir.join("corrupt.qnc");
+    std::fs::write(&corrupt, &bytes).unwrap();
+
+    let out = qnc()
+        .arg("decompress")
+        .arg(&corrupt)
+        .arg("-o")
+        .arg(dir.join("never.pgm"))
+        .output()
+        .expect("spawn qnc");
+    assert!(!out.status.success(), "corrupt container must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        !stderr.contains("panicked"),
+        "decoder panicked on corrupt input: {stderr}"
+    );
+    assert!(
+        stderr.contains("checksum") || stderr.contains("truncated"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_nonzero_with_help() {
+    let out = qnc().output().expect("spawn qnc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = qnc().arg("explode").output().expect("spawn qnc");
+    assert!(!out.status.success());
+
+    let out = qnc()
+        .arg("compress")
+        .arg("/nonexistent/input.pgm")
+        .arg("-o")
+        .arg("/tmp/never.qnc")
+        .output()
+        .expect("spawn qnc");
+    assert!(!out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+}

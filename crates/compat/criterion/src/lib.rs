@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the bench-definition API this workspace's `benches/` use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! `criterion_group!`/`criterion_main!` — backed by a simple but honest
+//! timing loop: warm up, auto-calibrate the batch size to ~10 ms, then
+//! take the median of several timed batches and report ns/iter plus
+//! derived throughput. No statistics engine, no HTML reports; results go
+//! to stdout. Good enough to track perf *trajectories* across PRs until
+//! the real crate is available.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each timed batch should roughly run.
+const TARGET_BATCH: Duration = Duration::from_millis(10);
+/// Number of timed batches; the median is reported.
+const BATCHES: usize = 7;
+
+/// Measures one closure under `b.iter(...)`.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time the routine: calibrate, run batches, record the median.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration: find an iteration count ≈ TARGET_BATCH.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_BATCH || iters >= 1 << 30 {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                iters = ((TARGET_BATCH.as_nanos() as f64 / per_iter.max(0.1)).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Time a routine with per-iteration setup; only the routine is
+    /// measured. The batch-size hint is accepted for API compatibility
+    /// but ignored (inputs are always regenerated per iteration).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate on routine-only time.
+        let mut iters: u64 = 1;
+        loop {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+            }
+            if spent >= TARGET_BATCH || iters >= 1 << 24 {
+                let per_iter = spent.as_nanos() as f64 / iters as f64;
+                iters = ((TARGET_BATCH.as_nanos() as f64 / per_iter.max(0.1)).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+            }
+            samples.push(spent.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; criterion would batch many.
+    SmallInput,
+    /// Inputs are expensive to hold; criterion would batch few.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`function/parameter` display form).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+fn report(full_name: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", n as f64 / ns * 1_000.0)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("bench {full_name:<48} {time}/iter{extra}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Ignored knob kept for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored knob kept for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine that takes an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmark a plain routine inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Define a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 16).to_string(), "f/16");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(8));
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1usize, |b, &n| {
+            b.iter(|| n + 1);
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+}

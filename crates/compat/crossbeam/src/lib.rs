@@ -1,0 +1,52 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided (the single API this workspace uses),
+//! delegating to `std::sync::mpsc`. The std channel is MPSC rather than
+//! MPMC, which is sufficient for the workspace's single-consumer
+//! streaming patterns.
+
+/// Bounded/unbounded channels mirroring `crossbeam::channel`.
+pub mod channel {
+    /// Sending half of a bounded channel.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    /// Receiving half.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// A bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+
+    /// An "unbounded" channel (std unbounded sender wrapped to the same
+    /// shape is not type-compatible with [`Sender`], so a large bound is
+    /// used instead; practically unbounded for streaming workloads).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_streams_in_order() {
+        let (tx, rx) = channel::bounded::<usize>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<usize> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn receiver_iterates_until_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().count(), 1);
+    }
+}

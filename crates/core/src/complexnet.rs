@@ -12,8 +12,8 @@
 //! (the elegant π/2 trick of the real network does not extend to the α
 //! derivative, and the parameter counts here are small).
 
-use crate::Result;
 use crate::error::CoreError;
+use crate::Result;
 use qn_sim::complex::Complex64;
 use qn_sim::rotation;
 
@@ -51,12 +51,7 @@ impl ComplexNetwork {
     ///
     /// # Errors
     /// Same as [`ComplexNetwork::zeros`].
-    pub fn random(
-        dim: usize,
-        layers: usize,
-        scale: f64,
-        rng: &mut impl rand::Rng,
-    ) -> Result<Self> {
+    pub fn random(dim: usize, layers: usize, scale: f64, rng: &mut impl rand::Rng) -> Result<Self> {
         let mut net = Self::zeros(dim, layers)?;
         for t in net.thetas.iter_mut().chain(net.alphas.iter_mut()) {
             *t = (rng.random::<f64>() * 2.0 - 1.0) * scale;
@@ -129,8 +124,7 @@ impl ComplexNetwork {
                         alpha += delta;
                     }
                 }
-                rotation::apply_complex(v, k, theta, alpha)
-                    .expect("mode in range by construction");
+                rotation::apply_complex(v, k, theta, alpha).expect("mode in range by construction");
             }
         }
     }
@@ -240,7 +234,13 @@ mod tests {
     fn forward_preserves_norm() {
         let mut rng = StdRng::seed_from_u64(2);
         let net = ComplexNetwork::random(5, 3, 2.0, &mut rng).unwrap();
-        let x = vec![c(0.5, 0.1), c(-0.3, 0.2), c(0.0, 0.7), c(0.2, 0.0), c(0.1, -0.1)];
+        let x = vec![
+            c(0.5, 0.1),
+            c(-0.3, 0.2),
+            c(0.0, 0.7),
+            c(0.2, 0.0),
+            c(0.1, -0.1),
+        ];
         let n_in: f64 = x.iter().map(|z| z.norm_sq()).sum();
         let y = net.forward(&x);
         let n_out: f64 = y.iter().map(|z| z.norm_sq()).sum();

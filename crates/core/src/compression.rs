@@ -15,6 +15,7 @@ use qn_sim::Projector;
 pub struct CompressionNetwork {
     mesh: Mesh,
     projector: Projector,
+    subspace: SubspaceKind,
     target: CompressionTargetKind,
 }
 
@@ -46,6 +47,7 @@ impl CompressionNetwork {
         Ok(CompressionNetwork {
             mesh,
             projector,
+            subspace,
             target,
         })
     }
@@ -73,6 +75,12 @@ impl CompressionNetwork {
     /// Borrow the projector (`P1`).
     pub fn projector(&self) -> &Projector {
         &self.projector
+    }
+
+    /// Which subspace convention `P1` keeps — needed by model persistence
+    /// (`qn-codec`) to rebuild the projector from a saved file.
+    pub fn subspace_kind(&self) -> SubspaceKind {
+        self.subspace
     }
 
     /// Raw network output `U_C |ψ⟩` — the amplitudes `a_i` that are

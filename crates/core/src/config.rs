@@ -361,14 +361,9 @@ mod tests {
         let mut bad_tol = base.clone();
         bad_tol.accuracy_tol = -1.0;
         assert!(bad_tol.validate().is_err());
-        assert!(base
-            .clone()
-            .with_batch_size(Some(0))
-            .validate()
-            .is_err());
+        assert!(base.clone().with_batch_size(Some(0)).validate().is_err());
         assert!(base.clone().with_batch_size(Some(8)).validate().is_ok());
-        let bad_custom = base
-            .with_target(CompressionTargetKind::Custom(vec![vec![0.0; 8]]));
+        let bad_custom = base.with_target(CompressionTargetKind::Custom(vec![vec![0.0; 8]]));
         assert!(bad_custom.validate().is_err());
     }
 

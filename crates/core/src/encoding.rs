@@ -106,8 +106,7 @@ pub fn decode_image(
     height: usize,
 ) -> Result<GrayImage> {
     let pixels = decode(amplitudes, norm, width * height);
-    GrayImage::from_pixels(width, height, pixels)
-        .map_err(|e| CoreError::InvalidData(e.to_string()))
+    GrayImage::from_pixels(width, height, pixels).map_err(|e| CoreError::InvalidData(e.to_string()))
 }
 
 #[cfg(test)]

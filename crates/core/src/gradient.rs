@@ -168,9 +168,7 @@ fn finite_difference(
     let gates_per_layer = n - 1;
 
     // Base outputs and residuals, shared by every parameter probe.
-    let outs: Vec<Vec<f64>> = par_map_indexed(inputs.len(), |i| {
-        mesh.forward_real_copy(&inputs[i])
-    });
+    let outs: Vec<Vec<f64>> = par_map_indexed(inputs.len(), |i| mesh.forward_real_copy(&inputs[i]));
     let residuals: Vec<Vec<f64>> = par_map_indexed(inputs.len(), |i| {
         let mut r = vec![0.0; n];
         residual(i, &outs[i], &mut r);
@@ -226,9 +224,7 @@ mod tests {
         // Normalised, varied inputs.
         (0..5)
             .map(|i| {
-                let mut v: Vec<f64> = (0..8)
-                    .map(|j| ((i * 8 + j) as f64 * 0.7).sin())
-                    .collect();
+                let mut v: Vec<f64> = (0..8).map(|j| ((i * 8 + j) as f64 * 0.7).sin()).collect();
                 qn_linalg::vector::normalize(&mut v);
                 v
             })

@@ -26,7 +26,10 @@ impl Loss {
 
     /// The zero loss.
     pub fn zero() -> Self {
-        Loss { sum: 0.0, mean: 0.0 }
+        Loss {
+            sum: 0.0,
+            mean: 0.0,
+        }
     }
 }
 
@@ -36,10 +39,7 @@ impl Loss {
 /// Panics on length mismatch.
 pub fn sample_squared_error(out: &[f64], target: &[f64]) -> f64 {
     assert_eq!(out.len(), target.len(), "loss: length mismatch");
-    out.iter()
-        .zip(target)
-        .map(|(o, t)| (o - t) * (o - t))
-        .sum()
+    out.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum()
 }
 
 /// Fidelity loss `1 − ⟨out|target⟩²` for unit vectors — an alternative

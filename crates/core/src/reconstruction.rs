@@ -75,11 +75,7 @@ impl ReconstructionNetwork {
     /// # Panics
     /// Panics when batch lengths differ.
     pub fn loss(&self, compressed: &[Vec<f64>], targets: &[Vec<f64>]) -> Loss {
-        assert_eq!(
-            compressed.len(),
-            targets.len(),
-            "loss: batch sizes differ"
-        );
+        assert_eq!(compressed.len(), targets.len(), "loss: batch sizes differ");
         let sum = gradient::loss_only(&self.mesh, compressed, &|i, out, buf| {
             for (j, b) in buf.iter_mut().enumerate() {
                 *b = out[j] - targets[i][j];

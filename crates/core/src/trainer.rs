@@ -123,9 +123,13 @@ impl Trainer {
                 Mesh::random_small(config.dim, config.layers_c, scale, &mut rng)
             }
             InitStrategy::Identity => Mesh::zeros(config.dim, config.layers_c),
-            InitStrategy::Spectral => {
-                spectral::spectral_mesh(&inputs, config.dim, config.compressed_dim, config.subspace, config.layers_c)?
-            }
+            InitStrategy::Spectral => spectral::spectral_mesh(
+                &inputs,
+                config.dim,
+                config.compressed_dim,
+                config.subspace,
+                config.layers_c,
+            )?,
         };
         let compression = CompressionNetwork::new(
             mesh_c,
@@ -238,9 +242,10 @@ impl Trainer {
                 let mut phase1: Vec<(Loss, f64)> = Vec::with_capacity(iters);
                 for it in 0..iters {
                     phase1.push(self.step_compression(it, opt_c.as_mut()));
-                    history
-                        .compressed_trace
-                        .push(self.compression.forward(&self.inputs[self.config.tracked_sample]));
+                    history.compressed_trace.push(
+                        self.compression
+                            .forward(&self.inputs[self.config.tracked_sample]),
+                    );
                     history.theta_c_trace.push(self.compression.mesh().thetas());
                 }
                 // Phase 2: reconstruction on the trained compressor.
@@ -262,7 +267,9 @@ impl Trainer {
                                 .compress(&self.inputs[self.config.tracked_sample]),
                         ),
                     );
-                    history.theta_r_trace.push(self.reconstruction.mesh().thetas());
+                    history
+                        .theta_r_trace
+                        .push(self.reconstruction.mesh().thetas());
                     observer(IterationEvent {
                         iteration: it,
                         loss_c,
@@ -278,14 +285,8 @@ impl Trainer {
         let final_accuracy_binary = history.accuracy_binary.last().copied().unwrap_or(0.0);
         let max_accuracy_binary = history.accuracy_binary.iter().copied().fold(0.0, f64::max);
         Ok(TrainReport {
-            final_compression_loss: history
-                .compression_loss
-                .last()
-                .map_or(0.0, |l| l.mean),
-            final_reconstruction_loss: history
-                .reconstruction_loss
-                .last()
-                .map_or(0.0, |l| l.mean),
+            final_compression_loss: history.compression_loss.last().map_or(0.0, |l| l.mean),
+            final_reconstruction_loss: history.reconstruction_loss.last().map_or(0.0, |l| l.mean),
             max_accuracy,
             final_accuracy,
             max_accuracy_binary,
@@ -337,12 +338,8 @@ impl Trainer {
                 comp.residual(gi, &noisy, buf);
             }
         };
-        let (sum, mut grad) = gradient::loss_and_gradient(
-            comp.mesh(),
-            &inputs,
-            &residual,
-            self.config.gradient,
-        );
+        let (sum, mut grad) =
+            gradient::loss_and_gradient(comp.mesh(), &inputs, &residual, self.config.gradient);
         let loss = Loss::from_sum(sum, inputs.len(), self.config.dim);
         if self.config.normalize_gradient {
             let f = 1.0 / (inputs.len() * self.config.dim) as f64;
@@ -447,11 +444,14 @@ impl Trainer {
         history
             .compressed_trace
             .push(self.compression.forward(tracked));
-        history
-            .reconstructed_trace
-            .push(self.reconstruction.reconstruct(&self.compression.compress(tracked)));
+        history.reconstructed_trace.push(
+            self.reconstruction
+                .reconstruct(&self.compression.compress(tracked)),
+        );
         history.theta_c_trace.push(self.compression.mesh().thetas());
-        history.theta_r_trace.push(self.reconstruction.mesh().thetas());
+        history
+            .theta_r_trace
+            .push(self.reconstruction.mesh().thetas());
     }
 }
 
@@ -461,7 +461,8 @@ impl Trainer {
 /// scheduling, so noisy training is exactly reproducible.
 fn shot_noise(out: &[f64], shots: usize, seed: u64, iter: u64, sample: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(
-        seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ sample.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ sample.wrapping_mul(0xD1B5_4A32_D192_ED03),
     );
     let total: f64 = out.iter().map(|a| a * a).sum();
     if total <= 0.0 {
@@ -632,9 +633,7 @@ mod tests {
     #[test]
     fn mini_batch_training_converges_and_is_deterministic() {
         let data = datasets::paper_binary_16(25);
-        let cfg = quick_config()
-            .with_iterations(120)
-            .with_batch_size(Some(8));
+        let cfg = quick_config().with_iterations(120).with_batch_size(Some(8));
         let r1 = Trainer::new(cfg.clone(), &data).unwrap().train().unwrap();
         let r2 = Trainer::new(cfg, &data).unwrap().train().unwrap();
         // Deterministic despite random batches.
@@ -657,10 +656,7 @@ mod tests {
             .unwrap()
             .train()
             .unwrap();
-        assert_eq!(
-            full.final_compression_loss,
-            over.final_compression_loss
-        );
+        assert_eq!(full.final_compression_loss, over.final_compression_loss);
     }
 
     #[test]
@@ -671,11 +667,7 @@ mod tests {
         let ae = t.into_autoencoder();
         let recon = ae.roundtrip_image(&data[0]).unwrap();
         // Thresholded reconstruction matches the binary input well.
-        let acc = qn_image::metrics::pixel_accuracy(
-            &recon.thresholded(0.5),
-            &data[0],
-            0.01,
-        );
+        let acc = qn_image::metrics::pixel_accuracy(&recon.thresholded(0.5), &data[0], 0.01);
         assert!(acc >= 75.0, "accuracy {acc}");
     }
 }

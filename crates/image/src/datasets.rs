@@ -46,7 +46,10 @@ pub fn quadrant_unions() -> Vec<GrayImage> {
     let q = quadrants();
     let mut out = Vec::with_capacity(15);
     for mask in 1u32..16 {
-        let parts: Vec<&GrayImage> = (0..4).filter(|i| mask & (1 << i) != 0).map(|i| &q[i]).collect();
+        let parts: Vec<&GrayImage> = (0..4)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| &q[i])
+            .collect();
         out.push(union(&parts));
     }
     out
@@ -105,12 +108,24 @@ pub fn paper_binary_16_hard(m: usize) -> Vec<GrayImage> {
 
 /// Random binary images of the given size with on-pixel probability
 /// `density`, fully determined by `seed`.
-pub fn random_binary(m: usize, width: usize, height: usize, density: f64, seed: u64) -> Vec<GrayImage> {
+pub fn random_binary(
+    m: usize,
+    width: usize,
+    height: usize,
+    density: f64,
+    seed: u64,
+) -> Vec<GrayImage> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..m)
         .map(|_| {
             let pixels = (0..width * height)
-                .map(|_| if rng.random::<f64>() < density { 1.0 } else { 0.0 })
+                .map(|_| {
+                    if rng.random::<f64>() < density {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             GrayImage::from_pixels(width, height, pixels).expect("length by construction")
         })

@@ -37,11 +37,7 @@ impl GrayImage {
     /// # Errors
     /// Returns [`ImageError`] when the pixel count does not match the
     /// dimensions.
-    pub fn from_pixels(
-        width: usize,
-        height: usize,
-        pixels: Vec<f64>,
-    ) -> Result<Self, ImageError> {
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<f64>) -> Result<Self, ImageError> {
         if pixels.len() != width * height {
             return Err(ImageError(format!(
                 "{}x{} image needs {} pixels, got {}",

@@ -102,11 +102,7 @@ pub fn pixel_accuracy(reconstruction: &GrayImage, target: &GrayImage, tol: f64) 
 ///
 /// # Panics
 /// Panics on length or dimension mismatch.
-pub fn mean_pixel_accuracy(
-    reconstructions: &[GrayImage],
-    targets: &[GrayImage],
-    tol: f64,
-) -> f64 {
+pub fn mean_pixel_accuracy(reconstructions: &[GrayImage], targets: &[GrayImage], tol: f64) -> f64 {
     assert_eq!(
         reconstructions.len(),
         targets.len(),

@@ -45,7 +45,9 @@ pub fn from_pgm_string(s: &str) -> Result<GrayImage, ImageError> {
         .lines()
         .filter(|l| !l.trim_start().starts_with('#'))
         .flat_map(|l| l.split_whitespace());
-    let magic = tokens.next().ok_or_else(|| ImageError("empty PGM".into()))?;
+    let magic = tokens
+        .next()
+        .ok_or_else(|| ImageError("empty PGM".into()))?;
     if magic != "P2" {
         return Err(ImageError(format!("unsupported PGM magic '{magic}'")));
     }

@@ -31,7 +31,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

@@ -87,12 +87,7 @@ mod tests {
 
     #[test]
     fn qr_least_squares_residual_is_orthogonal() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let b = [0.0, 1.0, 5.0];
         let x = lstsq_qr(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();
@@ -104,12 +99,7 @@ mod tests {
 
     #[test]
     fn svd_least_squares_matches_qr_when_full_rank() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, 0.5],
-            vec![-1.0, 1.0],
-            vec![0.3, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![2.0, 0.5], vec![-1.0, 1.0], vec![0.3, 3.0]]).unwrap();
         let b = [1.0, 0.0, -2.0];
         let x1 = lstsq_qr(&a, &b).unwrap();
         let x2 = lstsq_svd(&a, &b, 1e-12).unwrap();

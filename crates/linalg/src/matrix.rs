@@ -328,12 +328,7 @@ impl Matrix {
         self.zip_with(other, |a, b| a - b, "sub")
     }
 
-    fn zip_with(
-        &self,
-        other: &Matrix,
-        f: impl Fn(f64, f64) -> f64,
-        op: &str,
-    ) -> Result<Matrix> {
+    fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64, op: &str) -> Result<Matrix> {
         if self.shape() != other.shape() {
             return Err(LinalgError::ShapeMismatch(format!(
                 "{op}: {}x{} vs {}x{}",
@@ -528,7 +523,10 @@ mod tests {
         let a = small();
         let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
         assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
     }
 
@@ -591,11 +589,7 @@ mod tests {
     #[test]
     fn orthogonality_check() {
         assert!(Matrix::identity(4).is_orthogonal(1e-14));
-        let rot = Matrix::from_rows(&[
-            vec![0.6, -0.8],
-            vec![0.8, 0.6],
-        ])
-        .unwrap();
+        let rot = Matrix::from_rows(&[vec![0.6, -0.8], vec![0.8, 0.6]]).unwrap();
         assert!(rot.is_orthogonal(1e-14));
         assert!(!small().is_orthogonal(1e-6));
     }

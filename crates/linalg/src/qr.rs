@@ -30,9 +30,7 @@ pub struct QrDecomposition {
 pub fn qr(a: &Matrix) -> Result<QrDecomposition> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
-        return Err(LinalgError::InvalidArgument(
-            "qr: empty matrix".to_string(),
-        ));
+        return Err(LinalgError::InvalidArgument("qr: empty matrix".to_string()));
     }
     let mut r = a.clone();
     let mut q = Matrix::identity(m);

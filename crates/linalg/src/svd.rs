@@ -36,7 +36,8 @@ impl Svd {
                 us.set(i, j, v);
             }
         }
-        us.matmul(&self.v.transpose()).expect("shape by construction")
+        us.matmul(&self.v.transpose())
+            .expect("shape by construction")
     }
 
     /// Best rank-`r` approximation `U_r Σ_r V_rᵀ` (Eckart–Young).

@@ -101,11 +101,7 @@ pub fn mse(x: &[f64], y: &[f64]) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    x.iter()
-        .zip(y)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        / x.len() as f64
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / x.len() as f64
 }
 
 /// Index and value of the element with the largest absolute value.

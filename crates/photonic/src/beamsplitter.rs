@@ -44,8 +44,7 @@ impl BeamSplitter {
             self.is_real(),
             "complex beam splitter applied to real amplitudes"
         );
-        rotation::apply_real(amps, self.mode, self.theta)
-            .expect("beam splitter mode out of range");
+        rotation::apply_real(amps, self.mode, self.theta).expect("beam splitter mode out of range");
     }
 
     /// Apply the inverse to a real amplitude vector in place.

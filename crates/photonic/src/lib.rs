@@ -28,5 +28,5 @@ pub mod reck;
 pub mod sequence;
 
 pub use beamsplitter::BeamSplitter;
-pub use mesh::{Mesh, MeshLayer};
+pub use mesh::{GateOrder, Mesh, MeshLayer};
 pub use sequence::GateSequence;

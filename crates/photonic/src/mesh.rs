@@ -64,6 +64,27 @@ impl MeshLayer {
         }
     }
 
+    /// Layer from a complete parameter set — the exact inverse of reading
+    /// [`MeshLayer::thetas`], [`MeshLayer::alphas`] and
+    /// [`MeshLayer::order`] back. This is the reconstruction path model
+    /// persistence (`qn-codec`) uses, so it must round-trip every layer a
+    /// trainer or decomposition can produce, including descending-cascade
+    /// layers from [`Mesh::reversed`].
+    ///
+    /// # Panics
+    /// Panics when `thetas` and `alphas` are not both `dim − 1` long.
+    pub fn from_parts(dim: usize, thetas: Vec<f64>, alphas: Vec<f64>, order: GateOrder) -> Self {
+        assert!(dim >= 2, "a layer needs at least two modes");
+        assert_eq!(thetas.len(), dim - 1, "layer needs dim−1 angles");
+        assert_eq!(alphas.len(), dim - 1, "layer needs dim−1 phases");
+        MeshLayer {
+            dim,
+            thetas,
+            alphas,
+            order,
+        }
+    }
+
     /// Number of modes.
     pub fn dim(&self) -> usize {
         self.dim
@@ -469,10 +490,7 @@ impl Mesh {
         if layers.is_empty() {
             layers.push(MeshLayer::zeros(dim));
         }
-        (
-            Mesh { dim, layers },
-            seq.signs().map(|s| s.to_vec()),
-        )
+        (Mesh { dim, layers }, seq.signs().map(|s| s.to_vec()))
     }
 
     /// Flatten to a [`GateSequence`] (loses nothing; used for interop with

@@ -224,11 +224,9 @@ mod tests {
 
     #[test]
     fn real_part_reports_imaginary_magnitude() {
-        let s = StateVector::from_amplitudes(vec![
-            Complex64::new(0.6, 0.0),
-            Complex64::new(0.0, 0.8),
-        ])
-        .unwrap();
+        let s =
+            StateVector::from_amplitudes(vec![Complex64::new(0.6, 0.0), Complex64::new(0.0, 0.8)])
+                .unwrap();
         let rho = DensityMatrix::from_pure(&s);
         let (_, max_im) = rho.real_part();
         assert!(max_im > 0.4); // off-diagonals are imaginary

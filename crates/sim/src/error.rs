@@ -38,7 +38,10 @@ impl fmt::Display for SimError {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             SimError::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             SimError::ZeroNorm => write!(f, "state has zero norm"),
             SimError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),

@@ -46,14 +46,23 @@ pub fn s_gate() -> Gate2 {
 
 /// `T = diag(1, e^{iπ/4})`.
 pub fn t_gate() -> Gate2 {
-    [[ONE, ZERO], [ZERO, Complex64::from_polar(1.0, std::f64::consts::FRAC_PI_4)]]
+    [
+        [ONE, ZERO],
+        [
+            ZERO,
+            Complex64::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+        ],
+    ]
 }
 
 /// Rotation about X: `RX(θ) = e^{-iθX/2}`.
 pub fn rx(theta: f64) -> Gate2 {
     let (s, c) = (theta / 2.0).sin_cos();
     let mis = Complex64::new(0.0, -s);
-    [[Complex64::from_real(c), mis], [mis, Complex64::from_real(c)]]
+    [
+        [Complex64::from_real(c), mis],
+        [mis, Complex64::from_real(c)],
+    ]
 }
 
 /// Rotation about Y: `RY(θ) = e^{-iθY/2}` (real-valued).

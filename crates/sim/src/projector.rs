@@ -175,7 +175,10 @@ impl Projector {
     /// Dense matrix form (diagonal of 0/1) as flat row-major data, for
     /// interop with `qn-linalg`.
     pub fn to_diagonal(&self) -> Vec<f64> {
-        self.mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+        self.mask
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect()
     }
 }
 

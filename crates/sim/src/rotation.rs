@@ -74,12 +74,7 @@ pub fn apply_real_derivative(amps: &mut [f64], k: usize, theta: f64) -> Result<(
 /// # Errors
 /// Returns [`SimError::InvalidArgument`] when `k + 1 ≥ amps.len()`.
 #[inline]
-pub fn apply_complex(
-    amps: &mut [Complex64],
-    k: usize,
-    theta: f64,
-    alpha: f64,
-) -> Result<()> {
+pub fn apply_complex(amps: &mut [Complex64], k: usize, theta: f64, alpha: f64) -> Result<()> {
     if k + 1 >= amps.len() {
         return Err(SimError::InvalidArgument(format!(
             "mode rotation at k={k} out of range for dimension {}",
@@ -218,10 +213,7 @@ mod tests {
 
     #[test]
     fn complex_inverse_undoes_rotation() {
-        let mut cv: Vec<Complex64> = vec![
-            Complex64::new(0.3, 0.4),
-            Complex64::new(-0.5, 0.1),
-        ];
+        let mut cv: Vec<Complex64> = vec![Complex64::new(0.3, 0.4), Complex64::new(-0.5, 0.1)];
         let orig = cv.clone();
         apply_complex(&mut cv, 0, 0.7, 1.9).unwrap();
         apply_complex_inverse(&mut cv, 0, 0.7, 1.9).unwrap();

@@ -15,28 +15,17 @@ use rand::Rng;
 /// Estimate basis-state probabilities from `shots` measurements.
 /// With `shots == 0` the exact probabilities are returned (infinite-shot
 /// limit), so callers can sweep `shots` without special-casing.
-pub fn estimate_probabilities(
-    state: &StateVector,
-    shots: usize,
-    rng: &mut impl Rng,
-) -> Vec<f64> {
+pub fn estimate_probabilities(state: &StateVector, shots: usize, rng: &mut impl Rng) -> Vec<f64> {
     if shots == 0 {
         return state.probabilities();
     }
     let counts = state.sample_counts(shots, rng);
-    counts
-        .iter()
-        .map(|&c| c as f64 / shots as f64)
-        .collect()
+    counts.iter().map(|&c| c as f64 / shots as f64).collect()
 }
 
 /// Estimate real amplitudes under shot noise: `sign(a_j) · √p̂_j`.
 /// With `shots == 0`, returns the exact real parts.
-pub fn estimate_real_amplitudes(
-    state: &StateVector,
-    shots: usize,
-    rng: &mut impl Rng,
-) -> Vec<f64> {
+pub fn estimate_real_amplitudes(state: &StateVector, shots: usize, rng: &mut impl Rng) -> Vec<f64> {
     let probs = estimate_probabilities(state, shots, rng);
     state
         .amplitudes()

@@ -102,11 +102,7 @@ impl StateVector {
 
     /// Euclidean norm of the amplitude vector.
     pub fn norm(&self) -> f64 {
-        self.amps
-            .iter()
-            .map(|a| a.norm_sq())
-            .sum::<f64>()
-            .sqrt()
+        self.amps.iter().map(|a| a.norm_sq()).sum::<f64>().sqrt()
     }
 
     /// Normalise in place.

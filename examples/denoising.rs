@@ -15,11 +15,8 @@ use rand::SeedableRng;
 
 fn main() {
     let data = datasets::paper_binary_16(25);
-    let mut trainer = Trainer::new(
-        NetworkConfig::paper_default().with_iterations(300),
-        &data,
-    )
-    .expect("valid configuration");
+    let mut trainer = Trainer::new(NetworkConfig::paper_default().with_iterations(300), &data)
+        .expect("valid configuration");
     trainer.train().expect("training runs");
     let ae = trainer.into_autoencoder();
 

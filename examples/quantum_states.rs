@@ -74,9 +74,7 @@ fn main() {
         let sv_out = StateVector::from_real(&out).expect("8 amplitudes");
         worst_fidelity = worst_fidelity.min(sv_in.fidelity(&sv_out).expect("same dims"));
     }
-    println!(
-        "3-qubit states in a hidden 2-dim subspace, compressed 8 → 2 amplitudes:"
-    );
+    println!("3-qubit states in a hidden 2-dim subspace, compressed 8 → 2 amplitudes:");
     println!(
         "  leakage after training: {:.2e}   worst recovery fidelity: {:.6}",
         comp.mean_leakage(&states),

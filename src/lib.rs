@@ -17,6 +17,9 @@
 //! - [`linalg`](qn_linalg) — dense linear algebra (QR, Jacobi SVD/eig, LU).
 //! - [`classical`](qn_classical) — the CSC sparse-coding baseline and PCA.
 //! - [`image`](qn_image) — images, datasets, metrics, PGM/ASCII IO.
+//! - [`codec`](qn_codec) — the end-to-end file codec: model persistence
+//!   (`.qnm`), quantized latent bitstreams, the `.qnc` container, tiled
+//!   encode/decode and the `qnc` CLI.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 pub use qn_classical as classical;
+pub use qn_codec as codec;
 pub use qn_core as core;
 pub use qn_image as image;
 pub use qn_linalg as linalg;

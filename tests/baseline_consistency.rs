@@ -5,8 +5,8 @@ use qn::classical::csc::{CscConfig, CscPipeline, SparseCoder};
 use qn::classical::pca::Pca;
 use qn::classical::svd_compress;
 use qn::core::config::NetworkConfig;
-use qn::core::{encoding, spectral};
 use qn::core::trainer::Trainer;
+use qn::core::{encoding, spectral};
 use qn::image::datasets;
 
 #[test]
@@ -22,8 +22,8 @@ fn trained_qn_reaches_the_pca_bound() {
     let bound = spectral::compression_loss_lower_bound(&inputs, 16, 4).expect("bound");
     assert!(bound > 0.0);
 
-    let mut trainer = Trainer::new(NetworkConfig::paper_default(), &data)
-        .expect("valid configuration");
+    let mut trainer =
+        Trainer::new(NetworkConfig::paper_default(), &data).expect("valid configuration");
     let report = trainer.train().expect("training runs");
     let achieved = report.history.compression_loss.last().unwrap().sum;
     assert!(
@@ -31,7 +31,10 @@ fn trained_qn_reaches_the_pca_bound() {
         "L_C {achieved} vs bound {bound}"
     );
     // And never below it (it is a true lower bound).
-    assert!(achieved >= bound - 1e-9, "L_C {achieved} broke the bound {bound}");
+    assert!(
+        achieved >= bound - 1e-9,
+        "L_C {achieved} broke the bound {bound}"
+    );
 }
 
 #[test]
@@ -64,11 +67,8 @@ fn pca_and_qn_agree_on_rank4_data() {
         }
     }
 
-    let mut trainer = Trainer::new(
-        NetworkConfig::paper_default().with_iterations(150),
-        &data,
-    )
-    .expect("valid configuration");
+    let mut trainer = Trainer::new(NetworkConfig::paper_default().with_iterations(150), &data)
+        .expect("valid configuration");
     let report = trainer.train().expect("training runs");
     assert!(report.max_accuracy_binary >= 99.9);
 }

@@ -1,0 +1,157 @@
+//! Property-based tests over the codec subsystem: model persistence is
+//! bit-exact on arbitrary parameters, encode→decode of random tiles
+//! meets the quantizer's error bound and the PSNR floor, and corrupted
+//! or truncated inputs always surface as typed errors, never panics.
+
+use proptest::prelude::*;
+use qn::codec::{container, model, Codec, CodecError, CodecOptions, Quantizer};
+use qn::core::compression::CompressionNetwork;
+use qn::core::config::{CompressionTargetKind, SubspaceKind};
+use qn::core::reconstruction::ReconstructionNetwork;
+use qn::core::QuantumAutoencoder;
+use qn::image::{metrics, GrayImage};
+use qn::photonic::Mesh;
+
+/// Mesh angles covering the full parameter range.
+fn angle() -> impl Strategy<Value = f64> {
+    -10.0..10.0f64
+}
+
+/// A pixel vector with at least some energy (the image-data regime).
+fn pixel_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..1.0f64, len)
+        .prop_filter("needs some energy", |v| v.iter().any(|&p| p > 1e-3))
+}
+
+/// Autoencoder on 16 modes with the given flattened θ for `U_C` and an
+/// exact-inverse `U_R`.
+fn autoencoder_16(thetas: &[f64], d: usize) -> QuantumAutoencoder {
+    let mut mesh = Mesh::zeros(16, 2);
+    mesh.set_thetas(thetas);
+    let compression = CompressionNetwork::new(
+        mesh,
+        d,
+        SubspaceKind::KeepLast,
+        CompressionTargetKind::TrashPenalty,
+    )
+    .expect("valid dims");
+    let reconstruction = ReconstructionNetwork::from_reversed_compression(&compression, 2);
+    QuantumAutoencoder::new(compression, reconstruction)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn model_save_load_is_bit_exact_for_arbitrary_angles(
+        thetas in proptest::collection::vec(angle(), 30),
+        d in 1usize..16
+    ) {
+        let ae = autoencoder_16(&thetas, d);
+        let bytes = model::encode_model(&ae);
+        let loaded = model::decode_model(&bytes).unwrap();
+        prop_assert_eq!(loaded.export_parameters(), ae.export_parameters());
+        prop_assert_eq!(model::encode_model(&loaded), bytes);
+        prop_assert_eq!(model::model_id(&loaded), model::model_id(&ae));
+        // Identical amplitudes, bitwise, on an arbitrary probe.
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7) as f64 * 0.13).sin()).collect();
+        prop_assert_eq!(loaded.compression.forward(&x), ae.compression.forward(&x));
+        prop_assert_eq!(
+            loaded.reconstruction.reconstruct(&x),
+            ae.reconstruction.reconstruct(&x)
+        );
+    }
+
+    #[test]
+    fn random_tiles_roundtrip_within_quantizer_bounds(
+        pixels in pixel_vector(16),
+        thetas in proptest::collection::vec(angle(), 30)
+    ) {
+        // d = 16 keeps everything: the only loss is quantization, so the
+        // decoded tile must sit near the original by the quantizer's
+        // per-amplitude error bound (times the mesh's conditioning = 1,
+        // orthogonal) scaled by the stored norm.
+        let ae = autoencoder_16(&thetas, 16);
+        let codec = Codec::new(ae);
+        let img = GrayImage::from_pixels(4, 4, pixels.clone()).unwrap();
+        let opts = CodecOptions { inline_model: false, ..CodecOptions::default() };
+        let bytes = codec.encode_image(&img, &opts).unwrap();
+        let back = codec.decode_bytes(&bytes).unwrap();
+        let norm: f64 = pixels.iter().map(|p| p * p).sum::<f64>().sqrt();
+        let q = Quantizer::new(8).unwrap();
+        // Quantizing 16 amplitudes perturbs the state by at most
+        // √16·ε in L2; decoding multiplies by the norm. Use a generous
+        // 6σ-style slack over the per-pixel bound.
+        let bound = norm * q.max_error() * 16.0f64.sqrt() + 2e-4 * norm + 1e-9;
+        for (a, b) in back.pixels().iter().zip(&pixels) {
+            prop_assert!((a - b).abs() <= bound, "pixel {a} vs {b}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn lossy_roundtrip_meets_psnr_floor_on_random_tiles(
+        pixels in pixel_vector(16).prop_filter(
+            "tile norm well above the quantizer floor",
+            |v| v.iter().map(|p| p * p).sum::<f64>().sqrt() > 0.25
+        )
+    ) {
+        // d = 8 at 8-bit latents on a PCA-matched mesh: the acceptance
+        // regime. The spectral model is fit to this single tile, so the
+        // only loss is quantization noise — PSNR must clear 20 dB.
+        let img = GrayImage::from_pixels(4, 4, pixels).unwrap();
+        let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+        let opts = CodecOptions { inline_model: false, ..CodecOptions::default() };
+        let bytes = codec.encode_image(&img, &opts).unwrap();
+        let back = codec.decode_bytes(&bytes).unwrap();
+        let psnr = metrics::psnr(&img, &back.clamped());
+        prop_assert!(psnr >= 20.0, "PSNR {psnr:.2} dB");
+    }
+
+    #[test]
+    fn truncated_containers_error_and_never_panic(
+        pixels in pixel_vector(64),
+        cut_fraction in 0.0..1.0f64
+    ) {
+        let img = GrayImage::from_pixels(8, 8, pixels).unwrap();
+        let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+        let bytes = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let err = container::Container::from_bytes(&bytes[..cut.min(bytes.len() - 1)])
+            .expect_err("truncated container must fail");
+        prop_assert!(matches!(
+            err,
+            CodecError::Truncated { .. } | CodecError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn corrupted_containers_error_and_never_panic(
+        pixels in pixel_vector(64),
+        flip_at in 0.0..1.0f64,
+        flip_mask in 1u32..256
+    ) {
+        let img = GrayImage::from_pixels(8, 8, pixels).unwrap();
+        let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+        let mut bytes = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+        let pos = ((bytes.len() as f64) * flip_at) as usize % bytes.len();
+        bytes[pos] ^= flip_mask as u8; // mask ∈ 1..256 → at least one bit flips
+        // Decoding must produce a typed error (any variant) — never panic.
+        prop_assert!(qn::codec::decode_standalone(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_models_error_and_never_panic(
+        thetas in proptest::collection::vec(angle(), 30),
+        cut_fraction in 0.0..1.0f64
+    ) {
+        let ae = autoencoder_16(&thetas, 4);
+        let bytes = model::encode_model(&ae);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let err = model::decode_model(&bytes[..cut.min(bytes.len() - 1)])
+            .expect_err("truncated model must fail");
+        prop_assert!(matches!(
+            err,
+            CodecError::Truncated { .. } | CodecError::ChecksumMismatch { .. }
+        ));
+    }
+}

@@ -42,8 +42,7 @@ fn paper_network_sizes_match_section_iv_a() {
     // network, and 14×15 parameters are involved in the reconstruction
     // network"
     let data = datasets::paper_binary_16(25);
-    let trainer =
-        Trainer::new(NetworkConfig::paper_default(), &data).expect("valid configuration");
+    let trainer = Trainer::new(NetworkConfig::paper_default(), &data).expect("valid configuration");
     assert_eq!(trainer.compression().mesh().param_count(), 12 * 15);
     assert_eq!(trainer.reconstruction().mesh().param_count(), 14 * 15);
     // "the number of single-layer quantum gates U is N − 1"
@@ -106,8 +105,7 @@ fn reconstruction_initialised_as_reversed_compression_inverts_it() {
     // network is tiny" — at init (before projection) the reversed network
     // must invert exactly.
     let data = datasets::paper_binary_16(25);
-    let trainer =
-        Trainer::new(NetworkConfig::paper_default(), &data).expect("valid configuration");
+    let trainer = Trainer::new(NetworkConfig::paper_default(), &data).expect("valid configuration");
     let enc = encoding::encode_images(&data, 16).expect("encodes");
     for e in enc.iter().take(5) {
         let forward = trainer.compression().forward(&e.amplitudes);
