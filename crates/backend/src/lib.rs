@@ -1,0 +1,271 @@
+//! Execution backends for interferometer-mesh passes.
+//!
+//! The codec, the trainer and every related mesh workload ultimately
+//! reduce to the same primitive: apply a [`Mesh`] (or its inverse) to a
+//! batch of real amplitude vectors. This crate abstracts that primitive
+//! behind the [`MeshBackend`] trait so the *schedule* — one vector at a
+//! time, fanned across threads, or packed into cache-friendly panels —
+//! can vary while the *numbers* cannot:
+//!
+//! - [`ScalarBackend`] — the reference: per-vector dispatch through
+//!   `Mesh::forward_real`, serial or thread-parallel;
+//! - [`PanelBackend`] — packs vectors into mode-major
+//!   [`qn_linalg::Panel`]s and sweeps each beam-splitter layer across
+//!   the whole panel, chunked across threads.
+//!
+//! [`BackendKind`] is the value-level selector (CLI flags, codec
+//! options) that maps onto shared backend instances.
+//!
+//! # Why bit-compatibility is part of the trait contract
+//!
+//! `.qnc` containers record quantized mesh outputs; a decoder that
+//! produced even 1-ulp-different amplitudes could round a quantizer
+//! level differently and emit different pixels — a silent format
+//! incompatibility. Backends therefore must be bitwise-interchangeable,
+//! and the cross-backend conformance suite plus the golden bitstream
+//! vectors pin that promise in CI.
+
+mod panel;
+mod scalar;
+
+pub use panel::{PanelBackend, DEFAULT_PANEL_WIDTH};
+pub use scalar::ScalarBackend;
+
+use qn_photonic::Mesh;
+use std::fmt;
+use std::str::FromStr;
+
+/// Executes mesh forward/inverse passes over batches of amplitude
+/// vectors.
+///
+/// # Equivalence contract
+///
+/// For every implementation, every mesh `U`, and every batch:
+///
+/// - `forward_batch(U, batch)[i]` is **bit-identical** to
+///   `U.forward_real_copy(&batch[i])`, and
+/// - `inverse_batch(U, batch)[i]` is **bit-identical** to applying
+///   `U.inverse_real` to a copy of `batch[i]`,
+///
+/// for all `i`, in input order, regardless of thread count, batch size
+/// or internal blocking. "Bit-identical" means the same `f64` bit
+/// patterns: implementations must keep the per-gate arithmetic exactly
+/// as written in `MeshLayer::apply_real` (`c·a − s·b`, `s·a + c·b`,
+/// one `sin_cos` per gate angle) — no reassociation, no FMA
+/// contraction, no extended-precision accumulation. This is what makes
+/// `.qnc` containers decode byte-identically under every backend; the
+/// conformance suite (`tests/codec_properties.rs`) and the golden
+/// vectors (`tests/golden_vectors.rs`) enforce it.
+///
+/// # Panics
+///
+/// Implementations panic (like the scalar reference) when a batch
+/// vector's length differs from `mesh.dim()` or the mesh has complex
+/// gates; malformed *file* input must be rejected by the codec layer
+/// before reaching a backend.
+pub trait MeshBackend: fmt::Debug + Sync {
+    /// Stable human-readable name (used in logs and benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// Apply `mesh` forward to every vector, returning outputs in input
+    /// order.
+    fn forward_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>>;
+
+    /// Apply the exact inverse `U⁻¹` to every vector, returning outputs
+    /// in input order.
+    fn inverse_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>>;
+}
+
+/// Value-level backend selector for CLI flags and codec options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Per-vector dispatch on the calling thread.
+    Scalar,
+    /// Per-vector dispatch fanned across threads.
+    ScalarParallel,
+    /// Batched mode-major panels, chunked across threads (default).
+    #[default]
+    Panel,
+}
+
+/// Shared instances behind [`BackendKind::backend`].
+static SCALAR: ScalarBackend = ScalarBackend::serial();
+static SCALAR_PARALLEL: ScalarBackend = ScalarBackend::parallel();
+static PANEL: PanelBackend = PanelBackend::with_width(DEFAULT_PANEL_WIDTH);
+
+impl BackendKind {
+    /// Every selectable backend, in documentation order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Scalar,
+        BackendKind::ScalarParallel,
+        BackendKind::Panel,
+    ];
+
+    /// The backend instance this selector names.
+    pub fn backend(self) -> &'static dyn MeshBackend {
+        match self {
+            BackendKind::Scalar => &SCALAR,
+            BackendKind::ScalarParallel => &SCALAR_PARALLEL,
+            BackendKind::Panel => &PANEL,
+        }
+    }
+
+    /// Stable name, accepted back by [`BackendKind::from_str`].
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::ScalarParallel => "scalar-parallel",
+            BackendKind::Panel => "panel",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" | "serial" => Ok(BackendKind::Scalar),
+            "scalar-parallel" | "parallel" => Ok(BackendKind::ScalarParallel),
+            "panel" => Ok(BackendKind::Panel),
+            other => Err(format!(
+                "unknown backend {other:?} (expected scalar, scalar-parallel or panel)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh(dim: usize, layers: usize) -> Mesh {
+        Mesh::random(dim, layers, &mut StdRng::seed_from_u64(314))
+    }
+
+    fn batch(dim: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * dim + j) as f64 * 0.29).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_kind_resolves_and_names_roundtrip() {
+        for kind in BackendKind::ALL {
+            let backend = kind.backend();
+            assert_eq!(backend.name(), kind.name());
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(
+            "serial".parse::<BackendKind>().unwrap(),
+            BackendKind::Scalar
+        );
+        assert_eq!(
+            "parallel".parse::<BackendKind>().unwrap(),
+            BackendKind::ScalarParallel
+        );
+        assert!("simd".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::Panel);
+    }
+
+    #[test]
+    fn all_backends_match_the_scalar_reference_bitwise() {
+        let m = mesh(10, 3);
+        let xs = batch(10, 23); // ragged against every panel width
+        let reference: Vec<Vec<f64>> = xs.iter().map(|x| m.forward_real_copy(x)).collect();
+        let inverse_reference: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let mut v = x.clone();
+                m.inverse_real(&mut v);
+                v
+            })
+            .collect();
+        for kind in BackendKind::ALL {
+            let b = kind.backend();
+            assert_eq!(b.forward_batch(&m, &xs), reference, "{kind} forward");
+            assert_eq!(
+                b.inverse_batch(&m, &xs),
+                inverse_reference,
+                "{kind} inverse"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batches_yield_empty_outputs() {
+        let m = mesh(4, 1);
+        for kind in BackendKind::ALL {
+            assert!(kind.backend().forward_batch(&m, &[]).is_empty());
+            assert!(kind.backend().inverse_batch(&m, &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn panel_widths_including_one_agree_with_scalar() {
+        let m = mesh(6, 2);
+        let xs = batch(6, 7);
+        let reference = BackendKind::Scalar.backend().forward_batch(&m, &xs);
+        for width in [1usize, 2, 3, 7, 8, 64] {
+            let backend = PanelBackend::with_width(width);
+            assert_eq!(backend.forward_batch(&m, &xs), reference, "width {width}");
+        }
+    }
+
+    #[test]
+    fn inverse_of_forward_restores_batch() {
+        let m = mesh(8, 3);
+        let xs = batch(8, 5);
+        for kind in BackendKind::ALL {
+            let b = kind.backend();
+            let back = b.inverse_batch(&m, &b.forward_batch(&m, &xs));
+            for (got, want) in back.iter().zip(&xs) {
+                for (a, b) in got.iter().zip(want) {
+                    assert!((a - b).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_panel_backend_uses_the_documented_width() {
+        assert_eq!(PanelBackend::default().width(), DEFAULT_PANEL_WIDTH);
+        assert_eq!(PanelBackend::with_width(7).width(), 7);
+    }
+
+    #[test]
+    fn mismatched_vector_lengths_panic_like_the_scalar_path() {
+        let m = mesh(6, 1);
+        let bad = vec![vec![0.0; 5]];
+        for kind in BackendKind::ALL {
+            let result = std::panic::catch_unwind(|| kind.backend().forward_batch(&m, &bad));
+            assert!(result.is_err(), "{kind} must reject a length-5 vector");
+        }
+    }
+
+    #[test]
+    fn descending_order_meshes_are_supported() {
+        // Reversed meshes flip each layer's cascade direction — the
+        // panel sweep must follow the same gate order.
+        let m = mesh(9, 2).reversed();
+        let xs = batch(9, 13);
+        let reference = BackendKind::Scalar.backend().forward_batch(&m, &xs);
+        assert_eq!(
+            BackendKind::Panel.backend().forward_batch(&m, &xs),
+            reference
+        );
+    }
+}

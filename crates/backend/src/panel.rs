@@ -1,0 +1,75 @@
+//! The batched panel backend: sweep layers across many tiles at once.
+
+use crate::MeshBackend;
+use qn_linalg::parallel::par_map_chunked;
+use qn_linalg::Panel;
+use qn_photonic::Mesh;
+
+/// Default lanes per panel. At the paper's N = 16 state dimension one
+/// panel is 16 × 64 × 8 B = 8 KiB — two rows (1 KiB) live comfortably
+/// in L1 while a gate sweeps them — and a 256×256 image (4096 tiles)
+/// still splits into 64 chunks for thread-level parallelism.
+pub const DEFAULT_PANEL_WIDTH: usize = 64;
+
+/// Packs up to `width` vectors into a mode-major [`Panel`] and applies
+/// each beam-splitter layer across the whole panel: one `sin_cos` per
+/// gate instead of one per gate *per tile*, with unit-stride inner
+/// loops over the lanes. Chunks of `width` lanes are processed in
+/// parallel via `qn_linalg::parallel::par_map_chunked`; chunk
+/// boundaries depend only on the batch length, so results are
+/// thread-count invariant — and each lane's arithmetic is exactly the
+/// scalar kernel's, so outputs are bit-identical to [`crate::ScalarBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct PanelBackend {
+    width: usize,
+}
+
+impl PanelBackend {
+    /// Panel backend with an explicit panel width (lanes per panel).
+    ///
+    /// Width 0 is rejected at use time (the first batch panics); use
+    /// widths ≥ 1. [`DEFAULT_PANEL_WIDTH`] suits the codec's tile sizes.
+    pub const fn with_width(width: usize) -> Self {
+        PanelBackend { width }
+    }
+
+    /// Lanes per panel.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn run<F>(&self, batch: &[Vec<f64>], apply: F) -> Vec<Vec<f64>>
+    where
+        F: Fn(&mut Panel) + Sync,
+    {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let chunks = par_map_chunked(batch.len(), self.width, |start, end| {
+            let mut panel = Panel::from_columns(&batch[start..end]);
+            apply(&mut panel);
+            panel.into_columns()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+impl Default for PanelBackend {
+    fn default() -> Self {
+        PanelBackend::with_width(DEFAULT_PANEL_WIDTH)
+    }
+}
+
+impl MeshBackend for PanelBackend {
+    fn name(&self) -> &'static str {
+        "panel"
+    }
+
+    fn forward_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.run(batch, |panel| mesh.forward_real_panel(panel))
+    }
+
+    fn inverse_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.run(batch, |panel| mesh.inverse_real_panel(panel))
+    }
+}

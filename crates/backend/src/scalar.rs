@@ -1,0 +1,59 @@
+//! The scalar reference backend: one vector at a time.
+
+use crate::MeshBackend;
+use qn_linalg::parallel::par_map_indexed;
+use qn_photonic::Mesh;
+
+/// Per-vector dispatch through `Mesh::forward_real` — exactly the
+/// semantics every other backend must reproduce bit-for-bit. The
+/// parallel flavour fans vectors across threads; each vector's pass is
+/// untouched, so serial and parallel outputs are identical.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarBackend {
+    parallel: bool,
+}
+
+impl ScalarBackend {
+    /// Scalar dispatch on the calling thread.
+    pub const fn serial() -> Self {
+        ScalarBackend { parallel: false }
+    }
+
+    /// Scalar dispatch fanned across threads (one vector per task).
+    pub const fn parallel() -> Self {
+        ScalarBackend { parallel: true }
+    }
+
+    fn map<F>(&self, n: usize, f: F) -> Vec<Vec<f64>>
+    where
+        F: Fn(usize) -> Vec<f64> + Sync + Send,
+    {
+        if self.parallel {
+            par_map_indexed(n, f)
+        } else {
+            (0..n).map(f).collect()
+        }
+    }
+}
+
+impl MeshBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "scalar-parallel"
+        } else {
+            "scalar"
+        }
+    }
+
+    fn forward_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.map(batch.len(), |i| mesh.forward_real_copy(&batch[i]))
+    }
+
+    fn inverse_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.map(batch.len(), |i| {
+            let mut v = batch[i].clone();
+            mesh.inverse_real(&mut v);
+            v
+        })
+    }
+}

@@ -1,9 +1,10 @@
-//! Criterion bench: codec encode/decode throughput in tiles/sec, serial
-//! vs parallel tile mode — the baseline trajectory for future serving
-//! and batching PRs.
+//! Criterion bench: codec encode/decode throughput in tiles/sec across
+//! the execution backends (scalar serial, scalar parallel, batched
+//! panels) on identical inputs — the numbers recorded in
+//! `BENCH_codec.json` (see `qn-bench`'s `bench_codec` binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qn_codec::{Codec, CodecOptions};
+use qn_codec::{BackendKind, Codec, CodecOptions};
 use qn_image::{datasets, GrayImage};
 use std::hint::black_box;
 
@@ -15,9 +16,9 @@ fn fixture(size: usize) -> (Codec, GrayImage, usize) {
     (codec, img, tiles)
 }
 
-fn opts(parallel: bool) -> CodecOptions {
+fn opts(backend: BackendKind) -> CodecOptions {
     CodecOptions {
-        parallel,
+        backend,
         inline_model: false,
         ..CodecOptions::default()
     }
@@ -28,9 +29,9 @@ fn bench_encode(c: &mut Criterion) {
     for &size in &[64usize, 128, 256] {
         let (codec, img, tiles) = fixture(size);
         group.throughput(Throughput::Elements(tiles as u64));
-        for (mode, parallel) in [("serial", false), ("parallel", true)] {
-            group.bench_with_input(BenchmarkId::new(mode, size), &size, |b, _| {
-                let o = opts(parallel);
+        for backend in BackendKind::ALL {
+            group.bench_with_input(BenchmarkId::new(backend.name(), size), &size, |b, _| {
+                let o = opts(backend);
                 b.iter(|| codec.encode_image(black_box(&img), &o).expect("encode"));
             });
         }
@@ -43,14 +44,14 @@ fn bench_decode(c: &mut Criterion) {
     for &size in &[64usize, 128, 256] {
         let (codec, img, tiles) = fixture(size);
         let bytes = codec
-            .encode_image(&img, &opts(true))
+            .encode_image(&img, &opts(BackendKind::Panel))
             .expect("encode fixture");
         group.throughput(Throughput::Elements(tiles as u64));
-        for (mode, parallel) in [("serial", false), ("parallel", true)] {
-            group.bench_with_input(BenchmarkId::new(mode, size), &size, |b, _| {
+        for backend in BackendKind::ALL {
+            group.bench_with_input(BenchmarkId::new(backend.name(), size), &size, |b, _| {
                 b.iter(|| {
                     codec
-                        .decode_bytes_with(black_box(&bytes), parallel)
+                        .decode_bytes_with(black_box(&bytes), backend)
                         .expect("decode")
                 });
             });
@@ -62,7 +63,9 @@ fn bench_decode(c: &mut Criterion) {
 fn bench_container_parse(c: &mut Criterion) {
     // Bitstream-only cost: parse without running the meshes.
     let (codec, img, tiles) = fixture(128);
-    let bytes = codec.encode_image(&img, &opts(true)).expect("encode");
+    let bytes = codec
+        .encode_image(&img, &opts(BackendKind::Panel))
+        .expect("encode");
     let mut group = c.benchmark_group("codec_container");
     group.throughput(Throughput::Elements(tiles as u64));
     group.bench_function("parse/128", |b| {

@@ -1,0 +1,105 @@
+//! Codec throughput recorder: measures encode/decode tiles/sec for the
+//! scalar, scalar-parallel and panel execution backends on identical
+//! inputs, prints a table, and writes the numbers to `BENCH_codec.json`
+//! at the workspace root — the machine-readable trail the ROADMAP's
+//! batching claims point at.
+//!
+//! Usage: `cargo run --release -p qn-bench --bin bench_codec [size]`
+//! (default image size 256; the tile grid is size²/16).
+
+use qn_bench::results_dir;
+use qn_codec::{BackendKind, Codec, CodecOptions};
+use qn_image::datasets;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median-of-runs timing for one closure, in seconds per call.
+fn time_median<F: FnMut()>(mut f: F, runs: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("size must be a number"))
+        .unwrap_or(256);
+    let runs = 9;
+
+    let img = datasets::grayscale_blobs(1, size, size, 42).remove(0);
+    let tile_size = CodecOptions::default().tile_size;
+    let codec = Codec::spectral_for_image(&img, tile_size, 8).expect("spectral model");
+    let tiles = size.div_ceil(tile_size) * size.div_ceil(tile_size);
+
+    println!("codec throughput, {size}x{size} image, {tiles} tiles, median of {runs} runs");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "backend", "enc tiles/s", "dec tiles/s"
+    );
+
+    let mut entries = String::new();
+    let mut reference: Option<Vec<u8>> = None;
+    for backend in BackendKind::ALL {
+        let opts = CodecOptions {
+            backend,
+            inline_model: false,
+            ..CodecOptions::default()
+        };
+        let bytes = codec.encode_image(&img, &opts).expect("encode");
+        // Backends must agree byte-for-byte before their speed means anything.
+        match &reference {
+            None => reference = Some(bytes.clone()),
+            Some(r) => assert_eq!(&bytes, r, "{backend}: container bytes diverged"),
+        }
+        let enc_s = time_median(
+            || {
+                black_box(codec.encode_image(black_box(&img), &opts).expect("encode"));
+            },
+            runs,
+        );
+        let dec_s = time_median(
+            || {
+                black_box(
+                    codec
+                        .decode_bytes_with(black_box(&bytes), backend)
+                        .expect("decode"),
+                );
+            },
+            runs,
+        );
+        let enc_tps = tiles as f64 / enc_s;
+        let dec_tps = tiles as f64 / dec_s;
+        println!("{:<16} {:>14.0} {:>14.0}", backend.name(), enc_tps, dec_tps);
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            "    {{\"backend\": \"{}\", \"encode_tiles_per_sec\": {:.0}, \"decode_tiles_per_sec\": {:.0}}}",
+            backend.name(),
+            enc_tps,
+            dec_tps
+        )
+        .expect("write entry");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"codec_throughput\",\n  \"image\": \"{size}x{size}\",\n  \"tiles\": {tiles},\n  \"runs\": {runs},\n  \"threads\": {},\n  \"results\": [\n{entries}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    // results_dir() is <root>/results; BENCH_codec.json lives at the root.
+    let path = results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .join("BENCH_codec.json");
+    std::fs::write(&path, &json).expect("write BENCH_codec.json");
+    println!("wrote {}", path.display());
+}

@@ -11,7 +11,7 @@
 //! failure exits with a message on stderr and a non-zero status — no
 //! panics on user input.
 
-use qn_codec::{decode_standalone, model, Codec, CodecOptions};
+use qn_codec::{decode_standalone_with, model, BackendKind, Codec, CodecOptions};
 use qn_core::config::{
     CompressionTargetKind, InitStrategy, NetworkConfig, OptimizerKind, SubspaceKind,
 };
@@ -26,18 +26,22 @@ qnc — quantum-network image codec
 USAGE:
     qnc compress   <input.pgm> -o <out.qnc> [--model <m.qnm>] [--tile N]
                    [--latent D] [--bits B] [--per-tile-scale]
-                   [--no-inline-model] [--serial] [--no-verify]
-    qnc decompress <input.qnc> -o <out.pgm> [--model <m.qnm>] [--serial]
+                   [--no-inline-model] [--backend B] [--serial] [--no-verify]
+    qnc decompress <input.qnc> -o <out.pgm> [--model <m.qnm>]
+                   [--backend B] [--serial]
     qnc train      <input.pgm> -o <model.qnm> [--tile N] [--latent D]
                    [--layers-c N] [--layers-r N] [--iters N] [--seed S]
     qnc info       <file.qnc | file.qnm>
 
-Defaults: tile 4, latent 8, bits 8, inline model, parallel tiles.
-`compress` without --model builds a PCA-spectral model from the input
-image itself and (unless --no-inline-model) embeds it in the container,
-so the .qnc decodes standalone. `train` distills a model from an image's
-tiles: spectral initialisation plus --iters gradient refinement steps
-(0 = spectral only).";
+Defaults: tile 4, latent 8, bits 8, inline model, panel backend.
+Backends (--backend scalar|scalar-parallel|panel; --serial is shorthand
+for --backend scalar) change throughput only: every backend produces
+byte-identical containers and pixel-identical decodes. `compress`
+without --model builds a PCA-spectral model from the input image itself
+and (unless --no-inline-model) embeds it in the container, so the .qnc
+decodes standalone. `train` distills a model from an image's tiles:
+spectral initialisation plus --iters gradient refinement steps (0 =
+spectral only).";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("qnc: {msg}");
@@ -66,6 +70,7 @@ impl Args {
             "--tile",
             "--latent",
             "--bits",
+            "--backend",
             "--layers-c",
             "--layers-r",
             "--iters",
@@ -123,6 +128,16 @@ fn read_image(path: &Path) -> Result<GrayImage, String> {
     pgm::read_pgm(path).map_err(|e| format!("reading {}: {e}", path.display()))
 }
 
+/// Backend selection: `--backend <name>` wins, `--serial` is shorthand
+/// for the scalar backend, default is the panel backend.
+fn backend_choice(args: &Args) -> Result<BackendKind, String> {
+    match args.value(&["--backend"]) {
+        Some(name) => name.parse(),
+        None if args.has("--serial") => Ok(BackendKind::Scalar),
+        None => Ok(BackendKind::Panel),
+    }
+}
+
 /// The codec for `compress`: an explicit model file, or a spectral model
 /// distilled from the image itself.
 fn codec_for_compress(
@@ -156,7 +171,7 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         bits: args.numeric(&["--bits"], 8u8)?,
         per_tile_scale: args.has("--per-tile-scale"),
         inline_model: !args.has("--no-inline-model"),
-        parallel: !args.has("--serial"),
+        backend: backend_choice(args)?,
     };
 
     let img = read_image(Path::new(input))?;
@@ -180,7 +195,7 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
 
     if !args.has("--no-verify") {
         let back = codec
-            .decode_bytes_with(&bytes, opts.parallel)
+            .decode_bytes_with(&bytes, opts.backend)
             .map_err(|e| format!("verify decode: {e}"))?;
         let psnr = metrics::psnr(&img, &back.clamped());
         println!(
@@ -200,17 +215,17 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
             .ok_or("decompress needs -o <out.pgm>")?,
     );
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let parallel = !args.has("--serial");
+    let backend = backend_choice(args)?;
 
     let img = match args.value(&["--model"]) {
         Some(path) => {
             let codec = Codec::from_model_file(Path::new(path))
                 .map_err(|e| format!("loading model {path}: {e}"))?;
             codec
-                .decode_bytes_with(&bytes, parallel)
+                .decode_bytes_with(&bytes, backend)
                 .map_err(|e| format!("decoding: {e}"))?
         }
-        None => decode_standalone(&bytes).map_err(|e| format!("decoding: {e}"))?,
+        None => decode_standalone_with(&bytes, backend).map_err(|e| format!("decoding: {e}"))?,
     };
 
     pgm::write_pgm(&img.clamped(), &output)

@@ -18,7 +18,9 @@
 //!   per-tile payloads, optional inline model, trailing checksum;
 //! - [`pipeline`] — the full-image path: `qn-image` tiling → batch
 //!   amplitude encode → `U_C`/`P1` → quantize + entropy-code, and the
-//!   reverse through `U_R`, with serial and parallel tile modes;
+//!   reverse through `U_R`, with the mesh passes dispatched through a
+//!   selectable, bit-compatible `qn_backend::MeshBackend` (scalar
+//!   serial/parallel or batched tile panels);
 //! - the `qnc` binary — `compress` / `decompress` / `train` / `info`
 //!   over PGM files.
 //!
@@ -36,5 +38,6 @@ pub mod quantize;
 pub use container::{Container, ContainerHeader, TilePayload};
 pub use error::{CodecError, Result};
 pub use model::{load_model, save_model};
-pub use pipeline::{decode_standalone, Codec, CodecOptions, EncodeStats};
+pub use pipeline::{decode_standalone, decode_standalone_with, Codec, CodecOptions, EncodeStats};
+pub use qn_backend::BackendKind;
 pub use quantize::Quantizer;

@@ -7,10 +7,12 @@
 //! into a shippable codec: a [`Codec`] owns a trained
 //! [`QuantumAutoencoder`] (loaded from a `.qnm` file, trained in
 //! process, or PCA-spectrally initialised from the image itself) and
-//! converts `GrayImage`s to `.qnc` bytes and back. Per-tile work — the
-//! mesh forward passes that dominate runtime — optionally fans out
-//! across threads via `qn_linalg::parallel`, the same deterministic
-//! parallel substrate training uses.
+//! converts `GrayImage`s to `.qnc` bytes and back. The mesh passes that
+//! dominate runtime are dispatched as whole-image batches through a
+//! [`qn_backend::MeshBackend`] selected by [`CodecOptions::backend`]:
+//! scalar per-tile dispatch (serial or thread-fanned) or batched tile
+//! panels. Every backend is bit-compatible, so the bytes a container
+//! holds — and the pixels it decodes to — never depend on the schedule.
 
 use crate::container::{
     dequantize_norm, quantize_norm, Container, ContainerHeader, TilePayload, CONTAINER_VERSION,
@@ -19,11 +21,11 @@ use crate::container::{
 use crate::error::{CodecError, Result};
 use crate::model;
 use crate::quantize::{tile_scale, Quantizer};
+use qn_backend::BackendKind;
 use qn_core::config::{CompressionTargetKind, SubspaceKind};
 use qn_core::reconstruction::ReconstructionNetwork;
 use qn_core::{compression::CompressionNetwork, encoding, QuantumAutoencoder};
 use qn_image::{tiles, GrayImage};
-use qn_linalg::parallel::par_map_indexed;
 use std::path::Path;
 
 /// Knobs for [`Codec::encode_image`].
@@ -38,8 +40,9 @@ pub struct CodecOptions {
     pub per_tile_scale: bool,
     /// Embed the model file in the container so it decodes standalone.
     pub inline_model: bool,
-    /// Fan per-tile mesh work out across threads.
-    pub parallel: bool,
+    /// Execution backend for the mesh passes. Backends are
+    /// bit-compatible: this knob changes throughput only, never bytes.
+    pub backend: BackendKind,
 }
 
 impl Default for CodecOptions {
@@ -49,7 +52,7 @@ impl Default for CodecOptions {
             bits: 8,
             per_tile_scale: false,
             inline_model: true,
-            parallel: true,
+            backend: BackendKind::Panel,
         }
     }
 }
@@ -196,8 +199,8 @@ impl Codec {
         let latent_dim = self.model.compression.compressed_dim();
 
         let tiling = tiles::tile(img, opts.tile_size);
-        // Per-tile forward pass: encode → U_C → P1 → kept amplitudes.
-        let latents = self.forward_tiles(&tiling.tiles, opts.parallel);
+        // Batched forward pass: encode → U_C → P1 → kept amplitudes.
+        let latents = self.forward_tiles(&tiling.tiles, opts.backend);
 
         let max_norm = latents.iter().flatten().fold(0.0f64, |m, l| m.max(l.norm)) as f32;
 
@@ -269,14 +272,16 @@ impl Codec {
     /// All container parse errors, plus [`CodecError::ModelMismatch`]
     /// when the container was encoded with a different model.
     pub fn decode_bytes(&self, bytes: &[u8]) -> Result<GrayImage> {
-        self.decode_bytes_with(bytes, true)
+        self.decode_bytes_with(bytes, BackendKind::default())
     }
 
-    /// Decompress with control over tile-level parallelism.
+    /// Decompress through an explicit execution backend. Backends are
+    /// bit-compatible, so every [`BackendKind`] yields the identical
+    /// image.
     ///
     /// # Errors
     /// See [`Codec::decode_bytes`].
-    pub fn decode_bytes_with(&self, bytes: &[u8], parallel: bool) -> Result<GrayImage> {
+    pub fn decode_bytes_with(&self, bytes: &[u8], backend: BackendKind) -> Result<GrayImage> {
         let container = Container::from_bytes(bytes)?;
         if container.header.model_id != self.model_id {
             return Err(CodecError::ModelMismatch {
@@ -284,7 +289,7 @@ impl Codec {
                 supplied: self.model_id,
             });
         }
-        self.decode_container(&container, parallel)
+        self.decode_container(&container, backend)
     }
 
     /// Decode a parsed container against this codec's model.
@@ -292,7 +297,11 @@ impl Codec {
     /// # Errors
     /// [`CodecError::Invalid`] when the container geometry disagrees
     /// with the model (latent dimension, state dimension).
-    pub fn decode_container(&self, container: &Container, parallel: bool) -> Result<GrayImage> {
+    pub fn decode_container(
+        &self,
+        container: &Container,
+        backend: BackendKind,
+    ) -> Result<GrayImage> {
         let header = &container.header;
         let dim = self.model.dim();
         let tile_px = header.tile_size as usize * header.tile_size as usize;
@@ -314,41 +323,47 @@ impl Codec {
         let tile_size = header.tile_size as usize;
         let max_norm = header.max_norm;
 
-        let reconstruct_one = |payload: &TilePayload| -> GrayImage {
-            let mut amps = quantizer.dequantize_block(&payload.levels);
-            if let Some(scale) = payload.scale {
-                for a in &mut amps {
-                    *a *= f64::from(scale);
+        // Dequantize every occupied tile into a re-embedded state vector…
+        let mut states: Vec<Vec<f64>> = Vec::new();
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(container.tiles.len());
+        for tile in &container.tiles {
+            match tile {
+                None => slots.push(None),
+                Some(payload) => {
+                    let mut amps = quantizer.dequantize_block(&payload.levels);
+                    if let Some(scale) = payload.scale {
+                        for a in &mut amps {
+                            *a *= f64::from(scale);
+                        }
+                    }
+                    let mut state = vec![0.0; dim];
+                    for (&j, &a) in kept_indices.iter().zip(&amps) {
+                        state[j] = a;
+                    }
+                    slots.push(Some(states.len()));
+                    states.push(state);
                 }
             }
-            // Re-embed the latents at the kept basis states…
-            let mut state = vec![0.0; dim];
-            for (&j, &a) in kept_indices.iter().zip(&amps) {
-                state[j] = a;
-            }
-            // …and run the reconstruction mesh.
-            let out = self.model.reconstruction.reconstruct(&state);
-            let norm = dequantize_norm(payload.norm_q, max_norm);
-            let pixels = encoding::decode(&out, norm, tile_px);
-            GrayImage::from_pixels(tile_size, tile_size, pixels)
-                .expect("tile geometry fixed by construction")
-        };
-
-        let patches: Vec<GrayImage> = if parallel {
-            par_map_indexed(container.tiles.len(), |i| match &container.tiles[i] {
-                None => GrayImage::zeros(tile_size, tile_size),
-                Some(payload) => reconstruct_one(payload),
+        }
+        // …run the reconstruction mesh over the whole batch at once…
+        let outs = self
+            .model
+            .reconstruction
+            .reconstruct_batch_with(&states, backend.backend());
+        // …and turn each output back into a tile patch.
+        let patches: Vec<GrayImage> = slots
+            .iter()
+            .zip(&container.tiles)
+            .map(|(slot, tile)| match (slot, tile) {
+                (Some(i), Some(payload)) => {
+                    let norm = dequantize_norm(payload.norm_q, max_norm);
+                    let pixels = encoding::decode(&outs[*i], norm, tile_px);
+                    GrayImage::from_pixels(tile_size, tile_size, pixels)
+                        .expect("tile geometry fixed by construction")
+                }
+                _ => GrayImage::zeros(tile_size, tile_size),
             })
-        } else {
-            container
-                .tiles
-                .iter()
-                .map(|t| match t {
-                    None => GrayImage::zeros(tile_size, tile_size),
-                    Some(payload) => reconstruct_one(payload),
-                })
-                .collect()
-        };
+            .collect();
 
         let tiling = tiles::Tiling {
             tiles: Vec::new(),
@@ -361,29 +376,42 @@ impl Codec {
         Ok(tiles::untile(&tiling, &patches))
     }
 
-    /// Per-tile forward pass through encode → `U_C` → `P1`.
-    fn forward_tiles(&self, patches: &[GrayImage], parallel: bool) -> Vec<Option<TileLatent>> {
-        let one = |patch: &GrayImage| -> Option<TileLatent> {
-            let enc = encoding::encode(patch.pixels(), self.model.dim()).ok()?;
-            let compressed = self.model.compression.compress(&enc.amplitudes);
-            let kept: Vec<f64> = self
-                .model
-                .compression
-                .projector()
-                .kept_indices()
-                .iter()
-                .map(|&j| compressed[j])
-                .collect();
-            Some(TileLatent {
-                norm: enc.norm,
-                kept,
-            })
-        };
-        if parallel {
-            par_map_indexed(patches.len(), |i| one(&patches[i]))
-        } else {
-            patches.iter().map(one).collect()
+    /// Batched forward pass through encode → `U_C` → `P1`: all occupied
+    /// tiles go through the mesh as one backend batch; all-zero tiles
+    /// (which amplitude encoding rejects) stay empty.
+    fn forward_tiles(
+        &self,
+        patches: &[GrayImage],
+        backend: BackendKind,
+    ) -> Vec<Option<TileLatent>> {
+        let dim = self.model.dim();
+        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(patches.len());
+        let mut norms: Vec<f64> = Vec::with_capacity(patches.len());
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(patches.len());
+        for patch in patches {
+            match encoding::encode(patch.pixels(), dim) {
+                Ok(enc) => {
+                    slots.push(Some(inputs.len()));
+                    norms.push(enc.norm);
+                    inputs.push(enc.amplitudes);
+                }
+                Err(_) => slots.push(None),
+            }
         }
+        let compressed = self
+            .model
+            .compression
+            .compress_batch_with(&inputs, backend.backend());
+        let kept_indices = self.model.compression.projector().kept_indices();
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.map(|i| TileLatent {
+                    norm: norms[i],
+                    kept: kept_indices.iter().map(|&j| compressed[i][j]).collect(),
+                })
+            })
+            .collect()
     }
 }
 
@@ -394,6 +422,14 @@ impl Codec {
 /// [`CodecError::Invalid`] when no model is embedded; otherwise all
 /// container/model parse errors.
 pub fn decode_standalone(bytes: &[u8]) -> Result<GrayImage> {
+    decode_standalone_with(bytes, BackendKind::default())
+}
+
+/// Standalone decode through an explicit execution backend.
+///
+/// # Errors
+/// See [`decode_standalone`].
+pub fn decode_standalone_with(bytes: &[u8], backend: BackendKind) -> Result<GrayImage> {
     let container = Container::from_bytes(bytes)?;
     let model_bytes = container.inline_model.as_deref().ok_or_else(|| {
         CodecError::Invalid(
@@ -407,7 +443,7 @@ pub fn decode_standalone(bytes: &[u8]) -> Result<GrayImage> {
             supplied: codec.model_id(),
         });
     }
-    codec.decode_container(&container, true)
+    codec.decode_container(&container, backend)
 }
 
 /// One tile's compressed-domain representation before quantization.
@@ -464,23 +500,41 @@ mod tests {
     }
 
     #[test]
-    fn serial_and_parallel_paths_agree_exactly() {
+    fn every_backend_encodes_and_decodes_identically() {
         let img = test_image();
         let codec = spectral_codec(&img, 8);
-        let par = codec.encode_image(&img, &CodecOptions::default()).unwrap();
-        let ser = codec
+        let reference = codec
             .encode_image(
                 &img,
                 &CodecOptions {
-                    parallel: false,
+                    backend: BackendKind::Scalar,
                     ..CodecOptions::default()
                 },
             )
             .unwrap();
-        assert_eq!(par, ser, "encode must not depend on the tile schedule");
-        let d_par = codec.decode_bytes_with(&par, true).unwrap();
-        let d_ser = codec.decode_bytes_with(&par, false).unwrap();
-        assert_eq!(d_par, d_ser, "decode must not depend on the tile schedule");
+        let reference_img = codec
+            .decode_bytes_with(&reference, BackendKind::Scalar)
+            .unwrap();
+        for backend in BackendKind::ALL {
+            let bytes = codec
+                .encode_image(
+                    &img,
+                    &CodecOptions {
+                        backend,
+                        ..CodecOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(
+                bytes, reference,
+                "{backend}: encode bytes must not depend on the schedule"
+            );
+            let decoded = codec.decode_bytes_with(&bytes, backend).unwrap();
+            assert_eq!(
+                decoded, reference_img,
+                "{backend}: decode must not depend on the schedule"
+            );
+        }
     }
 
     #[test]

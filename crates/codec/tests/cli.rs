@@ -207,6 +207,74 @@ fn corrupt_container_fails_cleanly_without_panicking() {
     );
 }
 
+/// `--backend` selects the execution schedule without changing a single
+/// byte: every backend compresses to the same container, and a panel
+/// decode of a scalar encode reproduces the scalar decode exactly.
+#[test]
+fn backends_are_byte_compatible_end_to_end() {
+    let dir = work_dir("backends");
+    let input = dir.join("img.pgm");
+    write_dataset_image(&input, 48, 32, 29);
+
+    let mut containers = Vec::new();
+    for backend in ["scalar", "scalar-parallel", "panel"] {
+        let out = dir.join(format!("{backend}.qnc"));
+        run_ok(
+            qnc()
+                .arg("compress")
+                .arg(&input)
+                .arg("-o")
+                .arg(&out)
+                .arg("--backend")
+                .arg(backend)
+                .arg("--no-verify"),
+        );
+        containers.push(std::fs::read(&out).unwrap());
+    }
+    assert_eq!(containers[0], containers[1], "scalar vs scalar-parallel");
+    assert_eq!(containers[0], containers[2], "scalar vs panel");
+
+    // Cross-decode: encode under one backend, decode under another.
+    let scalar_pgm = dir.join("scalar.pgm");
+    let panel_pgm = dir.join("panel.pgm");
+    run_ok(
+        qnc()
+            .arg("decompress")
+            .arg(dir.join("scalar.qnc"))
+            .arg("-o")
+            .arg(&scalar_pgm)
+            .arg("--backend")
+            .arg("scalar"),
+    );
+    run_ok(
+        qnc()
+            .arg("decompress")
+            .arg(dir.join("scalar.qnc"))
+            .arg("-o")
+            .arg(&panel_pgm)
+            .arg("--backend")
+            .arg("panel"),
+    );
+    assert_eq!(
+        std::fs::read(&scalar_pgm).unwrap(),
+        std::fs::read(&panel_pgm).unwrap(),
+        "panel decode must be byte-identical to scalar decode"
+    );
+
+    // Unknown backends fail cleanly.
+    let out = qnc()
+        .arg("compress")
+        .arg(&input)
+        .arg("-o")
+        .arg(dir.join("never.qnc"))
+        .arg("--backend")
+        .arg("gpu")
+        .output()
+        .expect("spawn qnc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown backend"));
+}
+
 #[test]
 fn usage_errors_exit_nonzero_with_help() {
     let out = qnc().output().expect("spawn qnc");

@@ -6,7 +6,7 @@ use crate::error::CoreError;
 use crate::gradient::{self, GradientMethod};
 use crate::loss::Loss;
 use crate::Result;
-use qn_linalg::parallel::par_map_indexed;
+use qn_backend::{BackendKind, MeshBackend};
 use qn_photonic::Mesh;
 use qn_sim::Projector;
 
@@ -101,12 +101,39 @@ impl CompressionNetwork {
 
     /// Batch forward pass (parallel over samples).
     pub fn forward_batch(&self, encoded: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        par_map_indexed(encoded.len(), |i| self.forward(&encoded[i]))
+        self.forward_batch_with(encoded, BackendKind::ScalarParallel.backend())
+    }
+
+    /// Batch forward pass through an explicit execution backend. Every
+    /// backend is bit-identical to [`CompressionNetwork::forward`] per
+    /// sample (the `MeshBackend` equivalence contract).
+    pub fn forward_batch_with(
+        &self,
+        encoded: &[Vec<f64>],
+        backend: &dyn MeshBackend,
+    ) -> Vec<Vec<f64>> {
+        backend.forward_batch(&self.mesh, encoded)
     }
 
     /// Batch compression (parallel over samples).
     pub fn compress_batch(&self, encoded: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        par_map_indexed(encoded.len(), |i| self.compress(&encoded[i]))
+        self.compress_batch_with(encoded, BackendKind::ScalarParallel.backend())
+    }
+
+    /// Batch compression through an explicit execution backend —
+    /// bit-identical to [`CompressionNetwork::compress`] per sample.
+    pub fn compress_batch_with(
+        &self,
+        encoded: &[Vec<f64>],
+        backend: &dyn MeshBackend,
+    ) -> Vec<Vec<f64>> {
+        let mut outs = backend.forward_batch(&self.mesh, encoded);
+        for out in &mut outs {
+            self.projector
+                .project_real(out)
+                .expect("dimensions match by construction");
+        }
+        outs
     }
 
     /// Write the residual `r = a_i − b_i` for the configured target

@@ -3,7 +3,7 @@
 use crate::compression::CompressionNetwork;
 use crate::gradient::{self, GradientMethod};
 use crate::loss::Loss;
-use qn_linalg::parallel::par_map_indexed;
+use qn_backend::{BackendKind, MeshBackend};
 use qn_photonic::{Mesh, MeshLayer};
 
 /// The reconstruction half: `|Ψ_i⟩ = U_R · (P1 U_C |ψ_i⟩)`.
@@ -66,7 +66,18 @@ impl ReconstructionNetwork {
 
     /// Batch reconstruction (parallel over samples).
     pub fn reconstruct_batch(&self, compressed: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        par_map_indexed(compressed.len(), |i| self.reconstruct(&compressed[i]))
+        self.reconstruct_batch_with(compressed, BackendKind::ScalarParallel.backend())
+    }
+
+    /// Batch reconstruction through an explicit execution backend —
+    /// bit-identical to [`ReconstructionNetwork::reconstruct`] per
+    /// sample (the `MeshBackend` equivalence contract).
+    pub fn reconstruct_batch_with(
+        &self,
+        compressed: &[Vec<f64>],
+        backend: &dyn MeshBackend,
+    ) -> Vec<Vec<f64>> {
+        backend.forward_batch(&self.mesh, compressed)
     }
 
     /// Reconstruction loss `L_R = Σ_{i,j} (B_i^j − A_i^j)²` (Eq. 5), where

@@ -17,6 +17,7 @@ pub mod givens;
 pub mod lstsq;
 pub mod lu;
 pub mod matrix;
+pub mod panel;
 pub mod parallel;
 pub mod qr;
 pub mod random;
@@ -28,6 +29,7 @@ pub use error::LinalgError;
 pub use givens::Givens;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
+pub use panel::Panel;
 pub use qr::QrDecomposition;
 pub use svd::Svd;
 pub use sym_eig::SymEig;

@@ -1,0 +1,181 @@
+//! Mode-major panel storage for batched mesh execution.
+//!
+//! A [`Panel`] holds a batch of amplitude vectors as the columns of a
+//! `dim × width` matrix stored **mode-major**: all `width` lanes of mode
+//! `m` are contiguous (`data[m·width + lane]`). A beam-splitter gate on
+//! modes `(k, k+1)` then touches exactly two contiguous rows, so one
+//! trigonometric evaluation sweeps the whole batch with a unit-stride,
+//! auto-vectorizable inner loop — the storage layout behind
+//! `qn-backend`'s `PanelBackend`.
+//!
+//! Panels are a pure data-layout change: extracting lane `l` after any
+//! sequence of row operations yields bit-identical values to running the
+//! same operations on lane `l`'s vector alone, provided the per-row
+//! arithmetic is expressed identically (no reassociation, no FMA
+//! contraction). The mesh kernels in `qn-photonic` and the conformance
+//! suite in `tests/codec_properties.rs` hold that line.
+
+/// A `dim × width` batch of real amplitude vectors, mode-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    dim: usize,
+    width: usize,
+    /// `data[m * width + lane]` is mode `m` of lane `lane`.
+    data: Vec<f64>,
+}
+
+impl Panel {
+    /// All-zero panel of `width` lanes on `dim` modes.
+    ///
+    /// # Panics
+    /// Panics when `dim` or `width` is zero.
+    pub fn zeros(dim: usize, width: usize) -> Self {
+        assert!(dim > 0, "panel needs at least one mode");
+        assert!(width > 0, "panel needs at least one lane");
+        Panel {
+            dim,
+            width,
+            data: vec![0.0; dim * width],
+        }
+    }
+
+    /// Pack a batch of equal-length vectors into the panel's lanes
+    /// (vector `i` becomes lane `i`).
+    ///
+    /// # Panics
+    /// Panics when `columns` is empty or the lengths disagree.
+    pub fn from_columns(columns: &[Vec<f64>]) -> Self {
+        assert!(!columns.is_empty(), "panel needs at least one lane");
+        let dim = columns[0].len();
+        let mut panel = Panel::zeros(dim, columns.len());
+        for (lane, col) in columns.iter().enumerate() {
+            panel.set_column(lane, col);
+        }
+        panel
+    }
+
+    /// Number of modes (rows).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of lanes (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// One amplitude.
+    ///
+    /// # Panics
+    /// Panics out of range.
+    pub fn get(&self, mode: usize, lane: usize) -> f64 {
+        assert!(mode < self.dim && lane < self.width, "panel index");
+        self.data[mode * self.width + lane]
+    }
+
+    /// Borrow the `width` lanes of one mode.
+    ///
+    /// # Panics
+    /// Panics out of range.
+    pub fn row(&self, mode: usize) -> &[f64] {
+        assert!(mode < self.dim, "panel row index");
+        &self.data[mode * self.width..(mode + 1) * self.width]
+    }
+
+    /// Mutably borrow the adjacent rows `mode` and `mode + 1` — the two
+    /// rows a beam-splitter on modes `(k, k+1)` rotates.
+    ///
+    /// # Panics
+    /// Panics when `mode + 1 ≥ dim`.
+    pub fn row_pair_mut(&mut self, mode: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(mode + 1 < self.dim, "panel row pair index");
+        let (head, tail) = self.data.split_at_mut((mode + 1) * self.width);
+        (&mut head[mode * self.width..], &mut tail[..self.width])
+    }
+
+    /// Copy vector `col` into lane `lane`.
+    ///
+    /// # Panics
+    /// Panics on lane or length mismatch.
+    pub fn set_column(&mut self, lane: usize, col: &[f64]) {
+        assert!(lane < self.width, "panel lane index");
+        assert_eq!(col.len(), self.dim, "panel column length mismatch");
+        for (m, &v) in col.iter().enumerate() {
+            self.data[m * self.width + lane] = v;
+        }
+    }
+
+    /// Extract lane `lane` as a fresh vector.
+    ///
+    /// # Panics
+    /// Panics when `lane ≥ width`.
+    pub fn column(&self, lane: usize) -> Vec<f64> {
+        assert!(lane < self.width, "panel lane index");
+        (0..self.dim)
+            .map(|m| self.data[m * self.width + lane])
+            .collect()
+    }
+
+    /// Unpack every lane back into vectors, in lane order.
+    pub fn into_columns(self) -> Vec<Vec<f64>> {
+        (0..self.width).map(|lane| self.column(lane)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrips() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let panel = Panel::from_columns(&cols);
+        assert_eq!(panel.dim(), 3);
+        assert_eq!(panel.width(), 2);
+        assert_eq!(panel.column(0), cols[0]);
+        assert_eq!(panel.column(1), cols[1]);
+        assert_eq!(panel.into_columns(), cols);
+    }
+
+    #[test]
+    fn storage_is_mode_major() {
+        let panel = Panel::from_columns(&[vec![1.0, 3.0], vec![2.0, 4.0]]);
+        assert_eq!(panel.row(0), &[1.0, 2.0]);
+        assert_eq!(panel.row(1), &[3.0, 4.0]);
+        assert_eq!(panel.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn row_pair_mut_spans_adjacent_modes() {
+        let mut panel = Panel::from_columns(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        {
+            let (a, b) = panel.row_pair_mut(1);
+            assert_eq!(a, &[2.0, 5.0]);
+            assert_eq!(b, &[3.0, 6.0]);
+            a[0] = -2.0;
+            b[1] = -6.0;
+        }
+        assert_eq!(panel.column(0), vec![1.0, -2.0, 3.0]);
+        assert_eq!(panel.column(1), vec![4.0, 5.0, -6.0]);
+    }
+
+    #[test]
+    fn single_lane_panel_is_a_vector() {
+        let v = vec![0.1, -0.2, 0.3, 0.4];
+        let panel = Panel::from_columns(std::slice::from_ref(&v));
+        assert_eq!(panel.width(), 1);
+        assert_eq!(panel.column(0), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "panel column length mismatch")]
+    fn mismatched_columns_are_rejected() {
+        Panel::from_columns(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_panel_is_rejected() {
+        Panel::from_columns(&[]);
+    }
+}

@@ -91,6 +91,30 @@ where
     (0..n).into_par_iter().map(f).collect()
 }
 
+/// Parallel map over fixed-size chunks of `0..n`: calls `f(start, end)`
+/// once per half-open chunk `[start, end)` of at most `chunk` items (the
+/// last chunk may be ragged) and collects the results in chunk order.
+///
+/// This is the scheduling substrate for panel-batched mesh execution:
+/// chunk boundaries depend only on `n` and `chunk`, never on the thread
+/// count, so any per-chunk computation that is itself deterministic
+/// yields a thread-count-invariant result.
+///
+/// # Panics
+/// Panics when `chunk` is zero.
+pub fn par_map_chunked<T, F>(n: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync + Send,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let starts: Vec<usize> = (0..n).step_by(chunk).collect();
+    starts
+        .into_par_iter()
+        .map(|s| f(s, (s + chunk).min(n)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +177,38 @@ mod tests {
     fn par_map_preserves_order() {
         let v = par_map_indexed(100, |i| i * 2);
         assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_chunked_covers_ragged_ranges() {
+        for (n, chunk) in [(10usize, 3usize), (9, 3), (1, 5), (64, 64), (65, 64)] {
+            let spans = par_map_chunked(n, chunk, |s, e| (s, e));
+            // Chunks tile 0..n in order, each at most `chunk` long.
+            let mut expect_start = 0;
+            for &(s, e) in &spans {
+                assert_eq!(s, expect_start);
+                assert!(e > s && e - s <= chunk);
+                expect_start = e;
+            }
+            assert_eq!(expect_start, n, "n={n} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_empty_is_empty() {
+        assert!(par_map_chunked(0, 8, |s, e| (s, e)).is_empty());
+    }
+
+    #[test]
+    fn par_map_chunked_is_thread_count_invariant() {
+        let compute = || par_map_chunked(137, 16, |s, e| (s, e, (s..e).sum::<usize>()));
+        let base = compute();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            assert_eq!(pool.install(compute), base, "{threads} threads");
+        }
     }
 }

@@ -11,6 +11,8 @@
 //!
 //! - [`core`](qn_core) — the paper's contribution: encoding, compression /
 //!   reconstruction networks, losses, gradients, the training loop.
+//! - [`backend`](qn_backend) — mesh execution backends: scalar reference
+//!   dispatch and batched tile panels behind one bit-compatible trait.
 //! - [`sim`](qn_sim) — hand-rolled state-vector simulator.
 //! - [`photonic`](qn_photonic) — interferometer meshes, Clements/Reck
 //!   decompositions.
@@ -38,6 +40,7 @@
 //! assert!(report.final_reconstruction_loss < 1.0);
 //! ```
 
+pub use qn_backend as backend;
 pub use qn_classical as classical;
 pub use qn_codec as codec;
 pub use qn_core as core;

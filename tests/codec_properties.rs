@@ -1,9 +1,12 @@
 //! Property-based tests over the codec subsystem: model persistence is
 //! bit-exact on arbitrary parameters, encode→decode of random tiles
-//! meets the quantizer's error bound and the PSNR floor, and corrupted
-//! or truncated inputs always surface as typed errors, never panics.
+//! meets the quantizer's error bound and the PSNR floor, corrupted or
+//! truncated inputs always surface as typed errors (never panics), and
+//! — the cross-backend conformance suite — every execution backend
+//! produces bit-identical mesh passes, latents and containers.
 
 use proptest::prelude::*;
+use qn::backend::{BackendKind, MeshBackend, PanelBackend};
 use qn::codec::{container, model, Codec, CodecError, CodecOptions, Quantizer};
 use qn::core::compression::CompressionNetwork;
 use qn::core::config::{CompressionTargetKind, SubspaceKind};
@@ -137,6 +140,83 @@ proptest! {
         bytes[pos] ^= flip_mask as u8; // mask ∈ 1..256 → at least one bit flips
         // Decoding must produce a typed error (any variant) — never panic.
         prop_assert!(qn::codec::decode_standalone(&bytes).is_err());
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_mesh_passes(
+        dim in 2usize..13,
+        n_layers in 1usize..4,
+        width in 1usize..9,
+        batch_n in 0usize..14,
+        thetas in proptest::collection::vec(angle(), 36),
+        data in proptest::collection::vec(-1.0..1.0f64, 170)
+    ) {
+        // Random mesh of `n_layers` layers on `dim` modes, including the
+        // reversed (descending-cascade) structure U_R uses.
+        let mut mesh = Mesh::zeros(dim, n_layers);
+        mesh.set_thetas(&thetas[..(dim - 1) * n_layers]);
+        let batch: Vec<Vec<f64>> = (0..batch_n)
+            .map(|i| data[i * dim..(i + 1) * dim].to_vec())
+            .collect();
+        for m in [mesh.clone(), mesh.reversed()] {
+            let reference: Vec<Vec<f64>> = batch.iter().map(|v| m.forward_real_copy(v)).collect();
+            let inv_reference: Vec<Vec<f64>> = batch
+                .iter()
+                .map(|v| {
+                    let mut v = v.clone();
+                    m.inverse_real(&mut v);
+                    v
+                })
+                .collect();
+            for kind in BackendKind::ALL {
+                prop_assert_eq!(&kind.backend().forward_batch(&m, &batch), &reference);
+                prop_assert_eq!(&kind.backend().inverse_batch(&m, &batch), &inv_reference);
+            }
+            // Explicit panel widths exercise ragged last panels (the
+            // batch length is rarely a multiple of `width`) and the
+            // width-1 degenerate panel.
+            let panel = PanelBackend::with_width(width);
+            prop_assert_eq!(&panel.forward_batch(&m, &batch), &reference);
+            prop_assert_eq!(&panel.inverse_batch(&m, &batch), &inv_reference);
+        }
+    }
+
+    #[test]
+    fn containers_are_backend_independent(
+        pixels in pixel_vector(96),
+        d in 1usize..17,
+        per_tile_scale in 0u32..2
+    ) {
+        // 12×8 image, 6 tiles; d spans the full range including the
+        // d = 1 edge case. Every backend must produce byte-identical
+        // containers and pixel-identical decodes — the format
+        // compatibility guarantee multi-backend execution rests on.
+        let img = GrayImage::from_pixels(12, 8, pixels).unwrap();
+        let thetas: Vec<f64> = (0..30).map(|i| (i as f64 * 0.711).sin() * 3.0).collect();
+        let ae = autoencoder_16(&thetas, d);
+        let codec = Codec::new(ae);
+        let encode = |backend: BackendKind| {
+            let opts = CodecOptions {
+                inline_model: false,
+                per_tile_scale: per_tile_scale == 1,
+                backend,
+                ..CodecOptions::default()
+            };
+            codec.encode_image(&img, &opts).unwrap()
+        };
+        let reference_bytes = encode(BackendKind::Scalar);
+        let reference_img = codec
+            .decode_bytes_with(&reference_bytes, BackendKind::Scalar)
+            .unwrap();
+        for kind in BackendKind::ALL {
+            prop_assert_eq!(&encode(kind), &reference_bytes, "{} encode", kind);
+            prop_assert_eq!(
+                &codec.decode_bytes_with(&reference_bytes, kind).unwrap(),
+                &reference_img,
+                "{} decode",
+                kind
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Decoder-robustness corpus: a table of truncations and targeted
+//! corruptions of a valid `.qnc`, each driven through every decode
+//! entry point (`Container::from_bytes`, `Codec::decode_bytes_with` on
+//! every backend, `decode_standalone`). Structural damage must surface
+//! as a **typed** [`CodecError`] — never a panic, never an unbounded
+//! allocation. Mutations re-fix the trailing CRC-32 where noted so the
+//! corruption reaches field validation instead of stopping at the
+//! checksum.
+
+use qn::backend::BackendKind;
+use qn::codec::{bitstream, container, decode_standalone, Codec, CodecError, CodecOptions};
+use qn::image::datasets;
+
+/// A valid container (inline model, per-tile scales) plus its codec.
+fn valid_fixture() -> (Codec, Vec<u8>) {
+    let img = datasets::grayscale_blobs(1, 16, 16, 99).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).expect("spectral model");
+    let opts = CodecOptions {
+        per_tile_scale: true,
+        ..CodecOptions::default()
+    };
+    let bytes = codec.encode_image(&img, &opts).expect("encode");
+    (codec, bytes)
+}
+
+/// Recompute the trailing CRC-32 so a header/body mutation parses past
+/// the checksum gate.
+fn refix_crc(bytes: &mut [u8]) {
+    let body = bytes.len() - 4;
+    let crc = bitstream::crc32(&bytes[..body]).to_le_bytes();
+    bytes[body..].copy_from_slice(&crc);
+}
+
+/// What a corrupted input is allowed to do.
+enum Expect {
+    /// Must fail with a typed error satisfying the predicate.
+    Err(fn(&CodecError) -> bool),
+    /// Must not panic; either a typed error or a structurally valid
+    /// decode of garbage is acceptable (the CRC was deliberately
+    /// re-fixed, so the bytes are "authentic" as far as the format can
+    /// tell).
+    NoPanic,
+    /// The container parses (the damage is inside the opaque inline
+    /// model blob), but the standalone decode must fail typed.
+    StandaloneErr,
+}
+
+fn is_truncated(e: &CodecError) -> bool {
+    matches!(e, CodecError::Truncated { .. })
+}
+
+fn is_invalid(e: &CodecError) -> bool {
+    matches!(e, CodecError::Invalid(_))
+}
+
+fn any_typed(_: &CodecError) -> bool {
+    true
+}
+
+#[test]
+fn corrupted_containers_fail_typed_on_every_entry_point() {
+    let (codec, valid) = valid_fixture();
+    let n = valid.len();
+    type Mutation = Box<dyn Fn(&mut Vec<u8>)>;
+    let corpus: Vec<(&str, Mutation, Expect)> = vec![
+        (
+            "empty input",
+            Box::new(|b: &mut Vec<u8>| b.clear()),
+            Expect::Err(is_truncated),
+        ),
+        (
+            "three bytes",
+            Box::new(|b: &mut Vec<u8>| b.truncate(3)),
+            Expect::Err(is_truncated),
+        ),
+        (
+            "header cut mid-field",
+            Box::new(|b: &mut Vec<u8>| b.truncate(21)),
+            Expect::Err(is_truncated),
+        ),
+        (
+            "last byte missing",
+            Box::new(move |b: &mut Vec<u8>| b.truncate(n - 1)),
+            Expect::Err(any_typed),
+        ),
+        (
+            "wrong magic",
+            Box::new(|b: &mut Vec<u8>| {
+                b[..4].copy_from_slice(b"JUNK");
+                refix_crc(b);
+            }),
+            Expect::Err(|e| matches!(e, CodecError::BadMagic { .. })),
+        ),
+        (
+            "future format version",
+            Box::new(|b: &mut Vec<u8>| {
+                b[4..6].copy_from_slice(&99u16.to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(|e| matches!(e, CodecError::UnsupportedVersion { .. })),
+        ),
+        (
+            "unknown flag bits",
+            Box::new(|b: &mut Vec<u8>| {
+                b[6..8].copy_from_slice(&0x8003u16.to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "zero width",
+            Box::new(|b: &mut Vec<u8>| {
+                b[16..20].copy_from_slice(&0u32.to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "gigapixel tile-grid bomb",
+            Box::new(|b: &mut Vec<u8>| {
+                // ~2^60 implied tiles: must be rejected before the tile
+                // vector is allocated.
+                b[16..20].copy_from_slice(&(1u32 << 30).to_le_bytes());
+                b[20..24].copy_from_slice(&(1u32 << 30).to_le_bytes());
+                b[24..26].copy_from_slice(&1u16.to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "zero tile size",
+            Box::new(|b: &mut Vec<u8>| {
+                b[24..26].copy_from_slice(&0u16.to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "zero latent dimension",
+            Box::new(|b: &mut Vec<u8>| {
+                b[26..28].copy_from_slice(&0u16.to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "bit depth above the 16-bit maximum",
+            Box::new(|b: &mut Vec<u8>| {
+                b[28] = 200;
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "non-zero reserved bytes survive (format tolerance)",
+            Box::new(|b: &mut Vec<u8>| {
+                // Reserved bytes are read, not validated — this is the
+                // documented expansion space, so decode must still work.
+                b[29] = 0xFF;
+                refix_crc(b);
+            }),
+            Expect::NoPanic,
+        ),
+        (
+            "NaN max norm",
+            Box::new(|b: &mut Vec<u8>| {
+                b[32..36].copy_from_slice(&f32::NAN.to_bits().to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "negative max norm",
+            Box::new(|b: &mut Vec<u8>| {
+                b[32..36].copy_from_slice(&(-1.0f32).to_bits().to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "4 GiB inline-model length bomb",
+            Box::new(|b: &mut Vec<u8>| {
+                // Inline-model length field sits right after the fixed
+                // header: claiming ~4 GiB must error before allocating.
+                b[36..40].copy_from_slice(&u32::MAX.to_le_bytes());
+                refix_crc(b);
+            }),
+            Expect::Err(is_truncated),
+        ),
+        (
+            "inline model zeroed",
+            Box::new(|b: &mut Vec<u8>| {
+                for v in &mut b[44..200] {
+                    *v = 0;
+                }
+                refix_crc(b);
+            }),
+            Expect::StandaloneErr,
+        ),
+        (
+            "payload bit flips",
+            Box::new(move |b: &mut Vec<u8>| {
+                // Flip bits inside the entropy-coded payload; with the
+                // CRC re-fixed the stream may decode to garbage or hit
+                // a typed error — it must never panic.
+                for off in [n - 12, n - 24, n - 40] {
+                    b[off] ^= 0x41;
+                }
+                refix_crc(b);
+            }),
+            Expect::NoPanic,
+        ),
+        (
+            "payload truncated with length field patched",
+            Box::new(move |b: &mut Vec<u8>| {
+                // Shorten the payload but leave its length field: the
+                // mismatch must be caught structurally.
+                b.truncate(n - 16);
+                refix_crc(b);
+            }),
+            Expect::Err(is_invalid),
+        ),
+        (
+            "CRC itself flipped",
+            Box::new(move |b: &mut Vec<u8>| {
+                let last = b.len() - 1;
+                b[last] ^= 0xFF;
+            }),
+            Expect::Err(|e| matches!(e, CodecError::ChecksumMismatch { .. })),
+        ),
+    ];
+
+    for (name, mutate, expect) in &corpus {
+        let mut bytes = valid.clone();
+        mutate(&mut bytes);
+        // Entry point 1: the container parser.
+        let parsed = container::Container::from_bytes(&bytes);
+        // Entry points 2 & 3: full decodes (model-bound on every
+        // backend, and standalone via the inline model).
+        let standalone = decode_standalone(&bytes);
+        let backend_decodes: Vec<qn::codec::Result<_>> = BackendKind::ALL
+            .iter()
+            .map(|&k| codec.decode_bytes_with(&bytes, k))
+            .collect();
+        match expect {
+            Expect::Err(pred) => {
+                let err = parsed
+                    .err()
+                    .unwrap_or_else(|| panic!("{name}: container parse must fail"));
+                assert!(pred(&err), "{name}: wrong error type: {err:?}");
+                assert!(standalone.is_err(), "{name}: standalone decode must fail");
+                for d in &backend_decodes {
+                    assert!(d.is_err(), "{name}: decode must fail");
+                }
+            }
+            Expect::NoPanic => {
+                // Reaching this point at all proves no panic; a
+                // successful decode must at least be geometrically
+                // sane.
+                for d in backend_decodes.iter().chain([&standalone]).flatten() {
+                    assert_eq!((d.width(), d.height()), (16, 16), "{name}");
+                }
+            }
+            Expect::StandaloneErr => {
+                assert!(parsed.is_ok(), "{name}: container itself must parse");
+                let err = standalone
+                    .err()
+                    .unwrap_or_else(|| panic!("{name}: standalone decode must fail"));
+                assert!(any_typed(&err), "{name}");
+                // The external (correct) model still decodes fine.
+                for d in &backend_decodes {
+                    assert!(d.is_ok(), "{name}: model-bound decode must survive");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_truncation_fails_typed() {
+    let (codec, valid) = valid_fixture();
+    for cut in 0..valid.len() {
+        let bytes = &valid[..cut];
+        let err = container::Container::from_bytes(bytes).expect_err("truncation must fail");
+        assert!(
+            matches!(
+                err,
+                CodecError::Truncated { .. } | CodecError::ChecksumMismatch { .. }
+            ),
+            "cut {cut}: unexpected {err:?}"
+        );
+        assert!(codec.decode_bytes_with(bytes, BackendKind::Panel).is_err());
+        assert!(decode_standalone(bytes).is_err());
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_is_caught_or_harmless() {
+    // Without CRC repair, any single flipped byte must be caught by the
+    // checksum (or an earlier structural check) on every entry point.
+    let (codec, valid) = valid_fixture();
+    for pos in 0..valid.len() {
+        let mut bytes = valid.clone();
+        bytes[pos] ^= 0x24;
+        assert!(
+            container::Container::from_bytes(&bytes).is_err(),
+            "flip at {pos} went unnoticed"
+        );
+        assert!(codec.decode_bytes_with(&bytes, BackendKind::Panel).is_err());
+    }
+}
+
+#[test]
+fn wrong_model_is_a_model_mismatch_not_garbage() {
+    let (_, bytes) = valid_fixture();
+    let other_img = datasets::grayscale_blobs(1, 16, 16, 7).remove(0);
+    let other = Codec::spectral_for_image(&other_img, 4, 8).expect("model");
+    assert!(matches!(
+        other.decode_bytes(&bytes),
+        Err(CodecError::ModelMismatch { .. })
+    ));
+}

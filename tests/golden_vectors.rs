@@ -1,0 +1,158 @@
+//! Golden bitstream vectors: checked-in `.qnm`/`.qnc` fixtures under
+//! `tests/vectors/` whose parse, decode and re-encode behaviour is
+//! pinned byte-for-byte. Any change to the container layout, the
+//! entropy coder, the quantizers, the model format or a mesh execution
+//! backend that shifts even one bit of output fails here loudly —
+//! format compatibility can only move with a deliberate version bump
+//! and regenerated fixtures (`cargo run --example gen_golden_vectors`).
+
+use qn::backend::BackendKind;
+use qn::codec::{bitstream, container, decode_standalone, model, Codec, CodecOptions};
+use qn::image::{metrics, pgm, GrayImage};
+use std::path::PathBuf;
+
+// Pinned constants, printed by `examples/gen_golden_vectors.rs`.
+const MODEL_ID: u64 = 0xbc71c2dfcda332b1;
+const QNC_LEN: usize = 276;
+const SCALED_LEN: usize = 372;
+const INLINE_LEN: usize = 2248;
+const PSNR_DB: f64 = 47.168873;
+const PIXEL_HASH: u64 = 0xde8d991e6aae57c1;
+
+fn vector_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/vectors")
+        .join(name)
+}
+
+fn vector_bytes(name: &str) -> Vec<u8> {
+    std::fs::read(vector_path(name)).unwrap_or_else(|e| panic!("reading fixture {name}: {e}"))
+}
+
+fn golden_codec() -> Codec {
+    Codec::from_model_file(&vector_path("golden_24x16_d8.qnm")).expect("load golden model")
+}
+
+fn golden_image() -> GrayImage {
+    pgm::read_pgm(&vector_path("golden_24x16.pgm")).expect("read golden image")
+}
+
+/// The quantized pixels a decode must reproduce exactly.
+fn pixel_hash(img: &GrayImage) -> u64 {
+    let quantized: Vec<u8> = img
+        .clamped()
+        .pixels()
+        .iter()
+        .map(|p| (p * 255.0).round() as u8)
+        .collect();
+    bitstream::fnv1a64(&quantized)
+}
+
+#[test]
+fn golden_model_loads_and_reencodes_bit_exact() {
+    let bytes = vector_bytes("golden_24x16_d8.qnm");
+    let loaded = model::decode_model(&bytes).expect("golden model must parse");
+    assert_eq!(model::model_id(&loaded), MODEL_ID, "model identity drifted");
+    assert_eq!(
+        model::encode_model(&loaded),
+        bytes,
+        "model re-encode is no longer bit-exact"
+    );
+    assert_eq!(loaded.dim(), 16);
+    assert_eq!(loaded.compression.compressed_dim(), 8);
+}
+
+#[test]
+fn golden_containers_parse_and_reserialize_byte_exact() {
+    for (name, len, per_tile_scale, inline) in [
+        ("golden_24x16_d8.qnc", QNC_LEN, false, false),
+        ("golden_24x16_d8_scaled.qnc", SCALED_LEN, true, false),
+        ("golden_24x16_d8_inline.qnc", INLINE_LEN, false, true),
+    ] {
+        let bytes = vector_bytes(name);
+        assert_eq!(bytes.len(), len, "{name}: container size drifted");
+        let parsed = container::Container::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{name} must parse: {e}"));
+        let h = &parsed.header;
+        assert_eq!(
+            (
+                h.model_id,
+                h.width,
+                h.height,
+                h.tile_size,
+                h.latent_dim,
+                h.bits
+            ),
+            (MODEL_ID, 24, 16, 4, 8, 8),
+            "{name}: header drifted"
+        );
+        assert_eq!(h.per_tile_scale(), per_tile_scale, "{name}");
+        assert_eq!(h.inline_model(), inline, "{name}");
+        assert_eq!(
+            parsed.to_bytes().expect("reserialize"),
+            bytes,
+            "{name}: reserialization is no longer byte-exact"
+        );
+    }
+}
+
+#[test]
+fn golden_decode_is_pinned_on_every_backend() {
+    let codec = golden_codec();
+    let original = golden_image();
+    let bytes = vector_bytes("golden_24x16_d8.qnc");
+    for backend in BackendKind::ALL {
+        let back = codec
+            .decode_bytes_with(&bytes, backend)
+            .unwrap_or_else(|e| panic!("{backend} decode: {e}"));
+        assert_eq!(
+            pixel_hash(&back),
+            PIXEL_HASH,
+            "{backend}: decoded pixels drifted from the golden payload"
+        );
+        let psnr = metrics::psnr(&original, &back.clamped());
+        assert!(
+            (psnr - PSNR_DB).abs() < 1e-3,
+            "{backend}: PSNR drifted from {PSNR_DB:.6} dB to {psnr:.6} dB"
+        );
+    }
+}
+
+#[test]
+fn golden_reencode_reproduces_container_bytes_on_every_backend() {
+    let codec = golden_codec();
+    let img = golden_image();
+    for backend in BackendKind::ALL {
+        for (name, per_tile_scale) in [
+            ("golden_24x16_d8.qnc", false),
+            ("golden_24x16_d8_scaled.qnc", true),
+        ] {
+            let opts = CodecOptions {
+                inline_model: false,
+                per_tile_scale,
+                backend,
+                ..CodecOptions::default()
+            };
+            let bytes = codec.encode_image(&img, &opts).expect("encode");
+            assert_eq!(
+                bytes,
+                vector_bytes(name),
+                "{backend}: re-encoding {name} is no longer byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_inline_container_decodes_standalone() {
+    let bytes = vector_bytes("golden_24x16_d8_inline.qnc");
+    let standalone = decode_standalone(&bytes).expect("standalone decode");
+    assert_eq!(pixel_hash(&standalone), PIXEL_HASH);
+    // The inline model is bit-identical to the .qnm fixture.
+    let parsed = container::Container::from_bytes(&bytes).expect("parse");
+    assert_eq!(
+        parsed.inline_model.as_deref(),
+        Some(vector_bytes("golden_24x16_d8.qnm").as_slice()),
+        "inline model bytes diverged from the .qnm fixture"
+    );
+}
