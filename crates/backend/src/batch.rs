@@ -1,0 +1,414 @@
+//! Cross-request batch coalescing: [`MeshBatcher`] merges mesh passes
+//! submitted by *independent callers* (e.g. concurrent server requests)
+//! into single backend batches, so a serving layer inherits the panel
+//! backend's batching gains even when each individual request carries
+//! only a handful of tiles.
+//!
+//! The design leans entirely on the [`MeshBackend`](crate::MeshBackend)
+//! equivalence contract: every backend is bit-identical *per vector*,
+//! independent of batch composition, so concatenating two requests'
+//! tiles into one `forward_batch` call and splitting the outputs back
+//! apart yields exactly the bytes each request would have produced
+//! alone. Coalescing is therefore invisible to callers — it changes
+//! throughput, never results.
+//!
+//! Submissions are grouped by [`BatchKey`] (a caller-chosen model
+//! identity plus a lane discriminating the mesh being applied). A group
+//! flushes when its tile count reaches the batch limit (on the
+//! submitting thread) or when its deadline expires (on the batcher's
+//! timer thread). A zero deadline disables coalescing: every submission
+//! flushes immediately, which is the per-request dispatch mode
+//! benchmarks compare against.
+
+use crate::BackendKind;
+use qn_photonic::Mesh;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Supplies the mesh a batch group executes against. Implementors wrap
+/// whatever owns the mesh (e.g. a cached codec) so the mesh stays alive
+/// until the group flushes, regardless of which thread performs the
+/// flush.
+pub trait MeshSource: Send + Sync {
+    /// The mesh every submission under this source's key runs through.
+    fn mesh(&self) -> &Mesh;
+}
+
+/// Groups submissions that may be coalesced into one backend pass.
+///
+/// Two submissions with equal keys **must** reference bit-identical
+/// meshes (the first submission's [`MeshSource`] executes the whole
+/// group). Content-addressed model ids satisfy this by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Content-addressed model identity.
+    pub model: u64,
+    /// Which of the model's meshes is applied (e.g. 0 = compression
+    /// forward, 1 = reconstruction forward).
+    pub lane: u8,
+}
+
+/// A pending submission's receipt: resolves to the mesh outputs for
+/// exactly the vectors that were submitted, in submission order.
+#[derive(Debug)]
+pub struct BatchHandle {
+    rx: Receiver<Vec<Vec<f64>>>,
+}
+
+impl BatchHandle {
+    /// Block until the batch containing this submission has flushed.
+    /// Returns `None` only if the batcher was torn down (or a flush
+    /// panicked) before delivering results.
+    pub fn wait(self) -> Option<Vec<Vec<f64>>> {
+        self.rx.recv().ok()
+    }
+}
+
+/// One caller's pending vectors plus the channel its results go back on.
+struct Entry {
+    vecs: Vec<Vec<f64>>,
+    tx: SyncSender<Vec<Vec<f64>>>,
+}
+
+/// All pending submissions for one (model, lane) pair.
+struct Group {
+    source: Arc<dyn MeshSource>,
+    entries: Vec<Entry>,
+    tiles: usize,
+    deadline_at: Instant,
+}
+
+struct State {
+    groups: HashMap<BatchKey, Group>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cond: Condvar,
+    backend: BackendKind,
+    max_tiles: usize,
+    deadline: Duration,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Execute one group as a single backend pass and fan results back
+    /// out to every submitter. Runs outside the state lock.
+    fn flush(&self, group: Group) {
+        let counts: Vec<usize> = group.entries.iter().map(|e| e.vecs.len()).collect();
+        let mut all: Vec<Vec<f64>> = Vec::with_capacity(group.tiles);
+        let mut txs = Vec::with_capacity(group.entries.len());
+        for entry in group.entries {
+            all.extend(entry.vecs);
+            txs.push(entry.tx);
+        }
+        let mut outs = self
+            .backend
+            .backend()
+            .forward_batch(group.source.mesh(), &all);
+        for (count, tx) in counts.into_iter().zip(txs) {
+            let rest = outs.split_off(count);
+            // A submitter that gave up waiting is not an error.
+            let _ = tx.send(std::mem::replace(&mut outs, rest));
+        }
+    }
+}
+
+/// Coalesces mesh-pass submissions from many threads into shared
+/// backend batches. Cheap to share behind an `Arc`; dropping the last
+/// reference flushes pending groups and joins the timer thread.
+pub struct MeshBatcher {
+    shared: Arc<Shared>,
+    timer: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MeshBatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeshBatcher")
+            .field("backend", &self.shared.backend)
+            .field("max_tiles", &self.shared.max_tiles)
+            .field("deadline", &self.shared.deadline)
+            .finish()
+    }
+}
+
+impl MeshBatcher {
+    /// A batcher flushing through `backend` whenever a group reaches
+    /// `max_tiles` vectors or has waited `deadline` since it opened.
+    /// `deadline == 0` (or `max_tiles <= 1`) flushes every submission
+    /// immediately — per-request dispatch with no coalescing.
+    pub fn new(backend: BackendKind, max_tiles: usize, deadline: Duration) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                groups: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+            backend,
+            max_tiles: max_tiles.max(1),
+            deadline,
+            shutdown: AtomicBool::new(false),
+        });
+        let timer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mesh-batcher".into())
+                .spawn(move || timer_loop(&shared))
+                .expect("spawn batcher timer thread")
+        };
+        MeshBatcher {
+            shared,
+            timer: Some(timer),
+        }
+    }
+
+    /// The backend every flush runs through.
+    pub fn backend(&self) -> BackendKind {
+        self.shared.backend
+    }
+
+    /// Whether submissions may be coalesced across callers.
+    pub fn coalesces(&self) -> bool {
+        !self.shared.deadline.is_zero() && self.shared.max_tiles > 1
+    }
+
+    /// Queue `vecs` for a forward pass through `source`'s mesh,
+    /// coalesced with any other pending submissions under `key`.
+    ///
+    /// The returned handle resolves (via [`BatchHandle::wait`]) to the
+    /// outputs for exactly these vectors, in order, bit-identical to a
+    /// standalone `forward_batch` call.
+    pub fn submit(
+        &self,
+        key: BatchKey,
+        source: Arc<dyn MeshSource>,
+        vecs: Vec<Vec<f64>>,
+    ) -> BatchHandle {
+        let (tx, rx) = mpsc::sync_channel(1);
+        if vecs.is_empty() {
+            let _ = tx.send(Vec::new());
+            return BatchHandle { rx };
+        }
+        let tiles = vecs.len();
+        let flush_now = {
+            let mut st = self.shared.state.lock().expect("batcher state lock");
+            let group = st.groups.entry(key).or_insert_with(|| Group {
+                source,
+                entries: Vec::new(),
+                tiles: 0,
+                deadline_at: Instant::now() + self.shared.deadline,
+            });
+            group.entries.push(Entry { vecs, tx });
+            group.tiles += tiles;
+            if group.tiles >= self.shared.max_tiles || !self.coalesces() {
+                st.groups.remove(&key)
+            } else {
+                self.shared.cond.notify_one();
+                None
+            }
+        };
+        if let Some(group) = flush_now {
+            self.shared.flush(group);
+        }
+        BatchHandle { rx }
+    }
+}
+
+impl Drop for MeshBatcher {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+        if let Some(timer) = self.timer.take() {
+            let _ = timer.join();
+        }
+    }
+}
+
+/// Deadline watcher: flushes groups whose deadline has passed, sleeps
+/// until the next one, and drains everything on shutdown.
+fn timer_loop(shared: &Shared) {
+    let mut st = shared.state.lock().expect("batcher state lock");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let groups: Vec<Group> = st.groups.drain().map(|(_, g)| g).collect();
+            drop(st);
+            for group in groups {
+                shared.flush(group);
+            }
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<BatchKey> = st
+            .groups
+            .iter()
+            .filter(|(_, g)| g.deadline_at <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        if !due.is_empty() {
+            let groups: Vec<Group> = due.iter().filter_map(|k| st.groups.remove(k)).collect();
+            drop(st);
+            for group in groups {
+                shared.flush(group);
+            }
+            st = shared.state.lock().expect("batcher state lock");
+            continue;
+        }
+        // With pending groups, sleep until the earliest deadline; with
+        // none, park until a submit (or shutdown) notifies — no idle
+        // wakeups.
+        st = match st
+            .groups
+            .values()
+            .map(|g| g.deadline_at.saturating_duration_since(now))
+            .min()
+        {
+            Some(wait) => {
+                shared
+                    .cond
+                    .wait_timeout(st, wait)
+                    .expect("batcher state lock")
+                    .0
+            }
+            None => shared.cond.wait(st).expect("batcher state lock"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Debug)]
+    struct OwnedMesh(Mesh);
+
+    impl MeshSource for OwnedMesh {
+        fn mesh(&self) -> &Mesh {
+            &self.0
+        }
+    }
+
+    fn mesh(dim: usize, layers: usize, seed: u64) -> Arc<OwnedMesh> {
+        Arc::new(OwnedMesh(Mesh::random(
+            dim,
+            layers,
+            &mut StdRng::seed_from_u64(seed),
+        )))
+    }
+
+    fn batch(dim: usize, n: usize, phase: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * dim + j) as f64 * 0.31 + phase).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coalesced_submissions_match_standalone_passes_bitwise() {
+        let src = mesh(8, 3, 11);
+        let a = batch(8, 5, 0.0);
+        let b = batch(8, 9, 1.0);
+        let want_a = BackendKind::Panel.backend().forward_batch(src.mesh(), &a);
+        let want_b = BackendKind::Panel.backend().forward_batch(src.mesh(), &b);
+
+        // Large deadline so both land in one group; batch-full at 14
+        // tiles forces the second submit to flush the merged group.
+        let batcher = MeshBatcher::new(BackendKind::Panel, 14, Duration::from_secs(10));
+        let key = BatchKey { model: 1, lane: 0 };
+        let ha = batcher.submit(key, src.clone(), a);
+        let hb = batcher.submit(key, src.clone(), b);
+        assert_eq!(ha.wait().unwrap(), want_a);
+        assert_eq!(hb.wait().unwrap(), want_b);
+    }
+
+    #[test]
+    fn deadline_flushes_undersized_groups() {
+        let src = mesh(6, 2, 5);
+        let xs = batch(6, 3, 0.5);
+        let want = BackendKind::Scalar.backend().forward_batch(src.mesh(), &xs);
+        let batcher = MeshBatcher::new(BackendKind::Scalar, 1_000_000, Duration::from_millis(5));
+        let handle = batcher.submit(BatchKey { model: 2, lane: 1 }, src, xs);
+        assert_eq!(handle.wait().unwrap(), want);
+    }
+
+    #[test]
+    fn zero_deadline_dispatches_immediately() {
+        let src = mesh(4, 1, 3);
+        let xs = batch(4, 2, 0.0);
+        let want = BackendKind::Scalar.backend().forward_batch(src.mesh(), &xs);
+        let batcher = MeshBatcher::new(BackendKind::Scalar, 1_000_000, Duration::ZERO);
+        assert!(!batcher.coalesces());
+        let handle = batcher.submit(BatchKey { model: 3, lane: 0 }, src, xs);
+        assert_eq!(handle.wait().unwrap(), want);
+    }
+
+    #[test]
+    fn different_keys_never_share_a_mesh() {
+        let src_a = mesh(5, 2, 21);
+        let src_b = mesh(5, 2, 22);
+        let xs = batch(5, 4, 0.2);
+        let want_a = BackendKind::Panel
+            .backend()
+            .forward_batch(src_a.mesh(), &xs);
+        let want_b = BackendKind::Panel
+            .backend()
+            .forward_batch(src_b.mesh(), &xs);
+        let batcher = MeshBatcher::new(BackendKind::Panel, 1_000_000, Duration::from_millis(5));
+        let ha = batcher.submit(BatchKey { model: 10, lane: 0 }, src_a, xs.clone());
+        let hb = batcher.submit(BatchKey { model: 11, lane: 0 }, src_b, xs);
+        assert_eq!(ha.wait().unwrap(), want_a);
+        assert_eq!(hb.wait().unwrap(), want_b);
+    }
+
+    #[test]
+    fn empty_submission_resolves_immediately() {
+        let src = mesh(4, 1, 9);
+        let batcher = MeshBatcher::new(BackendKind::Panel, 8, Duration::from_secs(10));
+        let handle = batcher.submit(BatchKey { model: 4, lane: 0 }, src, Vec::new());
+        assert_eq!(handle.wait().unwrap(), Vec::<Vec<f64>>::new());
+    }
+
+    #[test]
+    fn drop_flushes_pending_groups() {
+        let src = mesh(6, 2, 17);
+        let xs = batch(6, 2, 0.7);
+        let want = BackendKind::Panel.backend().forward_batch(src.mesh(), &xs);
+        let batcher = MeshBatcher::new(BackendKind::Panel, 1_000_000, Duration::from_secs(3600));
+        let handle = batcher.submit(BatchKey { model: 5, lane: 0 }, src, xs);
+        drop(batcher);
+        assert_eq!(handle.wait().unwrap(), want);
+    }
+
+    #[test]
+    fn concurrent_submitters_each_get_their_own_results() {
+        let src = mesh(8, 2, 33);
+        let batcher = Arc::new(MeshBatcher::new(
+            BackendKind::Panel,
+            64,
+            Duration::from_millis(2),
+        ));
+        let key = BatchKey { model: 6, lane: 0 };
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let batcher = Arc::clone(&batcher);
+                let src = src.clone();
+                std::thread::spawn(move || {
+                    let xs = batch(8, 3 + i % 4, i as f64);
+                    let want = BackendKind::Scalar.backend().forward_batch(src.mesh(), &xs);
+                    let got = batcher.submit(key, src.clone(), xs).wait().unwrap();
+                    assert_eq!(got, want, "submitter {i}");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

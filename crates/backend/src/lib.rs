@@ -14,7 +14,11 @@
 //!   the whole panel, chunked across threads.
 //!
 //! [`BackendKind`] is the value-level selector (CLI flags, codec
-//! options) that maps onto shared backend instances.
+//! options) that maps onto shared backend instances. On top of the
+//! trait, [`MeshBatcher`] coalesces passes submitted by independent
+//! callers (e.g. concurrent server requests) into single backend
+//! batches — sound precisely because backends are bit-identical per
+//! vector regardless of batch composition.
 //!
 //! # Why bit-compatibility is part of the trait contract
 //!
@@ -25,9 +29,11 @@
 //! and the cross-backend conformance suite plus the golden bitstream
 //! vectors pin that promise in CI.
 
+mod batch;
 mod panel;
 mod scalar;
 
+pub use batch::{BatchHandle, BatchKey, MeshBatcher, MeshSource};
 pub use panel::{PanelBackend, DEFAULT_PANEL_WIDTH};
 pub use scalar::ScalarBackend;
 

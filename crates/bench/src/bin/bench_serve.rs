@@ -1,0 +1,161 @@
+//! Serving-throughput recorder: drives real TCP clients against
+//! in-process `qn-serve` instances and measures requests/s and tiles/s
+//! at 1/4/16 concurrent clients, comparing per-request scalar dispatch
+//! (batching off) against cross-request panel batching — the number
+//! the ROADMAP's serving claims point at. Results land in
+//! `BENCH_serve.json` at the workspace root.
+//!
+//! Every configuration first asserts that the remote container is
+//! byte-identical to the offline encode — speed only counts after
+//! correctness.
+//!
+//! Usage: `cargo run --release -p qn-bench --bin bench_serve
+//! [requests-per-client]` (default 24; image 64×64 → 256 tiles per
+//! request).
+
+use qn_backend::BackendKind;
+use qn_bench::results_dir;
+use qn_codec::model::encode_model;
+use qn_codec::{Codec, CodecOptions};
+use qn_image::datasets;
+use qn_serve::client::model_encode_request;
+use qn_serve::{spawn, Client, ServerConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const IMAGE_SIZE: usize = 64;
+
+struct Mode {
+    name: &'static str,
+    backend: BackendKind,
+    batch_deadline: Duration,
+}
+
+fn main() {
+    let per_client: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("requests-per-client must be a number"))
+        .unwrap_or(24);
+
+    let img = datasets::grayscale_blobs(1, IMAGE_SIZE, IMAGE_SIZE, 42).remove(0);
+    let opts = CodecOptions {
+        inline_model: false,
+        ..CodecOptions::default()
+    };
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).expect("spectral model");
+    let model_bytes = encode_model(codec.model());
+    let offline = codec.encode_image(&img, &opts).expect("offline encode");
+    let tiles = IMAGE_SIZE.div_ceil(opts.tile_size) * IMAGE_SIZE.div_ceil(opts.tile_size);
+
+    let modes = [
+        Mode {
+            name: "scalar-per-request",
+            backend: BackendKind::Scalar,
+            batch_deadline: Duration::ZERO,
+        },
+        Mode {
+            name: "panel-batched",
+            backend: BackendKind::Panel,
+            batch_deadline: Duration::from_millis(2),
+        },
+    ];
+
+    println!(
+        "serve throughput, {IMAGE_SIZE}x{IMAGE_SIZE} image, {tiles} tiles/request, \
+         {per_client} requests/client"
+    );
+    println!(
+        "{:<20} {:>8} {:>12} {:>14} {:>12} {:>14}",
+        "mode", "clients", "enc req/s", "enc tiles/s", "dec req/s", "dec tiles/s"
+    );
+
+    let mut entries = String::new();
+    for mode in &modes {
+        for clients in [1usize, 4, 16] {
+            let server = spawn(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                backend: mode.backend,
+                batch_deadline: mode.batch_deadline,
+                ..ServerConfig::default()
+            })
+            .expect("spawn server");
+            let addr = server.addr();
+
+            // Pre-warm the zoo and pin correctness before timing.
+            {
+                let mut warm = Client::connect(addr).expect("connect");
+                let id = warm.load_model(&model_bytes).expect("load model");
+                assert_eq!(id, codec.model_id());
+                let remote = warm
+                    .encode(&model_encode_request(&img, &opts, id))
+                    .expect("warm encode");
+                assert_eq!(remote, offline, "{}: remote bytes diverged", mode.name);
+            }
+
+            let run = |decode: bool| -> f64 {
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for _ in 0..clients {
+                        scope.spawn(|| {
+                            let mut client = Client::connect(addr).expect("connect");
+                            for _ in 0..per_client {
+                                if decode {
+                                    client.decode(&offline).expect("decode");
+                                } else {
+                                    client
+                                        .encode(&model_encode_request(
+                                            &img,
+                                            &opts,
+                                            codec.model_id(),
+                                        ))
+                                        .expect("encode");
+                                }
+                            }
+                        });
+                    }
+                });
+                start.elapsed().as_secs_f64()
+            };
+
+            let requests = (clients * per_client) as f64;
+            let enc_s = run(false);
+            let dec_s = run(true);
+            let (enc_rps, dec_rps) = (requests / enc_s, requests / dec_s);
+            let (enc_tps, dec_tps) = (enc_rps * tiles as f64, dec_rps * tiles as f64);
+            println!(
+                "{:<20} {:>8} {:>12.1} {:>14.0} {:>12.1} {:>14.0}",
+                mode.name, clients, enc_rps, enc_tps, dec_rps, dec_tps
+            );
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            write!(
+                entries,
+                "    {{\"mode\": \"{}\", \"backend\": \"{}\", \"batched\": {}, \
+                 \"clients\": {clients}, \
+                 \"encode_requests_per_sec\": {enc_rps:.1}, \
+                 \"encode_tiles_per_sec\": {enc_tps:.0}, \
+                 \"decode_requests_per_sec\": {dec_rps:.1}, \
+                 \"decode_tiles_per_sec\": {dec_tps:.0}}}",
+                mode.name,
+                mode.backend.name(),
+                !mode.batch_deadline.is_zero(),
+            )
+            .expect("write entry");
+            server.shutdown();
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"image\": \"{IMAGE_SIZE}x{IMAGE_SIZE}\",\n  \
+         \"tiles_per_request\": {tiles},\n  \"requests_per_client\": {per_client},\n  \
+         \"threads\": {},\n  \"results\": [\n{entries}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let path = results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .join("BENCH_serve.json");
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

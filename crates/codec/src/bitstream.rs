@@ -205,9 +205,18 @@ const CRC32_TABLE: [u32; 256] = {
 /// CRC-32 (IEEE) of `bytes` — the integrity check both file formats
 /// append.
 pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_of_parts(&[bytes])
+}
+
+/// CRC-32 (IEEE) over the concatenation of `parts`, without
+/// materialising it — equal to `crc32` of the joined bytes. Lets
+/// framing layers checksum header + payload with no copy.
+pub fn crc32_of_parts(parts: &[&[u8]]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    for part in parts {
+        for &b in *part {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
     }
     !crc
 }
@@ -396,6 +405,21 @@ impl<'a> ByteReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc32_of_parts_equals_crc32_of_concatenation() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i * 7 % 251) as u8).collect();
+        for split in [0, 1, 16, 100, 199, 200] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32_of_parts(&[a, b]), crc32(&data), "split {split}");
+        }
+        assert_eq!(crc32_of_parts(&[]), crc32(&[]));
+        assert_eq!(crc32_of_parts(&[&data, &[], &data]), {
+            let mut doubled = data.clone();
+            doubled.extend_from_slice(&data);
+            crc32(&doubled)
+        });
+    }
 
     #[test]
     fn bits_roundtrip_lsb_first() {

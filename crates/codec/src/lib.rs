@@ -31,6 +31,7 @@
 pub mod bitstream;
 pub mod container;
 pub mod error;
+pub mod info;
 pub mod model;
 pub mod pipeline;
 pub mod quantize;
@@ -38,6 +39,9 @@ pub mod quantize;
 pub use container::{Container, ContainerHeader, TilePayload};
 pub use error::{CodecError, Result};
 pub use model::{load_model, save_model};
-pub use pipeline::{decode_standalone, decode_standalone_with, Codec, CodecOptions, EncodeStats};
+pub use pipeline::{
+    codec_from_inline, decode_standalone, decode_standalone_with, Codec, CodecOptions, DecodePlan,
+    EncodePlan, EncodeStats,
+};
 pub use qn_backend::BackendKind;
 pub use quantize::Quantizer;

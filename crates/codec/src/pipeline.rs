@@ -180,6 +180,32 @@ impl Codec {
         img: &GrayImage,
         opts: &CodecOptions,
     ) -> Result<(Vec<u8>, EncodeStats)> {
+        let (plan, states) = self.prepare_encode(img, opts)?;
+        let outs = self
+            .model
+            .compression
+            .forward_batch_with(&states, opts.backend.backend());
+        self.complete_encode(plan, outs)
+    }
+
+    /// Everything *before* the encode's single mesh pass: tile the
+    /// image, amplitude-encode every non-empty tile, and hand back the
+    /// state vectors alongside the bookkeeping needed to finish. Any
+    /// executor may then run the compression mesh over the states —
+    /// [`Codec::encode_image_with_stats`] dispatches them directly
+    /// through [`CodecOptions::backend`], while a serving layer can
+    /// coalesce them with other requests' tiles — and feed the outputs
+    /// (bit-identical by the backend contract) to
+    /// [`Codec::complete_encode`].
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] for empty images, zero/oversize tile
+    /// sizes, or unsupported bit depths.
+    pub fn prepare_encode(
+        &self,
+        img: &GrayImage,
+        opts: &CodecOptions,
+    ) -> Result<(EncodePlan, Vec<Vec<f64>>)> {
         if img.is_empty() {
             return Err(CodecError::Invalid("cannot encode an empty image".into()));
         }
@@ -195,14 +221,61 @@ impl Codec {
                 dim
             )));
         }
+        Quantizer::new(opts.bits)?; // validate the bit depth up front
+        let tiling = tiles::tile(img, opts.tile_size);
+        let mut states: Vec<Vec<f64>> = Vec::with_capacity(tiling.tiles.len());
+        let mut norms: Vec<f64> = Vec::with_capacity(tiling.tiles.len());
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(tiling.tiles.len());
+        for patch in &tiling.tiles {
+            match encoding::encode(patch.pixels(), dim) {
+                Ok(enc) => {
+                    slots.push(Some(states.len()));
+                    norms.push(enc.norm);
+                    states.push(enc.amplitudes);
+                }
+                Err(_) => slots.push(None),
+            }
+        }
+        let plan = EncodePlan {
+            slots,
+            norms,
+            tiles_x: tiling.tiles_x,
+            tiles_y: tiling.tiles_y,
+            width: img.width() as u32,
+            height: img.height() as u32,
+            raw_bytes: img.len(),
+            opts: opts.clone(),
+        };
+        Ok((plan, states))
+    }
+
+    /// Everything *after* the encode's mesh pass: gather the kept
+    /// latent amplitudes from the raw `U_C` outputs (projection only
+    /// zeroes the discarded ones, so the gather is bit-identical to
+    /// projecting first), quantize, entropy-code and serialise the
+    /// container. `mesh_out[i]` must be the mesh output for state `i`
+    /// of [`Codec::prepare_encode`].
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] when `mesh_out` does not match the
+    /// plan's state count, plus container serialisation errors.
+    pub fn complete_encode(
+        &self,
+        plan: EncodePlan,
+        mesh_out: Vec<Vec<f64>>,
+    ) -> Result<(Vec<u8>, EncodeStats)> {
+        if mesh_out.len() != plan.norms.len() {
+            return Err(CodecError::Invalid(format!(
+                "mesh pass returned {} outputs for {} prepared tiles",
+                mesh_out.len(),
+                plan.norms.len()
+            )));
+        }
+        let opts = &plan.opts;
         let quantizer = Quantizer::new(opts.bits)?;
         let latent_dim = self.model.compression.compressed_dim();
-
-        let tiling = tiles::tile(img, opts.tile_size);
-        // Batched forward pass: encode → U_C → P1 → kept amplitudes.
-        let latents = self.forward_tiles(&tiling.tiles, opts.backend);
-
-        let max_norm = latents.iter().flatten().fold(0.0f64, |m, l| m.max(l.norm)) as f32;
+        let kept_indices = self.model.compression.projector().kept_indices();
+        let max_norm = plan.norms.iter().fold(0.0f64, |m, &n| m.max(n)) as f32;
 
         let mut flags = 0u16;
         if opts.per_tile_scale {
@@ -215,8 +288,8 @@ impl Codec {
             version: CONTAINER_VERSION,
             flags,
             model_id: self.model_id,
-            width: img.width() as u32,
-            height: img.height() as u32,
+            width: plan.width,
+            height: plan.height,
             tile_size: opts.tile_size as u16,
             latent_dim: latent_dim as u16,
             bits: opts.bits,
@@ -224,25 +297,24 @@ impl Codec {
         };
 
         let mut empty_tiles = 0usize;
-        let tile_payloads: Vec<Option<TilePayload>> = latents
-            .into_iter()
-            .map(|latent| match latent {
+        let tile_payloads: Vec<Option<TilePayload>> = plan
+            .slots
+            .iter()
+            .map(|slot| match slot {
                 None => {
                     empty_tiles += 1;
                     None
                 }
-                Some(latent) => {
+                Some(i) => {
+                    let kept: Vec<f64> = kept_indices.iter().map(|&j| mesh_out[*i][j]).collect();
                     let (scale, scaled): (Option<f32>, Vec<f64>) = if opts.per_tile_scale {
-                        let s = tile_scale(&latent.kept);
-                        (
-                            Some(s),
-                            latent.kept.iter().map(|a| a / f64::from(s)).collect(),
-                        )
+                        let s = tile_scale(&kept);
+                        (Some(s), kept.iter().map(|a| a / f64::from(s)).collect())
                     } else {
-                        (None, latent.kept)
+                        (None, kept)
                     };
                     Some(TilePayload {
-                        norm_q: quantize_norm(latent.norm, max_norm),
+                        norm_q: quantize_norm(plan.norms[*i], max_norm),
                         scale,
                         levels: quantizer.quantize_block(&scaled),
                     })
@@ -257,11 +329,11 @@ impl Codec {
         };
         let bytes = container.to_bytes()?;
         let stats = EncodeStats {
-            tiles: tiling.tiles_x * tiling.tiles_y,
+            tiles: plan.tiles_x * plan.tiles_y,
             empty_tiles,
-            raw_bytes: img.len(),
+            raw_bytes: plan.raw_bytes,
             container_bytes: bytes.len(),
-            bits_per_pixel: bytes.len() as f64 * 8.0 / img.len() as f64,
+            bits_per_pixel: bytes.len() as f64 * 8.0 / plan.raw_bytes as f64,
         };
         Ok((bytes, stats))
     }
@@ -282,14 +354,21 @@ impl Codec {
     /// # Errors
     /// See [`Codec::decode_bytes`].
     pub fn decode_bytes_with(&self, bytes: &[u8], backend: BackendKind) -> Result<GrayImage> {
-        let container = Container::from_bytes(bytes)?;
+        decode_parsed(self, &Container::from_bytes(bytes)?, backend)
+    }
+
+    /// Verify that `container` was produced by this codec's model.
+    ///
+    /// # Errors
+    /// [`CodecError::ModelMismatch`] on a model-id disagreement.
+    pub fn check_container(&self, container: &Container) -> Result<()> {
         if container.header.model_id != self.model_id {
             return Err(CodecError::ModelMismatch {
                 container: container.header.model_id,
                 supplied: self.model_id,
             });
         }
-        self.decode_container(&container, backend)
+        Ok(())
     }
 
     /// Decode a parsed container against this codec's model.
@@ -302,6 +381,24 @@ impl Codec {
         container: &Container,
         backend: BackendKind,
     ) -> Result<GrayImage> {
+        let (plan, states) = self.prepare_decode(container)?;
+        let outs = self
+            .model
+            .reconstruction
+            .reconstruct_batch_with(&states, backend.backend());
+        self.complete_decode(plan, outs)
+    }
+
+    /// Everything *before* the decode's single mesh pass: validate the
+    /// container geometry against the model and dequantize every
+    /// occupied tile into a re-embedded state vector. Any executor may
+    /// then run the reconstruction mesh over the states and feed the
+    /// outputs to [`Codec::complete_decode`].
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] when the container geometry disagrees
+    /// with the model (latent dimension, state dimension).
+    pub fn prepare_decode(&self, container: &Container) -> Result<(DecodePlan, Vec<Vec<f64>>)> {
         let header = &container.header;
         let dim = self.model.dim();
         let tile_px = header.tile_size as usize * header.tile_size as usize;
@@ -320,11 +417,10 @@ impl Codec {
         }
         let quantizer = Quantizer::new(header.bits)?;
         let kept_indices = self.model.compression.projector().kept_indices();
-        let tile_size = header.tile_size as usize;
-        let max_norm = header.max_norm;
 
-        // Dequantize every occupied tile into a re-embedded state vector…
+        // Dequantize every occupied tile into a re-embedded state vector.
         let mut states: Vec<Vec<f64>> = Vec::new();
+        let mut norms: Vec<f64> = Vec::new();
         let mut slots: Vec<Option<usize>> = Vec::with_capacity(container.tiles.len());
         for tile in &container.tiles {
             match tile {
@@ -341,77 +437,61 @@ impl Codec {
                         state[j] = a;
                     }
                     slots.push(Some(states.len()));
+                    norms.push(dequantize_norm(payload.norm_q, header.max_norm));
                     states.push(state);
                 }
             }
         }
-        // …run the reconstruction mesh over the whole batch at once…
-        let outs = self
-            .model
-            .reconstruction
-            .reconstruct_batch_with(&states, backend.backend());
-        // …and turn each output back into a tile patch.
-        let patches: Vec<GrayImage> = slots
-            .iter()
-            .zip(&container.tiles)
-            .map(|(slot, tile)| match (slot, tile) {
-                (Some(i), Some(payload)) => {
-                    let norm = dequantize_norm(payload.norm_q, max_norm);
-                    let pixels = encoding::decode(&outs[*i], norm, tile_px);
-                    GrayImage::from_pixels(tile_size, tile_size, pixels)
-                        .expect("tile geometry fixed by construction")
-                }
-                _ => GrayImage::zeros(tile_size, tile_size),
-            })
-            .collect();
-
-        let tiling = tiles::Tiling {
-            tiles: Vec::new(),
-            tile_size,
+        let plan = DecodePlan {
+            slots,
+            norms,
+            tile_size: header.tile_size as usize,
+            tile_px,
             width: header.width as usize,
             height: header.height as usize,
             tiles_x: header.tiles_x(),
             tiles_y: header.tiles_y(),
         };
-        Ok(tiles::untile(&tiling, &patches))
+        Ok((plan, states))
     }
 
-    /// Batched forward pass through encode → `U_C` → `P1`: all occupied
-    /// tiles go through the mesh as one backend batch; all-zero tiles
-    /// (which amplitude encoding rejects) stay empty.
-    fn forward_tiles(
-        &self,
-        patches: &[GrayImage],
-        backend: BackendKind,
-    ) -> Vec<Option<TileLatent>> {
-        let dim = self.model.dim();
-        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(patches.len());
-        let mut norms: Vec<f64> = Vec::with_capacity(patches.len());
-        let mut slots: Vec<Option<usize>> = Vec::with_capacity(patches.len());
-        for patch in patches {
-            match encoding::encode(patch.pixels(), dim) {
-                Ok(enc) => {
-                    slots.push(Some(inputs.len()));
-                    norms.push(enc.norm);
-                    inputs.push(enc.amplitudes);
-                }
-                Err(_) => slots.push(None),
-            }
+    /// Everything *after* the decode's mesh pass: scale each
+    /// reconstructed state by its tile norm, rebuild the patches and
+    /// stitch the image. `mesh_out[i]` must be the reconstruction-mesh
+    /// output for state `i` of [`Codec::prepare_decode`].
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] when `mesh_out` does not match the
+    /// plan's state count.
+    pub fn complete_decode(&self, plan: DecodePlan, mesh_out: Vec<Vec<f64>>) -> Result<GrayImage> {
+        if mesh_out.len() != plan.norms.len() {
+            return Err(CodecError::Invalid(format!(
+                "mesh pass returned {} outputs for {} prepared tiles",
+                mesh_out.len(),
+                plan.norms.len()
+            )));
         }
-        let compressed = self
-            .model
-            .compression
-            .compress_batch_with(&inputs, backend.backend());
-        let kept_indices = self.model.compression.projector().kept_indices();
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.map(|i| TileLatent {
-                    norm: norms[i],
-                    kept: kept_indices.iter().map(|&j| compressed[i][j]).collect(),
-                })
+        let patches: Vec<GrayImage> = plan
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                Some(i) => {
+                    let pixels = encoding::decode(&mesh_out[*i], plan.norms[*i], plan.tile_px);
+                    GrayImage::from_pixels(plan.tile_size, plan.tile_size, pixels)
+                        .expect("tile geometry fixed by construction")
+                }
+                None => GrayImage::zeros(plan.tile_size, plan.tile_size),
             })
-            .collect()
+            .collect();
+        let tiling = tiles::Tiling {
+            tiles: Vec::new(),
+            tile_size: plan.tile_size,
+            width: plan.width,
+            height: plan.height,
+            tiles_x: plan.tiles_x,
+            tiles_y: plan.tiles_y,
+        };
+        Ok(tiles::untile(&tiling, &patches))
     }
 }
 
@@ -431,26 +511,66 @@ pub fn decode_standalone(bytes: &[u8]) -> Result<GrayImage> {
 /// See [`decode_standalone`].
 pub fn decode_standalone_with(bytes: &[u8], backend: BackendKind) -> Result<GrayImage> {
     let container = Container::from_bytes(bytes)?;
+    let codec = codec_from_inline(&container)?;
+    decode_parsed(&codec, &container, backend)
+}
+
+/// Build a [`Codec`] from a container's embedded model — the model
+/// source of the standalone decode path and of servers handling
+/// self-contained containers.
+///
+/// # Errors
+/// [`CodecError::Invalid`] when no model is embedded; otherwise model
+/// parse errors.
+pub fn codec_from_inline(container: &Container) -> Result<Codec> {
     let model_bytes = container.inline_model.as_deref().ok_or_else(|| {
         CodecError::Invalid(
             "container has no inline model; supply the model file it was encoded with".into(),
         )
     })?;
-    let codec = Codec::new(model::decode_model(model_bytes)?);
-    if container.header.model_id != codec.model_id() {
-        return Err(CodecError::ModelMismatch {
-            container: container.header.model_id,
-            supplied: codec.model_id(),
-        });
-    }
-    codec.decode_container(&container, backend)
+    Ok(Codec::new(model::decode_model(model_bytes)?))
 }
 
-/// One tile's compressed-domain representation before quantization.
+/// The one decode implementation behind every entry point: verify the
+/// model identity, then decode.
+fn decode_parsed(codec: &Codec, container: &Container, backend: BackendKind) -> Result<GrayImage> {
+    codec.check_container(container)?;
+    codec.decode_container(container, backend)
+}
+
+/// Opaque bookkeeping between [`Codec::prepare_encode`] and
+/// [`Codec::complete_encode`]: tile occupancy, per-tile norms and the
+/// geometry/options needed to assemble the container after the mesh
+/// pass has run elsewhere.
 #[derive(Debug, Clone)]
-struct TileLatent {
-    norm: f64,
-    kept: Vec<f64>,
+pub struct EncodePlan {
+    /// Row-major tile → state index (None = all-zero tile).
+    slots: Vec<Option<usize>>,
+    /// Encoding norm per occupied state.
+    norms: Vec<f64>,
+    tiles_x: usize,
+    tiles_y: usize,
+    width: u32,
+    height: u32,
+    raw_bytes: usize,
+    opts: CodecOptions,
+}
+
+/// Opaque bookkeeping between [`Codec::prepare_decode`] and
+/// [`Codec::complete_decode`]: tile occupancy, dequantized norms and
+/// the output geometry.
+#[derive(Debug, Clone)]
+pub struct DecodePlan {
+    /// Row-major tile → state index (None = all-zero tile).
+    slots: Vec<Option<usize>>,
+    /// Dequantized tile norm per occupied state.
+    norms: Vec<f64>,
+    tile_size: usize,
+    tile_px: usize,
+    width: usize,
+    height: usize,
+    tiles_x: usize,
+    tiles_y: usize,
 }
 
 #[cfg(test)]

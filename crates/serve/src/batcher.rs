@@ -1,0 +1,181 @@
+//! The micro-batching core: request-level encode/decode built from the
+//! codec's `prepare_*`/`complete_*` halves with the mesh pass routed
+//! through a shared [`qn_backend::MeshBatcher`], so tiles from
+//! concurrent requests coalesce into single backend passes.
+//!
+//! Soundness rests on two contracts proven elsewhere: backends are
+//! bit-identical per vector regardless of batch composition
+//! (`qn_backend`'s equivalence contract), and model ids are
+//! content-addressed (`qn_codec::model::model_id`), so two requests
+//! batched under the same [`BatchKey`] are guaranteed to reference
+//! bit-identical meshes. Together they make coalescing invisible:
+//! every response is byte-identical to an offline run.
+
+use crate::error::{Result, ServeError};
+use qn_backend::{BackendKind, BatchKey, MeshBatcher, MeshSource};
+use qn_codec::{Codec, CodecOptions, Container, EncodeStats};
+use qn_image::GrayImage;
+use qn_photonic::Mesh;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lane for the compression mesh (`U_C` forward) in [`BatchKey`]s.
+const LANE_COMPRESS: u8 = 0;
+/// Lane for the reconstruction mesh (`U_R` forward).
+const LANE_RECONSTRUCT: u8 = 1;
+
+/// Keeps a codec's compression mesh alive for the batcher.
+struct CompressMesh(Arc<Codec>);
+
+impl MeshSource for CompressMesh {
+    fn mesh(&self) -> &Mesh {
+        self.0.model().compression.mesh()
+    }
+}
+
+/// Keeps a codec's reconstruction mesh alive for the batcher.
+struct ReconstructMesh(Arc<Codec>);
+
+impl MeshSource for ReconstructMesh {
+    fn mesh(&self) -> &Mesh {
+        self.0.model().reconstruction.mesh()
+    }
+}
+
+/// Request-level batching façade over [`MeshBatcher`]: whole-image
+/// encode/decode whose mesh passes may share backend batches with
+/// other requests in flight.
+#[derive(Debug)]
+pub struct TileBatcher {
+    inner: MeshBatcher,
+}
+
+impl TileBatcher {
+    /// A batcher flushing through `backend` when a (model, mesh) group
+    /// reaches `max_tiles` or has waited `deadline`. A zero deadline
+    /// (or `max_tiles <= 1`) degrades to per-request dispatch.
+    pub fn new(backend: BackendKind, max_tiles: usize, deadline: Duration) -> Self {
+        TileBatcher {
+            inner: MeshBatcher::new(backend, max_tiles, deadline),
+        }
+    }
+
+    /// The backend every flush runs through.
+    pub fn backend(&self) -> BackendKind {
+        self.inner.backend()
+    }
+
+    /// Whether tiles may coalesce across requests.
+    pub fn coalesces(&self) -> bool {
+        self.inner.coalesces()
+    }
+
+    /// Encode `img` with `codec`, the mesh pass batched across
+    /// requests. Byte-identical to [`Codec::encode_image_with_stats`].
+    ///
+    /// # Errors
+    /// Codec validation/serialisation errors; [`ServeError::Internal`]
+    /// if the batcher is torn down mid-request.
+    pub fn encode(
+        &self,
+        codec: &Arc<Codec>,
+        img: &GrayImage,
+        opts: &CodecOptions,
+    ) -> Result<(Vec<u8>, EncodeStats)> {
+        let (plan, states) = codec.prepare_encode(img, opts)?;
+        let handle = self.inner.submit(
+            BatchKey {
+                model: codec.model_id(),
+                lane: LANE_COMPRESS,
+            },
+            Arc::new(CompressMesh(Arc::clone(codec))),
+            states,
+        );
+        let outs = handle
+            .wait()
+            .ok_or_else(|| ServeError::Internal("batcher torn down mid-encode".into()))?;
+        Ok(codec.complete_encode(plan, outs)?)
+    }
+
+    /// Decode a parsed container with `codec`, the mesh pass batched
+    /// across requests. Byte-identical to [`Codec::decode_container`].
+    ///
+    /// # Errors
+    /// Codec geometry errors; [`ServeError::Internal`] if the batcher
+    /// is torn down mid-request.
+    pub fn decode(&self, codec: &Arc<Codec>, container: &Container) -> Result<GrayImage> {
+        let (plan, states) = codec.prepare_decode(container)?;
+        let handle = self.inner.submit(
+            BatchKey {
+                model: codec.model_id(),
+                lane: LANE_RECONSTRUCT,
+            },
+            Arc::new(ReconstructMesh(Arc::clone(codec))),
+            states,
+        );
+        let outs = handle
+            .wait()
+            .ok_or_else(|| ServeError::Internal("batcher torn down mid-decode".into()))?;
+        Ok(codec.complete_decode(plan, outs)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_image::datasets;
+
+    fn fixture() -> (Arc<Codec>, GrayImage, CodecOptions) {
+        let img = datasets::grayscale_blobs(1, 24, 16, 55).remove(0);
+        let codec = Arc::new(Codec::spectral_for_image(&img, 4, 8).unwrap());
+        let opts = CodecOptions::default();
+        (codec, img, opts)
+    }
+
+    #[test]
+    fn batched_encode_and_decode_match_offline_bytes() {
+        let (codec, img, opts) = fixture();
+        let offline = codec.encode_image(&img, &opts).unwrap();
+        let offline_img = codec.decode_bytes(&offline).unwrap();
+
+        let batcher = TileBatcher::new(BackendKind::Panel, 4096, Duration::from_millis(2));
+        let (bytes, stats) = batcher.encode(&codec, &img, &opts).unwrap();
+        assert_eq!(bytes, offline, "batched encode must be byte-identical");
+        assert_eq!(stats.tiles, 24);
+        let container = Container::from_bytes(&bytes).unwrap();
+        let decoded = batcher.decode(&codec, &container).unwrap();
+        assert_eq!(decoded, offline_img, "batched decode must be identical");
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_without_cross_talk() {
+        let (codec, img, opts) = fixture();
+        let offline = codec.encode_image(&img, &opts).unwrap();
+        let batcher = Arc::new(TileBatcher::new(
+            BackendKind::Panel,
+            1_000_000, // never batch-full: the deadline merges them
+            Duration::from_millis(5),
+        ));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let batcher = Arc::clone(&batcher);
+                let codec = Arc::clone(&codec);
+                let img = img.clone();
+                let opts = opts.clone();
+                std::thread::spawn(move || batcher.encode(&codec, &img, &opts).unwrap().0)
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), offline);
+        }
+    }
+
+    #[test]
+    fn per_request_mode_still_matches() {
+        let (codec, img, opts) = fixture();
+        let offline = codec.encode_image(&img, &opts).unwrap();
+        let batcher = TileBatcher::new(BackendKind::Scalar, 4096, Duration::ZERO);
+        assert!(!batcher.coalesces());
+        assert_eq!(batcher.encode(&codec, &img, &opts).unwrap().0, offline);
+    }
+}

@@ -4,21 +4,26 @@
 //! qnc compress   <input.pgm> -o <out.qnc> [options]
 //! qnc decompress <input.qnc> -o <out.pgm> [options]
 //! qnc train      <input.pgm> -o <model.qnm> [options]
-//! qnc info       <file.qnc | file.qnm>
+//! qnc info       <file.qnc | file.qnm> [--json]
+//! qnc serve      [--addr HOST:PORT] [--store DIR] [options]
+//! qnc remote     compress|decompress|info … --addr HOST:PORT
 //! ```
 //!
 //! Argument parsing is hand-rolled (the dependency set is frozen); every
 //! failure exits with a message on stderr and a non-zero status — no
 //! panics on user input.
 
-use qn_codec::{decode_standalone_with, model, BackendKind, Codec, CodecOptions};
+use qn_codec::{decode_standalone_with, info, model, BackendKind, Codec, CodecOptions};
 use qn_core::config::{
     CompressionTargetKind, InitStrategy, NetworkConfig, OptimizerKind, SubspaceKind,
 };
 use qn_core::trainer::Trainer;
 use qn_image::{metrics, pgm, tiles, GrayImage};
+use qn_serve::client::{model_encode_request, spectral_encode_request};
+use qn_serve::{Client, ServerConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 qnc — quantum-network image codec
@@ -31,7 +36,14 @@ USAGE:
                    [--backend B] [--serial]
     qnc train      <input.pgm> -o <model.qnm> [--tile N] [--latent D]
                    [--layers-c N] [--layers-r N] [--iters N] [--seed S]
-    qnc info       <file.qnc | file.qnm>
+    qnc info       <file.qnc | file.qnm> [--json]
+    qnc serve      [--addr HOST:PORT] [--store DIR] [--backend B]
+                   [--batch-tiles N] [--batch-deadline-ms T] [--cache-models N]
+    qnc remote compress   <input.pgm> -o <out.qnc> --addr HOST:PORT
+                   [--model <m.qnm>] [--tile N] [--latent D] [--bits B]
+                   [--per-tile-scale] [--no-inline-model]
+    qnc remote decompress <input.qnc> -o <out.pgm> --addr HOST:PORT
+    qnc remote info       [file.qnc | file.qnm] --addr HOST:PORT
 
 Defaults: tile 4, latent 8, bits 8, inline model, panel backend.
 Backends (--backend scalar|scalar-parallel|panel; --serial is shorthand
@@ -41,7 +53,11 @@ without --model builds a PCA-spectral model from the input image itself
 and (unless --no-inline-model) embeds it in the container, so the .qnc
 decodes standalone. `train` distills a model from an image's tiles:
 spectral initialisation plus --iters gradient refinement steps (0 =
-spectral only).";
+spectral only). `serve` runs the batching codec server (default addr
+127.0.0.1:7733, port 0 = ephemeral; --store names the model-zoo
+directory); `remote` runs compress/decompress/info against it, with
+responses byte-identical to the offline commands. `remote compress
+--model` uploads the model to the server's zoo first.";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("qnc: {msg}");
@@ -75,12 +91,18 @@ impl Args {
             "--layers-r",
             "--iters",
             "--seed",
+            "--addr",
+            "--store",
+            "--batch-tiles",
+            "--batch-deadline-ms",
+            "--cache-models",
         ];
         let boolean = [
             "--per-tile-scale",
             "--no-inline-model",
             "--serial",
             "--no-verify",
+            "--json",
             "--help",
             "-h",
         ];
@@ -318,6 +340,12 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         return Err("info needs exactly one file".into());
     };
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    if args.has("--json") {
+        // The same JSON a running server's INFO reply carries.
+        let json = info::file_info_json(&bytes).map_err(|e| format!("{input}: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
     match bytes.get(..4) {
         Some(m) if m == qn_codec::container::CONTAINER_MAGIC => {
             let c = qn_codec::Container::from_bytes(&bytes)
@@ -375,6 +403,164 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err(format!(
+            "serve takes no positionals, got {:?}",
+            args.positional
+        ));
+    }
+    let config = ServerConfig {
+        addr: args.value(&["--addr"]).unwrap_or("127.0.0.1:7733").into(),
+        store_dir: args.value(&["--store"]).map(PathBuf::from),
+        model_cache: args.numeric(&["--cache-models"], 16usize)?,
+        backend: backend_choice(args)?,
+        batch_tiles: args.numeric(&["--batch-tiles"], 4096usize)?,
+        batch_deadline: Duration::from_millis(args.numeric(&["--batch-deadline-ms"], 2u64)?),
+    };
+    let store = config
+        .store_dir
+        .as_ref()
+        .map_or("none (in-memory models only)".to_string(), |d| {
+            d.display().to_string()
+        });
+    let handle = qn_serve::spawn(config.clone()).map_err(|e| format!("starting server: {e}"))?;
+    // The address line is the startup handshake scripts and tests parse
+    // (ephemeral ports are only knowable here). Written fallibly: a
+    // server must keep serving even if stdout is a pipe whose reader
+    // went away after the handshake.
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(
+        stdout,
+        "qn-serve listening on {}\n  backend {}, batch {} tiles / {} ms deadline, model store: {store}",
+        handle.addr(),
+        config.backend,
+        config.batch_tiles,
+        config.batch_deadline.as_millis()
+    );
+    let _ = stdout.flush();
+    // Serve until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Connect to the server every remote subcommand talks to.
+fn remote_client(args: &Args) -> Result<Client, String> {
+    let addr = args
+        .value(&["--addr"])
+        .ok_or("remote needs --addr HOST:PORT")?;
+    Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))
+}
+
+fn cmd_remote(args: &Args) -> Result<(), String> {
+    let Some((sub, rest)) = args.positional.split_first() else {
+        return Err("remote needs a subcommand: compress, decompress or info".into());
+    };
+    match sub.as_str() {
+        "compress" => remote_compress(args, rest),
+        "decompress" => remote_decompress(args, rest),
+        "info" => remote_info(args, rest),
+        other => Err(format!("unknown remote subcommand {other:?}")),
+    }
+}
+
+fn remote_compress(args: &Args, positional: &[String]) -> Result<(), String> {
+    let [input] = positional else {
+        return Err("remote compress needs exactly one input image".into());
+    };
+    let output = PathBuf::from(
+        args.value(&["-o", "--output"])
+            .ok_or("remote compress needs -o <out.qnc>")?,
+    );
+    let tile: usize = args.numeric(&["--tile"], 4)?;
+    let latent: usize = args.numeric(&["--latent"], 8)?;
+    let max_tile = usize::from(qn_serve::protocol::MAX_TILE_SIZE);
+    if tile == 0 || tile > max_tile {
+        return Err(format!(
+            "remote compress accepts --tile 1..={max_tile} (the server caps the \
+             per-request model dimension), got {tile}"
+        ));
+    }
+    let opts = CodecOptions {
+        tile_size: tile,
+        bits: args.numeric(&["--bits"], 8u8)?,
+        per_tile_scale: args.has("--per-tile-scale"),
+        inline_model: !args.has("--no-inline-model"),
+        backend: BackendKind::Panel, // server-side choice; irrelevant to bytes
+    };
+    let img = read_image(Path::new(input))?;
+    let mut client = remote_client(args)?;
+    let request = match args.value(&["--model"]) {
+        Some(path) => {
+            let model_bytes =
+                std::fs::read(path).map_err(|e| format!("reading model {path}: {e}"))?;
+            let id = client
+                .load_model(&model_bytes)
+                .map_err(|e| format!("uploading model: {e}"))?;
+            model_encode_request(&img, &opts, id)
+        }
+        None => spectral_encode_request(&img, &opts, latent),
+    };
+    let bytes = client
+        .encode(&request)
+        .map_err(|e| format!("remote encode: {e}"))?;
+    std::fs::write(&output, &bytes).map_err(|e| format!("writing {}: {e}", output.display()))?;
+    println!(
+        "compressed {}x{} ({} px) -> {} bytes  [remote, model: {}]",
+        img.width(),
+        img.height(),
+        img.len(),
+        bytes.len(),
+        if args.has("--model") {
+            "file"
+        } else {
+            "spectral"
+        },
+    );
+    Ok(())
+}
+
+fn remote_decompress(args: &Args, positional: &[String]) -> Result<(), String> {
+    let [input] = positional else {
+        return Err("remote decompress needs exactly one input container".into());
+    };
+    let output = PathBuf::from(
+        args.value(&["-o", "--output"])
+            .ok_or("remote decompress needs -o <out.pgm>")?,
+    );
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let mut client = remote_client(args)?;
+    let img = client
+        .decode(&bytes)
+        .map_err(|e| format!("remote decode: {e}"))?;
+    pgm::write_pgm(&img.clamped(), &output)
+        .map_err(|e| format!("writing {}: {e}", output.display()))?;
+    println!(
+        "decompressed -> {} ({}x{}) [remote]",
+        output.display(),
+        img.width(),
+        img.height()
+    );
+    Ok(())
+}
+
+fn remote_info(args: &Args, positional: &[String]) -> Result<(), String> {
+    let mut client = remote_client(args)?;
+    let json = match positional {
+        [] => client.info(None),
+        [input] => {
+            let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+            client.info(Some(&bytes))
+        }
+        more => return Err(format!("remote info takes at most one file, got {more:?}")),
+    }
+    .map_err(|e| format!("remote info: {e}"))?;
+    println!("{json}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
@@ -393,6 +579,8 @@ fn main() -> ExitCode {
         "decompress" => cmd_decompress(&args),
         "train" => cmd_train(&args),
         "info" => cmd_info(&args),
+        "serve" => cmd_serve(&args),
+        "remote" => cmd_remote(&args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

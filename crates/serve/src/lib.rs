@@ -1,0 +1,43 @@
+//! `qn-serve` — a long-running batching codec server.
+//!
+//! The offline `qnc` CLI pays the full model-build and dispatch cost on
+//! every invocation and batches mesh passes only *within* one image.
+//! This crate turns the codec into a service, the shape the companion
+//! work "Quantum Sparse Coding and Decoding Based on Quantum Network"
+//! (Ji et al., 2024) frames for the same mesh: one hot decoder shared
+//! by many encoded payloads.
+//!
+//! - [`protocol`] — the length-prefixed, versioned, CRC-checked binary
+//!   frame format (`ENCODE`/`DECODE`/`LOAD_MODEL`/`INFO`, typed error
+//!   replies, hard frame-size limits);
+//! - [`store`] — the content-addressed model zoo: a directory of
+//!   `.qnm` files keyed by model id with an LRU-bounded in-memory
+//!   cache, so `.qnc` containers referencing a known model id decode
+//!   without inline models;
+//! - [`batcher`] — the micro-batching core: tiles from *concurrent
+//!   requests* are coalesced into single
+//!   [`PanelBackend`](qn_backend::PanelBackend) passes (flush on
+//!   batch-full or a small deadline), sound because backends are
+//!   bit-identical per vector regardless of batch composition;
+//! - [`server`] — the `std::net` TCP loop (thread per connection, no
+//!   async runtime in this offline environment);
+//! - [`client`] — the blocking client used by `qnc remote` and tests.
+//!
+//! Responses are **byte-identical** to offline `qnc` runs with the
+//! same model and options: the serve path reuses the codec's
+//! `prepare_*`/`complete_*` pipeline halves around the shared mesh
+//! pass, and the integration suite pins the equality.
+
+pub mod batcher;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use batcher::TileBatcher;
+pub use client::Client;
+pub use error::ServeError;
+pub use protocol::{ErrorCode, Frame, Opcode, PROTOCOL_VERSION};
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use store::ModelStore;

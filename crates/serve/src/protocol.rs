@@ -1,0 +1,667 @@
+//! The wire protocol: length-prefixed, versioned, CRC-checked binary
+//! frames over a byte stream.
+//!
+//! # Frame layout (protocol version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "QNF1"
+//! 4       1     protocol version (1)
+//! 5       1     opcode
+//! 6       2     status: 0 = OK; else an error code (replies only)
+//! 8       4     request id (echoed verbatim in the reply)
+//! 12      4     payload length (bytes, ≤ MAX_PAYLOAD)
+//! 16      …     payload
+//! end     4     CRC-32 (IEEE) of header + payload
+//! ```
+//!
+//! Requests use opcodes `0x01..=0x04`; a success reply echoes the
+//! request opcode with bit 7 set (`op | 0x80`) and status 0; an error
+//! reply uses opcode `0xFF` with a non-zero status code and a UTF-8
+//! message payload. Stream-level violations (bad magic, oversized
+//! length, CRC mismatch, unknown version) poison the framing — the
+//! server answers with a typed error where possible and closes the
+//! connection; request-level failures (corrupt container, unknown
+//! model) keep the connection alive.
+//!
+//! # Request payloads
+//!
+//! `ENCODE` (fixed 24-byte prefix, then pixels):
+//!
+//! ```text
+//! 0   2   tile size (1..=MAX_TILE_SIZE; larger values are rejected)
+//! 2   1   quantizer bit depth
+//! 3   1   flags: bit 0 per-tile scale, bit 1 inline model,
+//!                bit 2 encode with the model id below (else a
+//!                      PCA-spectral model is built from the image)
+//! 4   2   latent dimension d (spectral model; ignored with bit 2)
+//! 6   2   reserved (0)
+//! 8   8   model id (with bit 2)
+//! 16  4   image width    20  4  image height
+//! 24  …   width·height pixel values, f64 raw IEEE-754 bits
+//! ```
+//!
+//! Pixels travel as raw `f64` bits so a remote encode sees *exactly*
+//! the floats an offline `qnc` run reads from disk — the
+//! byte-identical-response guarantee starts here. The `ENCODE` reply
+//! payload is the finished `.qnc` file.
+//!
+//! `DECODE`: the payload is a `.qnc` file; the reply is an image
+//! payload (`width u32, height u32, pixels f64 × w·h`). `LOAD_MODEL`:
+//! the payload is a `.qnm` file; the reply is the 8-byte model id.
+//! `INFO`: an empty payload returns server status JSON; a `.qnc` or
+//! `.qnm` payload returns the same JSON `qnc info --json` prints.
+
+use crate::error::ServeError;
+use qn_codec::bitstream::{crc32, crc32_of_parts};
+use qn_image::GrayImage;
+use std::io::{Read, Write};
+
+/// Leading magic of every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"QNF1";
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Hard limit on a frame's payload (64 MiB) — read loops reject larger
+/// length fields *before* allocating.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+/// Fixed frame-header length.
+pub const HEADER_LEN: usize = 16;
+
+/// Frame opcodes. Requests are `0x01..=0x04`; success replies set bit 7;
+/// `0xFF` is the typed error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Compress an image into a `.qnc` container.
+    Encode = 0x01,
+    /// Decompress a `.qnc` container into pixels.
+    Decode = 0x02,
+    /// Add a `.qnm` model to the zoo and pre-warm its cache slot.
+    LoadModel = 0x03,
+    /// Describe the server, or a submitted `.qnc`/`.qnm` file, as JSON.
+    Info = 0x04,
+    /// Success reply to [`Opcode::Encode`].
+    EncodeReply = 0x81,
+    /// Success reply to [`Opcode::Decode`].
+    DecodeReply = 0x82,
+    /// Success reply to [`Opcode::LoadModel`].
+    LoadModelReply = 0x83,
+    /// Success reply to [`Opcode::Info`].
+    InfoReply = 0x84,
+    /// Typed error reply (status carries the [`ErrorCode`]).
+    ErrorReply = 0xFF,
+}
+
+impl Opcode {
+    /// Decode a wire opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0x01 => Opcode::Encode,
+            0x02 => Opcode::Decode,
+            0x03 => Opcode::LoadModel,
+            0x04 => Opcode::Info,
+            0x81 => Opcode::EncodeReply,
+            0x82 => Opcode::DecodeReply,
+            0x83 => Opcode::LoadModelReply,
+            0x84 => Opcode::InfoReply,
+            0xFF => Opcode::ErrorReply,
+            _ => return None,
+        })
+    }
+
+    /// The success-reply opcode for a request opcode.
+    pub fn reply(self) -> Opcode {
+        match self {
+            Opcode::Encode => Opcode::EncodeReply,
+            Opcode::Decode => Opcode::DecodeReply,
+            Opcode::LoadModel => Opcode::LoadModelReply,
+            Opcode::Info => Opcode::InfoReply,
+            other => other,
+        }
+    }
+}
+
+/// Typed error codes carried in a reply frame's status field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Frame did not start with [`FRAME_MAGIC`].
+    BadMagic = 1,
+    /// Protocol version newer than this build.
+    UnsupportedVersion = 2,
+    /// Opcode byte names no known operation.
+    UnknownOpcode = 3,
+    /// Payload length field exceeds [`MAX_PAYLOAD`].
+    FrameTooLarge = 4,
+    /// Frame checksum mismatch.
+    BadCrc = 5,
+    /// Request payload is structurally malformed.
+    BadRequest = 16,
+    /// No model with the requested id in the zoo.
+    UnknownModel = 17,
+    /// Codec-level failure (corrupt container/model, geometry mismatch).
+    Codec = 18,
+    /// Container was encoded with a different model than resolved.
+    ModelMismatch = 19,
+    /// Server-side invariant failure.
+    Internal = 20,
+}
+
+impl ErrorCode {
+    /// Decode a wire status value.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::FrameTooLarge,
+            5 => ErrorCode::BadCrc,
+            16 => ErrorCode::BadRequest,
+            17 => ErrorCode::UnknownModel,
+            18 => ErrorCode::Codec,
+            19 => ErrorCode::ModelMismatch,
+            20 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Stream-level framing failures (distinct from request-level
+/// [`ServeError`]s: these poison the connection).
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying stream failure (including EOF mid-frame).
+    Io(std::io::Error),
+    /// Leading bytes were not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// Version byte newer than [`PROTOCOL_VERSION`].
+    UnsupportedVersion(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    TooLarge(u32),
+    /// Stored CRC disagrees with the computed one.
+    BadCrc {
+        /// CRC carried by the frame.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "stream error: {e}"),
+            FrameError::BadMagic(found) => write!(f, "bad frame magic {found:02x?}"),
+            FrameError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+            ),
+            FrameError::TooLarge(len) => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"
+                )
+            }
+            FrameError::BadCrc { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl FrameError {
+    /// The wire error code a server replies with for this failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            FrameError::Io(_) => ErrorCode::Internal, // never sent: the stream is gone
+            FrameError::BadMagic(_) => ErrorCode::BadMagic,
+            FrameError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+            FrameError::TooLarge(_) => ErrorCode::FrameTooLarge,
+            FrameError::BadCrc { .. } => ErrorCode::BadCrc,
+        }
+    }
+}
+
+/// One parsed (or to-be-written) frame. The opcode stays a raw byte so
+/// servers can echo typed errors for opcodes they don't recognise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Wire opcode byte (see [`Opcode`]).
+    pub opcode: u8,
+    /// 0 = OK; otherwise an [`ErrorCode`] (replies only).
+    pub status: u16,
+    /// Correlates replies with requests; echoed verbatim.
+    pub request_id: u32,
+    /// Operation-specific payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A request frame.
+    pub fn request(op: Opcode, request_id: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            opcode: op as u8,
+            status: 0,
+            request_id,
+            payload,
+        }
+    }
+
+    /// A success reply to `request_op`.
+    pub fn reply(request_op: Opcode, request_id: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            opcode: request_op.reply() as u8,
+            status: 0,
+            request_id,
+            payload,
+        }
+    }
+
+    /// A typed error reply.
+    pub fn error(request_id: u32, code: ErrorCode, message: &str) -> Frame {
+        Frame {
+            opcode: Opcode::ErrorReply as u8,
+            status: code as u16,
+            request_id,
+            payload: message.as_bytes().to_vec(),
+        }
+    }
+
+    /// Serialise to complete wire bytes (header + payload + CRC).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + self.payload.len() + 4);
+        bytes.extend_from_slice(&FRAME_MAGIC);
+        bytes.push(PROTOCOL_VERSION);
+        bytes.push(self.opcode);
+        bytes.extend_from_slice(&self.status.to_le_bytes());
+        bytes.extend_from_slice(&self.request_id.to_le_bytes());
+        bytes.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&self.payload);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Write the frame to a stream.
+    ///
+    /// # Errors
+    /// `InvalidInput` when the payload exceeds [`MAX_PAYLOAD`] (a
+    /// receiver would reject it anyway — failing here names the limit
+    /// instead of surfacing as a broken pipe, and guards the u32
+    /// length field against wrapping); otherwise IO failures.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        if self.payload.len() > MAX_PAYLOAD {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes exceeds the {MAX_PAYLOAD}-byte protocol limit",
+                    self.payload.len()
+                ),
+            ));
+        }
+        w.write_all(&self.to_bytes())?;
+        w.flush()
+    }
+
+    /// Read one frame from a stream. Oversized length fields are
+    /// rejected *before* any payload allocation.
+    ///
+    /// # Errors
+    /// [`FrameError`] for stream-level violations; EOF (clean or
+    /// mid-frame) surfaces as [`FrameError::Io`].
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header).map_err(FrameError::Io)?;
+        if header[..4] != FRAME_MAGIC {
+            return Err(FrameError::BadMagic(
+                header[..4].try_into().expect("4 bytes"),
+            ));
+        }
+        if header[4] > PROTOCOL_VERSION || header[4] == 0 {
+            return Err(FrameError::UnsupportedVersion(header[4]));
+        }
+        let opcode = header[5];
+        let status = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
+        let request_id = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+        if len as usize > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge(len));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload).map_err(FrameError::Io)?;
+        let mut crc_bytes = [0u8; 4];
+        r.read_exact(&mut crc_bytes).map_err(FrameError::Io)?;
+        let stored = u32::from_le_bytes(crc_bytes);
+        let computed = crc32_of_parts(&[&header, &payload]);
+        if stored != computed {
+            return Err(FrameError::BadCrc { stored, computed });
+        }
+        Ok(Frame {
+            opcode,
+            status,
+            request_id,
+            payload,
+        })
+    }
+}
+
+/// Hard cap on the tile size a remote `ENCODE` may request. The
+/// spectral path builds a model of dimension `tile_size²` from the
+/// request alone, so an unbounded value would let one small frame
+/// drive an enormous allocation (65535² ≈ 34 GB of padded tile) and
+/// O(tile⁶) eigensolver work. 64 (state dimension 4096) is far above
+/// any useful codec tile while keeping the worst case bounded.
+pub const MAX_TILE_SIZE: u16 = 64;
+
+/// Option flag: spend 32 bits/tile on a per-tile amplitude scale.
+pub const ENC_FLAG_PER_TILE_SCALE: u8 = 1 << 0;
+/// Option flag: embed the model in the container.
+pub const ENC_FLAG_INLINE_MODEL: u8 = 1 << 1;
+/// Option flag: encode with the request's model id (from the zoo)
+/// instead of building a spectral model from the image.
+pub const ENC_FLAG_USE_MODEL_ID: u8 = 1 << 2;
+
+/// Parsed `ENCODE` request payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodeRequest {
+    /// Tile edge length.
+    pub tile_size: u16,
+    /// Quantizer bit depth.
+    pub bits: u8,
+    /// `ENC_FLAG_*` options.
+    pub flags: u8,
+    /// Spectral-model latent dimension (ignored with
+    /// [`ENC_FLAG_USE_MODEL_ID`]).
+    pub latent_dim: u16,
+    /// Zoo model to encode with (with [`ENC_FLAG_USE_MODEL_ID`]).
+    pub model_id: u64,
+    /// The image to compress.
+    pub image: GrayImage,
+}
+
+impl EncodeRequest {
+    /// Serialise to a frame payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(24 + self.image.len() * 8);
+        p.extend_from_slice(&self.tile_size.to_le_bytes());
+        p.push(self.bits);
+        p.push(self.flags);
+        p.extend_from_slice(&self.latent_dim.to_le_bytes());
+        p.extend_from_slice(&[0, 0]); // reserved
+        p.extend_from_slice(&self.model_id.to_le_bytes());
+        p.extend_from_slice(&(self.image.width() as u32).to_le_bytes());
+        p.extend_from_slice(&(self.image.height() as u32).to_le_bytes());
+        for &px in self.image.pixels() {
+            p.extend_from_slice(&px.to_bits().to_le_bytes());
+        }
+        p
+    }
+
+    /// Parse a frame payload.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for structural malformations; the
+    /// pixel count is validated against the payload length before any
+    /// image allocation.
+    pub fn from_payload(payload: &[u8]) -> Result<EncodeRequest, ServeError> {
+        if payload.len() < 24 {
+            return Err(ServeError::BadRequest(format!(
+                "encode request needs a 24-byte prefix, got {} bytes",
+                payload.len()
+            )));
+        }
+        let tile_size = u16::from_le_bytes(payload[0..2].try_into().expect("2 bytes"));
+        if tile_size == 0 || tile_size > MAX_TILE_SIZE {
+            return Err(ServeError::BadRequest(format!(
+                "tile size must be in 1..={MAX_TILE_SIZE}, got {tile_size}"
+            )));
+        }
+        let bits = payload[2];
+        let flags = payload[3];
+        let known = ENC_FLAG_PER_TILE_SCALE | ENC_FLAG_INLINE_MODEL | ENC_FLAG_USE_MODEL_ID;
+        if flags & !known != 0 {
+            return Err(ServeError::BadRequest(format!(
+                "unknown encode flags {:#04x}",
+                flags & !known
+            )));
+        }
+        let latent_dim = u16::from_le_bytes(payload[4..6].try_into().expect("2 bytes"));
+        // Reserved bytes must be zero, like unknown flag bits: a future
+        // revision that assigns them meaning must not be silently
+        // misread by this build.
+        if payload[6] != 0 || payload[7] != 0 {
+            return Err(ServeError::BadRequest(
+                "reserved encode-request bytes must be zero".into(),
+            ));
+        }
+        let model_id = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+        let (image, rest) = read_image_payload(&payload[16..])?;
+        if !rest.is_empty() {
+            return Err(ServeError::BadRequest(format!(
+                "{} trailing bytes after the encode request",
+                rest.len()
+            )));
+        }
+        Ok(EncodeRequest {
+            tile_size,
+            bits,
+            flags,
+            latent_dim,
+            model_id,
+            image,
+        })
+    }
+}
+
+/// Serialise an image as a `width u32, height u32, f64 pixels` payload
+/// (the `DECODE` reply format).
+pub fn image_to_payload(img: &GrayImage) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + img.len() * 8);
+    p.extend_from_slice(&(img.width() as u32).to_le_bytes());
+    p.extend_from_slice(&(img.height() as u32).to_le_bytes());
+    for &px in img.pixels() {
+        p.extend_from_slice(&px.to_bits().to_le_bytes());
+    }
+    p
+}
+
+/// Parse an image payload, returning any trailing bytes.
+///
+/// # Errors
+/// [`ServeError::BadRequest`] when the dimensions are zero/inconsistent
+/// with the available bytes (checked before allocating pixels).
+pub fn read_image_payload(payload: &[u8]) -> Result<(GrayImage, &[u8]), ServeError> {
+    if payload.len() < 8 {
+        return Err(ServeError::BadRequest(
+            "image payload needs width and height".into(),
+        ));
+    }
+    let width = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+    let height = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")) as usize;
+    if width == 0 || height == 0 {
+        return Err(ServeError::BadRequest(format!(
+            "image dimensions {width}x{height} out of range"
+        )));
+    }
+    let need = (width as u64)
+        .checked_mul(height as u64)
+        .and_then(|px| px.checked_mul(8))
+        .filter(|&n| n <= (payload.len() - 8) as u64)
+        .ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "image of {width}x{height} pixels does not fit a {}-byte payload",
+                payload.len()
+            ))
+        })? as usize;
+    let pixels: Vec<f64> = payload[8..8 + need]
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+        .collect();
+    let image = GrayImage::from_pixels(width, height, pixels)
+        .map_err(|e| ServeError::BadRequest(format!("image payload: {e}")))?;
+    Ok((image, &payload[8 + need..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_a_byte_stream() {
+        let frame = Frame::request(Opcode::Decode, 42, vec![1, 2, 3, 4, 5]);
+        let bytes = frame.to_bytes();
+        let back = Frame::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(Opcode::from_u8(back.opcode), Some(Opcode::Decode));
+    }
+
+    #[test]
+    fn every_header_violation_is_typed() {
+        let good = Frame::request(Opcode::Info, 1, Vec::new()).to_bytes();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Frame::read_from(&mut bad.as_slice()),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            Frame::read_from(&mut bad.as_slice()),
+            Err(FrameError::UnsupportedVersion(9))
+        ));
+
+        let mut bad = good.clone();
+        bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::read_from(&mut bad.as_slice()),
+            Err(FrameError::TooLarge(u32::MAX))
+        ));
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(
+            Frame::read_from(&mut bad.as_slice()),
+            Err(FrameError::BadCrc { .. })
+        ));
+
+        for cut in 0..good.len() {
+            assert!(matches!(
+                Frame::read_from(&mut &good[..cut]),
+                Err(FrameError::Io(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn oversized_payloads_are_refused_at_write_time() {
+        // Fabricate the length without allocating 64 MiB: a Vec with a
+        // huge len is UB, so just build a frame at the boundary and one
+        // past it.
+        let ok = Frame::request(Opcode::Info, 1, vec![0u8; 1024]);
+        assert!(ok.write_to(&mut Vec::new()).is_ok());
+        let too_big = Frame::request(Opcode::Info, 1, vec![0u8; MAX_PAYLOAD + 1]);
+        let err = too_big.write_to(&mut std::io::sink()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("protocol limit"), "{err}");
+    }
+
+    #[test]
+    fn error_frames_carry_code_and_message() {
+        let e = Frame::error(7, ErrorCode::UnknownModel, "no model 0xabc");
+        let back = Frame::read_from(&mut e.to_bytes().as_slice()).unwrap();
+        assert_eq!(back.status, ErrorCode::UnknownModel as u16);
+        assert_eq!(
+            ErrorCode::from_u16(back.status),
+            Some(ErrorCode::UnknownModel)
+        );
+        assert_eq!(back.payload, b"no model 0xabc");
+        assert_eq!(Opcode::from_u8(back.opcode), Some(Opcode::ErrorReply));
+    }
+
+    #[test]
+    fn encode_request_roundtrips_pixels_bit_exactly() {
+        let image =
+            GrayImage::from_pixels(3, 2, vec![0.0, 0.25, 1.0, 0.5, 1.0 / 3.0, 0.9]).unwrap();
+        let req = EncodeRequest {
+            tile_size: 4,
+            bits: 8,
+            flags: ENC_FLAG_INLINE_MODEL,
+            latent_dim: 8,
+            model_id: 0,
+            image,
+        };
+        let back = EncodeRequest::from_payload(&req.to_payload()).unwrap();
+        assert_eq!(back, req);
+        for (a, b) in back.image.pixels().iter().zip(req.image.pixels()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_request_payloads_fail_typed_without_allocating() {
+        assert!(EncodeRequest::from_payload(&[0u8; 10]).is_err());
+        // Pixel count inconsistent with the payload length: a crafted
+        // 2^31-pixel header must be rejected before allocation.
+        let mut p = vec![0u8; 24];
+        p[0..2].copy_from_slice(&4u16.to_le_bytes());
+        p[2] = 8;
+        p[16..20].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        p[20..24].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(matches!(
+            EncodeRequest::from_payload(&p),
+            Err(ServeError::BadRequest(_))
+        ));
+        // Tile sizes outside 1..=MAX_TILE_SIZE are rejected before the
+        // spectral path can turn them into a tile_size² model.
+        for bad_tile in [0u16, MAX_TILE_SIZE + 1, u16::MAX] {
+            let mut p = vec![0u8; 32];
+            p[0..2].copy_from_slice(&bad_tile.to_le_bytes());
+            p[2] = 8;
+            p[16..20].copy_from_slice(&1u32.to_le_bytes());
+            p[20..24].copy_from_slice(&1u32.to_le_bytes());
+            assert!(
+                matches!(
+                    EncodeRequest::from_payload(&p),
+                    Err(ServeError::BadRequest(_))
+                ),
+                "tile size {bad_tile} must be rejected"
+            );
+        }
+        // Unknown flags are rejected (reserved for future versions).
+        let img = GrayImage::from_pixels(1, 1, vec![0.5]).unwrap();
+        let mut req = EncodeRequest {
+            tile_size: 4,
+            bits: 8,
+            flags: 0x80,
+            latent_dim: 8,
+            model_id: 0,
+            image: img,
+        };
+        let payload = {
+            req.flags = 0x80;
+            req.to_payload()
+        };
+        assert!(matches!(
+            EncodeRequest::from_payload(&payload),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn image_payload_rejects_zero_dims_and_truncation() {
+        let img = GrayImage::from_pixels(2, 2, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let p = image_to_payload(&img);
+        let (back, rest) = read_image_payload(&p).unwrap();
+        assert_eq!(back, img);
+        assert!(rest.is_empty());
+        assert!(read_image_payload(&p[..11]).is_err());
+        let mut zero = p.clone();
+        zero[0..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(read_image_payload(&zero).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! The TCP server loop: `std::net` listener, one thread per
+//! connection, all requests funneled into the shared [`TileBatcher`]
+//! and [`ModelStore`].
+//!
+//! Error discipline: request-level failures (corrupt containers,
+//! unknown models, malformed payloads) answer a typed error frame and
+//! keep the connection; stream-level failures (bad magic, oversized
+//! frames, CRC mismatches, unknown protocol versions) answer a typed
+//! error where the socket still permits and then close — once framing
+//! is lost there is no safe way to resynchronise. Nothing a peer sends
+//! can panic a connection thread.
+
+use crate::batcher::TileBatcher;
+use crate::error::{Result, ServeError};
+use crate::protocol::{
+    image_to_payload, EncodeRequest, ErrorCode, Frame, FrameError, Opcode, ENC_FLAG_INLINE_MODEL,
+    ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID, PROTOCOL_VERSION,
+};
+use crate::store::ModelStore;
+use qn_backend::BackendKind;
+use qn_codec::pipeline::codec_from_inline;
+use qn_codec::{info, Codec, CodecOptions, Container};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for [`spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Model-zoo directory. `None` = in-memory models only: the LRU
+    /// cache is then the entire zoo, so a model evicted by
+    /// `model_cache` newer ones must be re-`LOAD_MODEL`ed before use.
+    pub store_dir: Option<PathBuf>,
+    /// Parsed models kept hot in RAM (least-recently-used beyond this;
+    /// also the total retention bound when `store_dir` is `None`).
+    pub model_cache: usize,
+    /// Backend every batched mesh pass runs through.
+    pub backend: BackendKind,
+    /// Flush a batch group once it holds this many tiles.
+    pub batch_tiles: usize,
+    /// Flush a batch group this long after it opens. Zero disables
+    /// cross-request coalescing (per-request dispatch).
+    pub batch_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7733".into(),
+            store_dir: None,
+            model_cache: 16,
+            backend: BackendKind::Panel,
+            batch_tiles: 4096,
+            batch_deadline: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Shared server state: the zoo, the batcher and counters.
+struct Shared {
+    store: ModelStore,
+    batcher: TileBatcher,
+    config: ServerConfig,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop; in-flight
+/// connections finish their current request.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far (success or typed error).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind and start serving on background threads.
+///
+/// # Errors
+/// Bind/listen failures and zoo-directory creation failures.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(
+        config
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?,
+    )?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        store: ModelStore::new(config.store_dir.clone(), config.model_cache)?,
+        batcher: TileBatcher::new(config.backend, config.batch_tiles, config.batch_deadline),
+        config,
+        requests: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("qn-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name("qn-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &shared));
+                }
+            })?
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+/// Serve one connection until EOF, a stream-level violation, or
+/// shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(frame) => frame,
+            // EOF / reset / mid-frame disconnect: nothing to answer.
+            Err(FrameError::Io(_)) => return,
+            // Framing is unrecoverable: best-effort typed error, close.
+            Err(e) => {
+                let reply = Frame::error(0, e.code(), &e.to_string());
+                let _ = reply.write_to(&mut stream);
+                let _ = stream.flush();
+                return;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let request_id = frame.request_id;
+        let reply = match dispatch(shared, &frame) {
+            Ok((op, payload)) => Frame::reply(op, request_id, payload),
+            Err(e) => Frame::error(request_id, e.code(), &e.to_string()),
+        };
+        match reply.write_to(&mut stream) {
+            Ok(()) => {}
+            // An over-limit reply (InvalidInput) is a request-level
+            // outcome: tell the client with a typed frame instead of a
+            // bare close. Any other write failure means the stream is
+            // gone.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                let fallback = Frame::error(request_id, ErrorCode::Internal, &e.to_string());
+                if fallback.write_to(&mut stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Route one well-framed request; every failure comes back typed.
+fn dispatch(shared: &Shared, frame: &Frame) -> Result<(Opcode, Vec<u8>)> {
+    match Opcode::from_u8(frame.opcode) {
+        Some(Opcode::Encode) => handle_encode(shared, &frame.payload),
+        Some(Opcode::Decode) => handle_decode(shared, &frame.payload),
+        Some(Opcode::LoadModel) => {
+            let id = shared.store.insert_bytes(&frame.payload)?;
+            Ok((Opcode::LoadModel, id.to_le_bytes().to_vec()))
+        }
+        Some(Opcode::Info) => handle_info(shared, &frame.payload),
+        _ => Err(ServeError::BadRequest(format!(
+            "opcode {:#04x} names no request this build understands",
+            frame.opcode
+        ))),
+    }
+}
+
+fn handle_encode(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
+    let req = EncodeRequest::from_payload(payload)?;
+    let codec: Arc<Codec> = if req.flags & ENC_FLAG_USE_MODEL_ID != 0 {
+        shared.store.get(req.model_id)?
+    } else {
+        Arc::new(Codec::spectral_for_image(
+            &req.image,
+            req.tile_size as usize,
+            req.latent_dim as usize,
+        )?)
+    };
+    let opts = CodecOptions {
+        tile_size: req.tile_size as usize,
+        bits: req.bits,
+        per_tile_scale: req.flags & ENC_FLAG_PER_TILE_SCALE != 0,
+        inline_model: req.flags & ENC_FLAG_INLINE_MODEL != 0,
+        backend: shared.config.backend,
+    };
+    let (bytes, _) = shared.batcher.encode(&codec, &req.image, &opts)?;
+    Ok((Opcode::Encode, bytes))
+}
+
+/// Most pixels a served decode may produce: the decoded image must fit
+/// one reply frame (`8 bytes/pixel + the 8-byte image header`). This
+/// also bounds the parse itself — a crafted header can otherwise
+/// declare hundreds of millions of (empty) tiles inside a small
+/// payload and drive multi-GB allocations before any reply is built.
+const MAX_DECODE_PIXELS: u64 = ((crate::protocol::MAX_PAYLOAD - 8) / 8) as u64;
+
+/// Reject container bytes whose *declared* image dimensions exceed the
+/// serving limit, reading only the fixed-offset header fields — called
+/// before `Container::from_bytes` so the tile vector of an
+/// allocation-bomb header is never materialised. Applies only to
+/// structurally authentic bytes (magic, length and CRC check out);
+/// anything else passes through for the full parser's precise typed
+/// error.
+fn check_container_dims(payload: &[u8]) -> Result<()> {
+    use qn_codec::bitstream::crc32;
+    if payload.len() < 40 || payload[..4] != qn_codec::container::CONTAINER_MAGIC {
+        return Ok(());
+    }
+    let (body, crc_bytes) = payload.split_at(payload.len() - 4);
+    if u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes")) != crc32(body) {
+        return Ok(());
+    }
+    let width = u64::from(u32::from_le_bytes(
+        payload[16..20].try_into().expect("4 bytes"),
+    ));
+    let height = u64::from(u32::from_le_bytes(
+        payload[20..24].try_into().expect("4 bytes"),
+    ));
+    if width.saturating_mul(height) > MAX_DECODE_PIXELS {
+        return Err(ServeError::BadRequest(format!(
+            "container declares a {width}x{height} image; this server decodes at most \
+             {MAX_DECODE_PIXELS} pixels per request (the reply-frame limit)"
+        )));
+    }
+    Ok(())
+}
+
+fn handle_decode(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
+    check_container_dims(payload)?;
+    let container = Container::from_bytes(payload)?;
+    let codec: Arc<Codec> = if container.header.inline_model() {
+        Arc::new(codec_from_inline(&container)?)
+    } else {
+        shared.store.get(container.header.model_id)?
+    };
+    codec.check_container(&container)?;
+    let img = shared.batcher.decode(&codec, &container)?;
+    Ok((Opcode::Decode, image_to_payload(&img)))
+}
+
+fn handle_info(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
+    let json = if payload.is_empty() {
+        server_info_json(shared)
+    } else {
+        // INFO parses containers too — same header-bomb guard as DECODE.
+        if payload.starts_with(&qn_codec::container::CONTAINER_MAGIC) {
+            check_container_dims(payload)?;
+        }
+        info::file_info_json(payload)?
+    };
+    Ok((Opcode::Info, json.into_bytes()))
+}
+
+/// Server status as single-line JSON (the empty-payload `INFO` reply).
+fn server_info_json(shared: &Shared) -> String {
+    let store_dir = match shared.store.dir() {
+        Some(d) => format!(
+            "\"{}\"",
+            d.display()
+                .to_string()
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+        ),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"format\":\"qn-serve\",\"protocol_version\":{PROTOCOL_VERSION},\
+         \"backend\":\"{}\",\"batch_tiles\":{},\"batch_deadline_ms\":{},\
+         \"coalescing\":{},\"models_cached\":{},\"store_dir\":{store_dir},\
+         \"requests_served\":{}}}",
+        shared.config.backend,
+        shared.config.batch_tiles,
+        shared.config.batch_deadline.as_millis(),
+        shared.batcher.coalesces(),
+        shared.store.cached_len(),
+        shared.requests.load(Ordering::Relaxed),
+    )
+}

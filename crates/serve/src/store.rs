@@ -1,0 +1,233 @@
+//! The content-addressed model zoo: `.qnm` files keyed by model id in
+//! a directory, fronted by an LRU-bounded in-memory cache of parsed
+//! codecs.
+//!
+//! A model's **id is its address**: the FNV-1a 64 of the serialised
+//! model body (`qn_codec::model::model_id`), the same identity `.qnc`
+//! containers record. `LOAD_MODEL` inserts therefore cannot collide or
+//! alias — re-inserting a model is idempotent — and a `.qnc` without an
+//! inline model decodes against the zoo by looking up exactly the id
+//! in its header. On-disk layout: `<dir>/<id as 16 hex digits>.qnm`.
+//!
+//! Without a directory the LRU cache **is** the zoo: capacity bounds
+//! total retained models (a hard memory bound — peers drive inserts),
+//! so an id evicted by `capacity` newer ones must be `LOAD_MODEL`ed
+//! again before use. With a directory, eviction only drops the parsed
+//! copy; lookups transparently reload from disk.
+
+use crate::error::{Result, ServeError};
+use qn_codec::{model, Codec};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Directory-backed, LRU-cached model zoo. Thread-safe; cheap to share
+/// behind an `Arc`.
+#[derive(Debug)]
+pub struct ModelStore {
+    dir: Option<PathBuf>,
+    capacity: usize,
+    /// Most-recently-used at the back.
+    cache: Mutex<Vec<(u64, Arc<Codec>)>>,
+}
+
+impl ModelStore {
+    /// A store over `dir` (created if missing; `None` = in-memory only)
+    /// holding at most `capacity` parsed models in RAM.
+    ///
+    /// # Errors
+    /// Directory-creation failures.
+    pub fn new(dir: Option<PathBuf>, capacity: usize) -> std::io::Result<Self> {
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ModelStore {
+            dir,
+            capacity: capacity.max(1),
+            cache: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The backing directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The on-disk path a model id maps to (whether or not it exists).
+    pub fn model_path(&self, id: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{id:016x}.qnm")))
+    }
+
+    /// Parsed models currently cached in RAM.
+    pub fn cached_len(&self) -> usize {
+        self.cache.lock().expect("store lock").len()
+    }
+
+    /// Verify, persist and cache a `.qnm` file; returns its id.
+    /// Idempotent: re-inserting an existing model only refreshes the
+    /// cache.
+    ///
+    /// # Errors
+    /// Model parse errors ([`ServeError::Codec`]) and IO failures
+    /// writing the zoo file.
+    pub fn insert_bytes(&self, bytes: &[u8]) -> Result<u64> {
+        let codec = Codec::new(model::decode_model(bytes)?);
+        let id = codec.model_id();
+        if let Some(path) = self.model_path(id) {
+            // Content-addressed: an existing file already holds these
+            // exact bytes (same id ⇒ same body), so never rewrite.
+            // Writes go through a uniquely-named temp file + rename so
+            // a concurrent get() (or a crash mid-write) can never
+            // observe a half-written zoo file, and two simultaneous
+            // inserts of the same model never share a temp path (the
+            // renames then both land the identical content).
+            if !path.exists() {
+                static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let tmp = path.with_extension(format!("qnm.tmp.{}.{seq}", std::process::id()));
+                std::fs::write(&tmp, bytes)?;
+                std::fs::rename(&tmp, &path)?;
+            }
+        }
+        self.touch(id, Arc::new(codec));
+        Ok(id)
+    }
+
+    /// Look a model up by id: RAM cache first, then the zoo directory.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when neither holds the id;
+    /// [`ServeError::Codec`] when a zoo file is corrupt or its content
+    /// hashes to a different id (store corruption).
+    pub fn get(&self, id: u64) -> Result<Arc<Codec>> {
+        {
+            let mut cache = self.cache.lock().expect("store lock");
+            if let Some(at) = cache.iter().position(|(k, _)| *k == id) {
+                let entry = cache.remove(at);
+                let codec = Arc::clone(&entry.1);
+                cache.push(entry);
+                return Ok(codec);
+            }
+        }
+        let path = self.model_path(id).ok_or(ServeError::UnknownModel(id))?;
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ServeError::UnknownModel(id))
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        };
+        let codec = Codec::new(model::decode_model(&bytes)?);
+        if codec.model_id() != id {
+            return Err(ServeError::Codec(qn_codec::CodecError::Invalid(format!(
+                "zoo file {} holds model {:#018x}, not {id:#018x}",
+                path.display(),
+                codec.model_id()
+            ))));
+        }
+        let codec = Arc::new(codec);
+        self.touch(id, Arc::clone(&codec));
+        Ok(codec)
+    }
+
+    /// Insert or refresh a cache entry, evicting the least recently
+    /// used beyond capacity.
+    fn touch(&self, id: u64, codec: Arc<Codec>) {
+        let mut cache = self.cache.lock().expect("store lock");
+        if let Some(at) = cache.iter().position(|(k, _)| *k == id) {
+            cache.remove(at);
+        }
+        cache.push((id, codec));
+        while cache.len() > self.capacity {
+            cache.remove(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_codec::model::encode_model;
+    use qn_image::datasets;
+
+    fn model_bytes(seed: u64) -> (u64, Vec<u8>) {
+        let img = datasets::grayscale_blobs(1, 16, 16, seed).remove(0);
+        let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+        (codec.model_id(), encode_model(codec.model()))
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("qn_store_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn insert_then_get_roundtrips_and_persists() {
+        let dir = temp_dir("roundtrip");
+        let store = ModelStore::new(Some(dir.clone()), 4).unwrap();
+        let (id, bytes) = model_bytes(1);
+        assert_eq!(store.insert_bytes(&bytes).unwrap(), id);
+        assert!(store.model_path(id).unwrap().exists());
+        assert_eq!(store.get(id).unwrap().model_id(), id);
+
+        // A fresh store over the same directory finds it on disk.
+        let cold = ModelStore::new(Some(dir), 4).unwrap();
+        assert_eq!(cold.cached_len(), 0);
+        assert_eq!(cold.get(id).unwrap().model_id(), id);
+        assert_eq!(cold.cached_len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_in_use_order_but_disk_retains() {
+        let dir = temp_dir("lru");
+        let store = ModelStore::new(Some(dir), 2).unwrap();
+        let ids: Vec<u64> = (0..3)
+            .map(|s| {
+                let (id, bytes) = model_bytes(s + 10);
+                store.insert_bytes(&bytes).unwrap();
+                id
+            })
+            .collect();
+        assert_eq!(store.cached_len(), 2, "capacity bound");
+        // The first model fell out of RAM but reloads from the zoo.
+        assert_eq!(store.get(ids[0]).unwrap().model_id(), ids[0]);
+        assert_eq!(store.cached_len(), 2);
+    }
+
+    #[test]
+    fn unknown_and_corrupt_models_fail_typed() {
+        let dir = temp_dir("corrupt");
+        let store = ModelStore::new(Some(dir), 2).unwrap();
+        assert!(matches!(
+            store.get(0xDEAD),
+            Err(ServeError::UnknownModel(0xDEAD))
+        ));
+        assert!(matches!(
+            store.insert_bytes(b"not a model"),
+            Err(ServeError::Codec(_))
+        ));
+        // A zoo file whose content hashes to a different id is store
+        // corruption, not a silent wrong-model decode.
+        let (id, bytes) = model_bytes(77);
+        let (other_id, other_bytes) = model_bytes(78);
+        assert_ne!(id, other_id);
+        std::fs::write(store.model_path(id).unwrap(), &other_bytes).unwrap();
+        assert!(matches!(store.get(id), Err(ServeError::Codec(_))));
+        drop(bytes);
+    }
+
+    #[test]
+    fn memory_only_store_serves_inserts_but_knows_nothing_else() {
+        let store = ModelStore::new(None, 2).unwrap();
+        let (id, bytes) = model_bytes(5);
+        assert_eq!(store.insert_bytes(&bytes).unwrap(), id);
+        assert_eq!(store.get(id).unwrap().model_id(), id);
+        assert!(matches!(
+            store.get(id + 1),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(store.model_path(id).is_none());
+    }
+}

@@ -1,10 +1,13 @@
 //! End-to-end tests of the `qnc` binary: the acceptance path
 //! (`compress` → `decompress` → PSNR floor, size bound), model
-//! training/reuse, `info`, and error behaviour on malformed input.
+//! training/reuse, `info` (text and `--json`), error behaviour on
+//! malformed input, and the serving path — `qnc serve` booted as a real
+//! subprocess on an ephemeral port with `qnc remote` driven against it.
 
 use qn_image::{datasets, metrics, pgm};
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
-use std::process::{Command, Output};
+use std::process::{Child, Command, Output, Stdio};
 
 fn qnc() -> Command {
     Command::new(env!("CARGO_BIN_EXE_qnc"))
@@ -273,6 +276,224 @@ fn backends_are_byte_compatible_end_to_end() {
         .expect("spawn qnc");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown backend"));
+}
+
+#[test]
+fn info_json_is_machine_readable() {
+    let dir = work_dir("info_json");
+    let input = dir.join("img.pgm");
+    let container = dir.join("out.qnc");
+    write_dataset_image(&input, 32, 32, 17);
+    run_ok(
+        qnc()
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(&container)
+            .arg("--no-verify"),
+    );
+    let out = run_ok(qnc().arg("info").arg(&container).arg("--json"));
+    let json = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        json.trim().starts_with('{') && json.trim().ends_with('}'),
+        "{json}"
+    );
+    assert!(json.contains("\"format\":\"qnc\""), "{json}");
+    assert!(json.contains("\"width\":32,\"height\":32"), "{json}");
+    assert!(json.contains("\"payload_bytes\":"), "{json}");
+    // And it matches the library producer the server's INFO reply uses.
+    let bytes = std::fs::read(&container).unwrap();
+    assert_eq!(json.trim(), qn_codec::info::file_info_json(&bytes).unwrap());
+}
+
+/// A `qnc serve` subprocess on an ephemeral port; killed on drop.
+struct ServeProcess {
+    child: Child,
+    addr: String,
+    // Keeps the stdout pipe's read end open for the child's lifetime.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServeProcess {
+    fn start(extra: &[&str]) -> ServeProcess {
+        let mut child = qnc()
+            .arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn qnc serve");
+        let stdout = child.stdout.take().expect("serve stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut banner = String::new();
+        reader.read_line(&mut banner).expect("read serve banner");
+        let addr = banner
+            .strip_prefix("qn-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .trim()
+            .to_string();
+        ServeProcess {
+            child,
+            addr,
+            _stdout: reader,
+        }
+    }
+}
+
+impl Drop for ServeProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The PR's acceptance criterion: a `.qnc` encoded via `qnc remote
+/// compress` against a running `qn-serve` is byte-identical to offline
+/// `qnc compress` with the same model/options — for both the spectral
+/// and the explicit-model path — and `remote decompress` reproduces the
+/// offline pixels.
+#[test]
+fn remote_compress_is_byte_identical_to_offline() {
+    let dir = work_dir("remote");
+    let input = dir.join("img.pgm");
+    let model = dir.join("model.qnm");
+    write_dataset_image(&input, 48, 32, 23);
+    run_ok(qnc().arg("train").arg(&input).arg("-o").arg(&model));
+
+    let server = ServeProcess::start(&["--store", dir.join("zoo").to_str().unwrap()]);
+
+    // Spectral path (no --model on either side).
+    let offline = dir.join("offline.qnc");
+    let remote = dir.join("remote.qnc");
+    run_ok(
+        qnc()
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(&offline)
+            .arg("--no-verify"),
+    );
+    run_ok(
+        qnc()
+            .arg("remote")
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(&remote)
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    assert_eq!(
+        std::fs::read(&offline).unwrap(),
+        std::fs::read(&remote).unwrap(),
+        "spectral remote compress must be byte-identical"
+    );
+
+    // Explicit-model path: remote uploads the model to the zoo first.
+    let offline_m = dir.join("offline_m.qnc");
+    let remote_m = dir.join("remote_m.qnc");
+    run_ok(
+        qnc()
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(&offline_m)
+            .arg("--model")
+            .arg(&model)
+            .arg("--no-inline-model")
+            .arg("--no-verify"),
+    );
+    run_ok(
+        qnc()
+            .arg("remote")
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(&remote_m)
+            .arg("--model")
+            .arg(&model)
+            .arg("--no-inline-model")
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    assert_eq!(
+        std::fs::read(&offline_m).unwrap(),
+        std::fs::read(&remote_m).unwrap(),
+        "model remote compress must be byte-identical"
+    );
+
+    // Remote decompress (zoo model, no inline) matches offline decode.
+    let offline_pgm = dir.join("offline.pgm");
+    let remote_pgm = dir.join("remote.pgm");
+    run_ok(
+        qnc()
+            .arg("decompress")
+            .arg(&offline_m)
+            .arg("-o")
+            .arg(&offline_pgm)
+            .arg("--model")
+            .arg(&model),
+    );
+    run_ok(
+        qnc()
+            .arg("remote")
+            .arg("decompress")
+            .arg(&remote_m)
+            .arg("-o")
+            .arg(&remote_pgm)
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    assert_eq!(
+        std::fs::read(&offline_pgm).unwrap(),
+        std::fs::read(&remote_pgm).unwrap(),
+        "remote decompress must reproduce the offline pixels"
+    );
+
+    // Remote info over the wire equals local `info --json`.
+    let out = run_ok(
+        qnc()
+            .arg("remote")
+            .arg("info")
+            .arg(&offline)
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    let local = run_ok(qnc().arg("info").arg(&offline).arg("--json"));
+    assert_eq!(out.stdout, local.stdout);
+
+    // Server status names the serving parameters.
+    let out = run_ok(
+        qnc()
+            .arg("remote")
+            .arg("info")
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    let status = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(status.contains("\"format\":\"qn-serve\""), "{status}");
+}
+
+#[test]
+fn remote_against_a_dead_server_fails_cleanly() {
+    let dir = work_dir("remote_dead");
+    let input = dir.join("img.pgm");
+    write_dataset_image(&input, 16, 16, 9);
+    let out = qnc()
+        .arg("remote")
+        .arg("compress")
+        .arg(&input)
+        .arg("-o")
+        .arg(dir.join("never.qnc"))
+        .arg("--addr")
+        .arg("127.0.0.1:1") // nothing listens on port 1
+        .output()
+        .expect("spawn qnc");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(stderr.contains("connecting"), "{stderr}");
 }
 
 #[test]

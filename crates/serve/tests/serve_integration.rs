@@ -1,0 +1,213 @@
+//! Integration suite: a real server on an ephemeral port, real TCP
+//! clients, and the acceptance property — **remote responses are
+//! byte-identical to offline `qnc` runs** with the same model and
+//! options, including under 16-way concurrent load where tiles from
+//! different requests coalesce into shared backend passes.
+
+use qn_backend::BackendKind;
+use qn_codec::model::encode_model;
+use qn_codec::{info, Codec, CodecOptions};
+use qn_image::datasets;
+use qn_serve::client::{model_encode_request, spectral_encode_request};
+use qn_serve::{spawn, Client, ServerConfig, ServerHandle};
+use std::time::Duration;
+
+/// A server on an ephemeral port with batching on (tiny deadline so
+/// solo requests don't stall the suite).
+fn boot(store_dir: Option<std::path::PathBuf>) -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir,
+        batch_deadline: Duration::from_millis(2),
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("qn_serve_tests")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn remote_spectral_encode_is_byte_identical_to_offline() {
+    let server = boot(None);
+    let img = datasets::grayscale_blobs(1, 32, 24, 42).remove(0);
+    let opts = CodecOptions::default();
+
+    // Offline reference: qnc compress without --model.
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+    let offline_img = codec.decode_bytes(&offline).unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let remote = client
+        .encode(&spectral_encode_request(&img, &opts, 8))
+        .unwrap();
+    assert_eq!(remote, offline, "remote encode must be byte-identical");
+
+    let decoded = client.decode(&remote).unwrap();
+    assert_eq!(
+        decoded, offline_img,
+        "remote decode must be pixel-identical"
+    );
+}
+
+#[test]
+fn zoo_models_encode_and_decode_without_inline_models() {
+    let dir = temp_dir("zoo");
+    let server = boot(Some(dir.clone()));
+    let img = datasets::grayscale_blobs(1, 32, 32, 7).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+    let model_bytes = encode_model(codec.model());
+    let opts = CodecOptions {
+        inline_model: false,
+        ..CodecOptions::default()
+    };
+    let offline = codec.encode_image(&img, &opts).unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let id = client.load_model(&model_bytes).unwrap();
+    assert_eq!(id, codec.model_id(), "LOAD_MODEL returns the content id");
+    assert!(
+        dir.join(format!("{id:016x}.qnm")).exists(),
+        "zoo persists the model under its id"
+    );
+
+    let remote = client
+        .encode(&model_encode_request(&img, &opts, id))
+        .unwrap();
+    assert_eq!(remote, offline);
+
+    // The container has no inline model: the server resolves the model
+    // id against the zoo.
+    let decoded = client.decode(&remote).unwrap();
+    assert_eq!(decoded, codec.decode_bytes(&offline).unwrap());
+
+    // A second server over the same zoo dir decodes cold from disk.
+    drop(client);
+    server.shutdown();
+    let reborn = boot(Some(dir));
+    let mut client = Client::connect(reborn.addr()).unwrap();
+    let decoded = client.decode(&remote).unwrap();
+    assert_eq!(decoded, codec.decode_bytes(&offline).unwrap());
+}
+
+#[test]
+fn sixteen_concurrent_clients_round_trip_byte_identically() {
+    let server = boot(None);
+    let img = datasets::grayscale_blobs(1, 24, 24, 99).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+    let offline_img = codec.decode_bytes(&offline).unwrap();
+
+    let addr = server.addr();
+    let workers: Vec<_> = (0..16)
+        .map(|worker| {
+            let img = img.clone();
+            let opts = opts.clone();
+            let offline = offline.clone();
+            let offline_img = offline_img.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..3 {
+                    let bytes = client
+                        .encode(&spectral_encode_request(&img, &opts, 8))
+                        .unwrap_or_else(|e| panic!("worker {worker} round {round}: {e}"));
+                    assert_eq!(
+                        bytes, offline,
+                        "worker {worker} round {round}: encode bytes"
+                    );
+                    let decoded = client
+                        .decode(&bytes)
+                        .unwrap_or_else(|e| panic!("worker {worker} round {round}: {e}"));
+                    assert_eq!(
+                        decoded, offline_img,
+                        "worker {worker} round {round}: decode"
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    assert!(server.requests_served() >= 16 * 3 * 2);
+}
+
+#[test]
+fn encode_options_travel_the_wire() {
+    let server = boot(None);
+    let img = datasets::grayscale_blobs(1, 24, 16, 5).remove(0);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for (per_tile_scale, inline_model, bits) in
+        [(true, true, 8u8), (true, false, 5), (false, false, 12)]
+    {
+        let opts = CodecOptions {
+            bits,
+            per_tile_scale,
+            inline_model,
+            ..CodecOptions::default()
+        };
+        let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+        let offline = codec.encode_image(&img, &opts).unwrap();
+        let remote = client
+            .encode(&spectral_encode_request(&img, &opts, 8))
+            .unwrap();
+        assert_eq!(
+            remote, offline,
+            "options (scale={per_tile_scale}, inline={inline_model}, bits={bits})"
+        );
+    }
+}
+
+#[test]
+fn info_replies_share_the_cli_json() {
+    let server = boot(None);
+    let img = datasets::grayscale_blobs(1, 16, 16, 3).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+    let container = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+    let model_bytes = encode_model(codec.model());
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    // File info: byte-for-byte the `qnc info --json` output.
+    assert_eq!(
+        client.info(Some(&container)).unwrap(),
+        info::file_info_json(&container).unwrap()
+    );
+    assert_eq!(
+        client.info(Some(&model_bytes)).unwrap(),
+        info::file_info_json(&model_bytes).unwrap()
+    );
+    // Server info: names the serving parameters.
+    let status = client.info(None).unwrap();
+    assert!(status.contains("\"format\":\"qn-serve\""), "{status}");
+    assert!(status.contains("\"backend\":\"panel\""), "{status}");
+    assert!(status.contains("\"coalescing\":true"), "{status}");
+}
+
+#[test]
+fn per_request_dispatch_servers_answer_the_same_bytes() {
+    // Batching off (zero deadline) and the scalar backend: responses
+    // must still be byte-identical — scheduling is never observable.
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        backend: BackendKind::Scalar,
+        batch_deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let img = datasets::grayscale_blobs(1, 24, 24, 11).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let remote = client
+        .encode(&spectral_encode_request(&img, &opts, 8))
+        .unwrap();
+    assert_eq!(remote, offline);
+}

@@ -1,0 +1,331 @@
+//! Protocol-robustness corpus, mirroring `tests/decoder_robustness.rs`
+//! one layer up: malformed, truncated, oversized and bit-flipped
+//! frames, allocation-bomb length fields and mid-frame disconnects are
+//! thrown at a live server. The server must never panic: every case
+//! ends in a typed error reply or a clean close, and — the part a
+//! panic would break — the server keeps answering healthy requests
+//! afterwards.
+
+use qn_codec::bitstream::crc32;
+use qn_codec::{Codec, CodecOptions};
+use qn_image::datasets;
+use qn_serve::client::spectral_encode_request;
+use qn_serve::protocol::{ErrorCode, Frame, FrameError, Opcode, HEADER_LEN};
+use qn_serve::{spawn, Client, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn boot() -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_deadline: Duration::from_millis(1),
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+/// Prove the server is still alive: a fresh connection completes a
+/// full encode round-trip.
+fn assert_alive(server: &ServerHandle, tag: &str) {
+    let img = datasets::grayscale_blobs(1, 8, 8, 1).remove(0);
+    let mut client =
+        Client::connect(server.addr()).unwrap_or_else(|e| panic!("{tag}: server unreachable: {e}"));
+    let bytes = client
+        .encode(&spectral_encode_request(&img, &CodecOptions::default(), 8))
+        .unwrap_or_else(|e| panic!("{tag}: healthy encode failed: {e}"));
+    client
+        .decode(&bytes)
+        .unwrap_or_else(|e| panic!("{tag}: healthy decode failed: {e}"));
+}
+
+/// Write raw bytes, then read whatever the server answers until it
+/// closes (or a short timeout). Returns the reply bytes.
+fn send_raw(server: &ServerHandle, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(bytes).expect("write");
+    // Half-close so the server sees EOF (the mid-frame disconnect)
+    // immediately instead of waiting for more bytes.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    reply
+}
+
+/// Parse a single reply frame out of raw bytes.
+fn parse_reply(bytes: &[u8], tag: &str) -> Frame {
+    Frame::read_from(&mut &bytes[..]).unwrap_or_else(|e| panic!("{tag}: unparseable reply: {e}"))
+}
+
+fn expect_error(server: &ServerHandle, raw: &[u8], code: ErrorCode, tag: &str) {
+    let reply = parse_reply(&send_raw(server, raw), tag);
+    assert_eq!(
+        reply.status,
+        code as u16,
+        "{tag}: expected {code:?}, got status {} ({})",
+        reply.status,
+        String::from_utf8_lossy(&reply.payload)
+    );
+    assert_alive(server, tag);
+}
+
+#[test]
+fn stream_level_violations_answer_typed_errors_and_close() {
+    let server = boot();
+
+    // An HTTP request is the classic cross-protocol probe.
+    expect_error(
+        &server,
+        b"GET / HTTP/1.1\r\nHost: qn\r\n\r\n",
+        ErrorCode::BadMagic,
+        "http probe",
+    );
+
+    // Correct magic, future protocol version.
+    let mut future = Frame::request(Opcode::Info, 1, Vec::new()).to_bytes();
+    future[4] = 200;
+    refix_frame_crc(&mut future);
+    expect_error(
+        &server,
+        &future,
+        ErrorCode::UnsupportedVersion,
+        "future version",
+    );
+
+    // Allocation bomb: length field claims 4 GiB. Must be rejected
+    // before any allocation, typed, and the connection closed.
+    let mut bomb = Frame::request(Opcode::Decode, 2, Vec::new()).to_bytes();
+    bomb[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    expect_error(&server, &bomb, ErrorCode::FrameTooLarge, "length bomb");
+
+    // Bit-flipped payload with the original CRC.
+    let mut flipped = Frame::request(Opcode::Info, 3, vec![0u8; 32]).to_bytes();
+    flipped[HEADER_LEN + 5] ^= 0x40;
+    expect_error(&server, &flipped, ErrorCode::BadCrc, "bit flip");
+}
+
+#[test]
+fn truncations_and_midframe_disconnects_close_cleanly() {
+    let server = boot();
+    let full = Frame::request(Opcode::Info, 9, vec![7u8; 64]).to_bytes();
+    // Cut everywhere interesting: inside the magic, the header, the
+    // payload and the CRC. The server gets EOF mid-frame and must just
+    // drop the connection.
+    for cut in [
+        0,
+        1,
+        3,
+        7,
+        15,
+        HEADER_LEN,
+        HEADER_LEN + 1,
+        full.len() - 5,
+        full.len() - 1,
+    ] {
+        let reply = send_raw(&server, &full[..cut]);
+        assert!(
+            reply.is_empty(),
+            "cut {cut}: expected silent close, got {} reply bytes",
+            reply.len()
+        );
+    }
+    assert_alive(&server, "after truncations");
+}
+
+#[test]
+fn request_level_failures_keep_the_connection_alive() {
+    let server = boot();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Unknown opcode: typed error, connection survives.
+    let reply = client.roundtrip_raw_opcode(0x6E, Vec::new());
+    assert_eq!(reply.status, ErrorCode::BadRequest as u16);
+
+    // Corrupt container in DECODE.
+    match client.decode(b"QNC1 but not really a container") {
+        Err(qn_serve::ServeError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::Codec as u16)
+        }
+        other => panic!("corrupt decode: {other:?}"),
+    }
+
+    // Structurally valid container whose model is not in the zoo.
+    let img = datasets::grayscale_blobs(1, 16, 16, 21).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+    let lean = codec
+        .encode_image(
+            &img,
+            &CodecOptions {
+                inline_model: false,
+                ..CodecOptions::default()
+            },
+        )
+        .unwrap();
+    match client.decode(&lean) {
+        Err(qn_serve::ServeError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownModel as u16)
+        }
+        other => panic!("unknown model: {other:?}"),
+    }
+
+    // Garbage LOAD_MODEL payload.
+    match client.load_model(b"QNMD???????") {
+        Err(qn_serve::ServeError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::Codec as u16)
+        }
+        other => panic!("garbage model: {other:?}"),
+    }
+
+    // Malformed ENCODE payloads: too short, and a pixel-count bomb.
+    let reply = client.roundtrip_raw_opcode(Opcode::Encode as u8, vec![0u8; 10]);
+    assert_eq!(reply.status, ErrorCode::BadRequest as u16);
+    let mut bomb = vec![0u8; 24];
+    bomb[0..2].copy_from_slice(&4u16.to_le_bytes());
+    bomb[2] = 8;
+    bomb[16..20].copy_from_slice(&(1u32 << 30).to_le_bytes());
+    bomb[20..24].copy_from_slice(&(1u32 << 30).to_le_bytes());
+    let reply = client.roundtrip_raw_opcode(Opcode::Encode as u8, bomb);
+    assert_eq!(reply.status, ErrorCode::BadRequest as u16);
+
+    // Spectral tile-size bomb: a tiny (1×1) image asking for a 65535²
+    // model must be rejected typed, not allocated (~34 GB otherwise).
+    let mut tile_bomb = vec![0u8; 24 + 8];
+    tile_bomb[0..2].copy_from_slice(&u16::MAX.to_le_bytes());
+    tile_bomb[2] = 8;
+    tile_bomb[4..6].copy_from_slice(&1u16.to_le_bytes());
+    tile_bomb[16..20].copy_from_slice(&1u32.to_le_bytes());
+    tile_bomb[20..24].copy_from_slice(&1u32.to_le_bytes());
+    tile_bomb[24..32].copy_from_slice(&0.5f64.to_bits().to_le_bytes());
+    let reply = client.roundtrip_raw_opcode(Opcode::Encode as u8, tile_bomb);
+    assert_eq!(reply.status, ErrorCode::BadRequest as u16);
+
+    // Decode dimension bomb: a structurally plausible container
+    // declaring a 131072×131072 image (only empty-tile bits, so the
+    // tile count passes the payload-bits check) must be rejected by
+    // the serving pixel limit before any tile vector or untile buffer
+    // is allocated. The dims sit at fixed offsets 16..24.
+    let mut dim_bomb = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+    dim_bomb[16..20].copy_from_slice(&(1u32 << 17).to_le_bytes());
+    dim_bomb[20..24].copy_from_slice(&(1u32 << 17).to_le_bytes());
+    let body = dim_bomb.len() - 4;
+    let crc = qn_codec::bitstream::crc32(&dim_bomb[..body]).to_le_bytes();
+    dim_bomb[body..].copy_from_slice(&crc);
+    for op in [Opcode::Decode, Opcode::Info] {
+        let reply = client.roundtrip_raw_opcode(op as u8, dim_bomb.clone());
+        assert_eq!(
+            reply.status,
+            ErrorCode::BadRequest as u16,
+            "{op:?} dim bomb: {}",
+            String::from_utf8_lossy(&reply.payload)
+        );
+    }
+
+    // INFO on unrecognised bytes.
+    match client.info(Some(b"neither format")) {
+        Err(qn_serve::ServeError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::Codec as u16)
+        }
+        other => panic!("garbage info: {other:?}"),
+    }
+
+    // The same connection still serves a healthy request after the
+    // whole gauntlet.
+    let bytes = client
+        .encode(&spectral_encode_request(&img, &CodecOptions::default(), 8))
+        .unwrap();
+    assert_eq!(
+        client.decode(&bytes).unwrap(),
+        codec.decode_bytes(&bytes).unwrap()
+    );
+}
+
+#[test]
+fn every_truncation_of_a_valid_frame_is_handled() {
+    // The fine-grained sweep: every prefix of a real encode request
+    // either closes cleanly (EOF mid-frame) — it can never panic the
+    // server or elicit a malformed reply.
+    let server = boot();
+    let img = datasets::grayscale_blobs(1, 8, 8, 2).remove(0);
+    let full = Frame::request(
+        Opcode::Encode,
+        1,
+        spectral_encode_request(&img, &CodecOptions::default(), 8).to_payload(),
+    )
+    .to_bytes();
+    // Sample the cut space (full sweeps of multi-hundred-byte frames
+    // are slow over real sockets; header cuts are exhaustive).
+    let cuts: Vec<usize> = (0..HEADER_LEN + 4)
+        .chain((HEADER_LEN + 4..full.len()).step_by(97))
+        .collect();
+    for cut in cuts {
+        let reply = send_raw(&server, &full[..cut]);
+        if !reply.is_empty() {
+            // A parseable typed reply is also acceptable (e.g. the cut
+            // landed exactly on a frame boundary).
+            parse_reply(&reply, &format!("cut {cut}"));
+        }
+    }
+    assert_alive(&server, "after truncation sweep");
+}
+
+#[test]
+fn pipelined_garbage_after_a_valid_frame_does_not_corrupt_the_reply() {
+    let server = boot();
+    let img = datasets::grayscale_blobs(1, 8, 8, 3).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+    let offline = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+    let mut raw = Frame::request(
+        Opcode::Encode,
+        5,
+        spectral_encode_request(&img, &CodecOptions::default(), 8).to_payload(),
+    )
+    .to_bytes();
+    raw.extend_from_slice(b"trailing garbage that is not a frame");
+    let reply_bytes = send_raw(&server, &raw);
+    let reply = parse_reply(&reply_bytes, "pipelined garbage");
+    assert_eq!(
+        reply.status,
+        0,
+        "{}",
+        String::from_utf8_lossy(&reply.payload)
+    );
+    assert_eq!(
+        reply.payload, offline,
+        "valid request must answer correct bytes"
+    );
+    assert_alive(&server, "after pipelined garbage");
+}
+
+/// Re-fix a frame's trailing CRC after mutating its header.
+fn refix_frame_crc(bytes: &mut [u8]) {
+    let body = bytes.len() - 4;
+    let crc = crc32(&bytes[..body]).to_le_bytes();
+    bytes[body..].copy_from_slice(&crc);
+}
+
+/// Frame-level escape hatch used by this suite: send an arbitrary
+/// opcode byte and return the reply frame.
+trait RawRoundtrip {
+    fn roundtrip_raw_opcode(&mut self, opcode: u8, payload: Vec<u8>) -> Frame;
+}
+
+impl RawRoundtrip for Client {
+    fn roundtrip_raw_opcode(&mut self, opcode: u8, payload: Vec<u8>) -> Frame {
+        let frame = Frame {
+            opcode,
+            status: 0,
+            request_id: 77,
+            payload,
+        };
+        let mut stream = self.stream_mut();
+        frame.write_to(&mut stream).expect("write raw frame");
+        match Frame::read_from(&mut stream) {
+            Ok(reply) => reply,
+            Err(FrameError::Io(e)) => panic!("server closed on raw opcode {opcode:#04x}: {e}"),
+            Err(e) => panic!("bad reply to raw opcode {opcode:#04x}: {e}"),
+        }
+    }
+}

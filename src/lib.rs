@@ -21,7 +21,10 @@
 //! - [`image`](qn_image) — images, datasets, metrics, PGM/ASCII IO.
 //! - [`codec`](qn_codec) — the end-to-end file codec: model persistence
 //!   (`.qnm`), quantized latent bitstreams, the `.qnc` container, tiled
-//!   encode/decode and the `qnc` CLI.
+//!   encode/decode.
+//! - [`serve`](qn_serve) — the batching codec server: binary wire
+//!   protocol, cross-request tile batching, the content-addressed model
+//!   zoo, and the `qnc` CLI (offline commands plus `serve`/`remote`).
 //!
 //! ## Quickstart
 //!
@@ -47,4 +50,5 @@ pub use qn_core as core;
 pub use qn_image as image;
 pub use qn_linalg as linalg;
 pub use qn_photonic as photonic;
+pub use qn_serve as serve;
 pub use qn_sim as sim;
