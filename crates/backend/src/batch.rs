@@ -187,6 +187,25 @@ impl MeshBatcher {
         source: Arc<dyn MeshSource>,
         vecs: Vec<Vec<f64>>,
     ) -> BatchHandle {
+        self.submit_with(key, source, vecs, false)
+    }
+
+    /// [`MeshBatcher::submit`] with an **eager** hint: when `eager` is
+    /// true the group flushes immediately after this submission joins
+    /// it (merging with anything already pending under `key`) instead
+    /// of waiting for batch-full or the deadline. Callers pass the
+    /// hint when they know no other submission is on its way — e.g. a
+    /// server whose connection tracking shows this is the only request
+    /// in flight — so a solo caller never pays the full deadline.
+    /// Results are bit-identical either way; the hint only moves the
+    /// flush earlier.
+    pub fn submit_with(
+        &self,
+        key: BatchKey,
+        source: Arc<dyn MeshSource>,
+        vecs: Vec<Vec<f64>>,
+        eager: bool,
+    ) -> BatchHandle {
         let (tx, rx) = mpsc::sync_channel(1);
         if vecs.is_empty() {
             let _ = tx.send(Vec::new());
@@ -203,7 +222,7 @@ impl MeshBatcher {
             });
             group.entries.push(Entry { vecs, tx });
             group.tiles += tiles;
-            if group.tiles >= self.shared.max_tiles || !self.coalesces() {
+            if eager || group.tiles >= self.shared.max_tiles || !self.coalesces() {
                 st.groups.remove(&key)
             } else {
                 self.shared.cond.notify_one();
@@ -363,6 +382,34 @@ mod tests {
         let batcher = MeshBatcher::new(BackendKind::Panel, 1_000_000, Duration::from_millis(5));
         let ha = batcher.submit(BatchKey { model: 10, lane: 0 }, src_a, xs.clone());
         let hb = batcher.submit(BatchKey { model: 11, lane: 0 }, src_b, xs);
+        assert_eq!(ha.wait().unwrap(), want_a);
+        assert_eq!(hb.wait().unwrap(), want_b);
+    }
+
+    #[test]
+    fn eager_submissions_flush_without_waiting_for_the_deadline() {
+        let src = mesh(6, 2, 41);
+        let xs = batch(6, 3, 0.9);
+        let want = BackendKind::Panel.backend().forward_batch(src.mesh(), &xs);
+        // An hour-long deadline: only the eager hint can flush this
+        // before the test times out.
+        let batcher = MeshBatcher::new(BackendKind::Panel, 1_000_000, Duration::from_secs(3600));
+        let key = BatchKey { model: 7, lane: 0 };
+        let t0 = Instant::now();
+        let handle = batcher.submit_with(key, src.clone(), xs, true);
+        assert_eq!(handle.wait().unwrap(), want);
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "eager flush must not wait for the deadline"
+        );
+        // An eager submission drains anything already pending under
+        // the same key, preserving per-submitter results.
+        let a = batch(6, 2, 0.1);
+        let b = batch(6, 4, 0.2);
+        let want_a = BackendKind::Panel.backend().forward_batch(src.mesh(), &a);
+        let want_b = BackendKind::Panel.backend().forward_batch(src.mesh(), &b);
+        let ha = batcher.submit(key, src.clone(), a); // parks (huge deadline)
+        let hb = batcher.submit_with(key, src, b, true); // flushes both
         assert_eq!(ha.wait().unwrap(), want_a);
         assert_eq!(hb.wait().unwrap(), want_b);
     }

@@ -1,0 +1,44 @@
+//! Quality recorder: regenerates `BENCH_quality.json` at the workspace
+//! root — the checked-in rate–distortion trail behind the "Quality
+//! gates" CI step. Runs the full default grid over every registry
+//! dataset with all classical baselines, checks the pinned gates, and
+//! refuses to write a report that fails them (a regressed trail must
+//! never silently replace a healthy one).
+//!
+//! Usage: `cargo run --release -p qn-bench --bin bench_quality`.
+//! The output is byte-stable across reruns (seed 0, no timings), so
+//! `git diff BENCH_quality.json` after a codec change shows exactly
+//! which RD points moved.
+
+use qn_bench::results_dir;
+use qn_eval::report::BaselineSet;
+use qn_eval::{gates, registry, Grid, QualityGates, QualityReport};
+
+fn main() {
+    let datasets = registry::all_builtin(0);
+    let grid = Grid::default_grid();
+    let report = QualityReport::build(&datasets, &grid, &BaselineSet::all(), false, 0)
+        .expect("quality sweep");
+    print!("{}", report.human_table());
+
+    match gates::check(&report, &QualityGates::PINNED) {
+        Ok(outcome) => println!(
+            "quality gates: OK ({:.2} dB, {:.3} bpp at the golden point)",
+            outcome.psnr_db, outcome.bpp
+        ),
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            panic!("refusing to write BENCH_quality.json over a gate failure");
+        }
+    }
+
+    // results_dir() is <root>/results; BENCH_quality.json lives at the root.
+    let path = results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .join("BENCH_quality.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_quality.json");
+    println!("wrote {}", path.display());
+}

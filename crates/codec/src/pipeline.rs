@@ -57,7 +57,8 @@ impl Default for CodecOptions {
     }
 }
 
-/// Encode-side accounting, for logs and benchmarks.
+/// Encode-side accounting, for logs, benchmarks and the rate–distortion
+/// evaluation harness.
 #[derive(Debug, Clone, Copy)]
 pub struct EncodeStats {
     /// Total tiles in the grid.
@@ -70,12 +71,23 @@ pub struct EncodeStats {
     pub container_bytes: usize,
     /// Container bits per pixel.
     pub bits_per_pixel: f64,
+    /// Bytes of the embedded model body (0 without an inline model).
+    /// Subtracting from [`EncodeStats::container_bytes`] isolates the
+    /// per-image latent payload from the amortizable model cost.
+    pub model_bytes: usize,
 }
 
 impl EncodeStats {
     /// Compression ratio (raw ÷ compressed; > 1 means smaller).
     pub fn ratio(&self) -> f64 {
         self.raw_bytes as f64 / self.container_bytes as f64
+    }
+
+    /// Bits per pixel of the container *minus* the embedded model body —
+    /// the per-image rate once the model is amortized (equal to
+    /// [`EncodeStats::bits_per_pixel`] when no model is inlined).
+    pub fn payload_bits_per_pixel(&self) -> f64 {
+        (self.container_bytes - self.model_bytes) as f64 * 8.0 / self.raw_bytes as f64
     }
 }
 
@@ -129,16 +141,33 @@ impl Codec {
         tile_size: usize,
         latent_dim: usize,
     ) -> Result<Self> {
+        Codec::spectral_for_images(std::slice::from_ref(img), tile_size, latent_dim)
+    }
+
+    /// Like [`Codec::spectral_for_image`], but fitted on the pooled
+    /// tiles of a whole dataset: one shared model whose compression
+    /// mesh is the PCA-optimal rotation for the *joint* tile
+    /// distribution. This is the model source for dataset-level
+    /// rate–distortion evaluation, where the model cost is amortized
+    /// across every image it encodes.
+    ///
+    /// # Errors
+    /// See [`Codec::spectral_for_image`]; images may differ in size but
+    /// every tile must fit the `tile_size²` state dimension.
+    pub fn spectral_for_images(
+        images: &[GrayImage],
+        tile_size: usize,
+        latent_dim: usize,
+    ) -> Result<Self> {
         let dim = tile_size * tile_size;
         if latent_dim == 0 || latent_dim > dim {
             return Err(CodecError::Invalid(format!(
                 "latent dimension must be in 1..={dim}, got {latent_dim}"
             )));
         }
-        let tiling = tiles::tile(img, tile_size);
-        let inputs: Vec<Vec<f64>> = tiling
-            .tiles
+        let inputs: Vec<Vec<f64>> = images
             .iter()
+            .flat_map(|img| tiles::tile(img, tile_size).tiles)
             .filter_map(|t| encoding::encode(t.pixels(), dim).ok())
             .map(|e| e.amplitudes)
             .collect();
@@ -327,6 +356,7 @@ impl Codec {
             inline_model: opts.inline_model.then(|| model::encode_model(&self.model)),
             tiles: tile_payloads,
         };
+        let model_bytes = container.inline_model.as_ref().map_or(0, Vec::len);
         let bytes = container.to_bytes()?;
         let stats = EncodeStats {
             tiles: plan.tiles_x * plan.tiles_y,
@@ -334,6 +364,7 @@ impl Codec {
             raw_bytes: plan.raw_bytes,
             container_bytes: bytes.len(),
             bits_per_pixel: bytes.len() as f64 * 8.0 / plan.raw_bytes as f64,
+            model_bytes,
         };
         Ok((bytes, stats))
     }
@@ -599,6 +630,60 @@ mod tests {
         let psnr = metrics::psnr(&img, &back.clamped());
         assert!(psnr >= 20.0, "PSNR {psnr:.2} dB below floor");
         assert!(stats.bits_per_pixel > 0.0);
+    }
+
+    #[test]
+    fn dataset_spectral_model_encodes_every_member() {
+        // One shared model over a rank-4 family: every member decodes
+        // accurately with the *same* model id, which is what amortizes
+        // the model cost across a dataset.
+        let data = datasets::paper_binary_16(25);
+        let codec = Codec::spectral_for_images(&data, 4, 8).unwrap();
+        let opts = CodecOptions {
+            inline_model: false,
+            ..CodecOptions::default()
+        };
+        for img in &data {
+            let (bytes, stats) = codec.encode_image_with_stats(img, &opts).unwrap();
+            assert_eq!(stats.model_bytes, 0);
+            assert!((stats.payload_bits_per_pixel() - stats.bits_per_pixel).abs() < 1e-12);
+            let back = codec.decode_bytes(&bytes).unwrap();
+            let psnr = metrics::psnr(img, &back.clamped());
+            assert!(psnr >= 30.0, "PSNR {psnr:.2} dB");
+        }
+        // A single-image fit is the one-element dataset fit.
+        let solo = Codec::spectral_for_image(&data[3], 4, 8).unwrap();
+        let solo_set = Codec::spectral_for_images(&data[3..4], 4, 8).unwrap();
+        assert_eq!(solo.model_id(), solo_set.model_id());
+    }
+
+    #[test]
+    fn stats_separate_model_bytes_from_payload() {
+        let img = test_image();
+        let codec = spectral_codec(&img, 8);
+        let (_, with_model) = codec
+            .encode_image_with_stats(&img, &CodecOptions::default())
+            .unwrap();
+        assert!(with_model.model_bytes > 0);
+        assert!(with_model.payload_bits_per_pixel() < with_model.bits_per_pixel);
+        let (lean_bytes, lean) = codec
+            .encode_image_with_stats(
+                &img,
+                &CodecOptions {
+                    inline_model: false,
+                    ..CodecOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(lean.model_bytes, 0);
+        // The inline model accounts for (almost all of) the size gap:
+        // the container layout only adds a small length field around it.
+        let gap = with_model.container_bytes - lean_bytes.len();
+        assert!(
+            gap >= with_model.model_bytes && gap <= with_model.model_bytes + 16,
+            "container gap {gap} vs model {}",
+            with_model.model_bytes
+        );
     }
 
     #[test]

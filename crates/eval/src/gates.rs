@@ -1,0 +1,175 @@
+//! CI quality gates: the pinned floor under the quantum codec's
+//! quality at one **golden operating point**, checked by the named
+//! "Quality gates" CI step on every push.
+//!
+//! The golden point is `blobs` at tile 4, `d = 8`, 8 bits — the
+//! default `qnc compress` setting on the only smooth grayscale
+//! registry dataset, i.e. the configuration an ordinary user hits
+//! first. The floor/ceiling are pinned from the measured seed values
+//! (see `BENCH_quality.json`) with margin for numeric drift, **not**
+//! recomputed per run: a regression that drops PSNR below the floor or
+//! inflates the bitstream above the ceiling fails CI by name.
+
+use crate::grid::OperatingPoint;
+use crate::report::QualityReport;
+
+/// Where the gate is measured: a registry dataset plus one operating
+/// point of the quantum codec.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenPoint {
+    /// Registry dataset name.
+    pub dataset: &'static str,
+    /// The operating point.
+    pub point: OperatingPoint,
+}
+
+/// The golden operating point every grid that feeds the gate must
+/// contain (both named grids do).
+pub const GOLDEN: GoldenPoint = GoldenPoint {
+    dataset: "blobs",
+    point: OperatingPoint {
+        tile_size: 4,
+        latent_dim: 8,
+        bits: 8,
+    },
+};
+
+/// Pinned limits at [`GOLDEN`].
+#[derive(Debug, Clone, Copy)]
+pub struct QualityGates {
+    /// Minimum acceptable PSNR (dB).
+    pub psnr_floor_db: f64,
+    /// Maximum acceptable payload rate (bits per pixel).
+    pub bpp_ceiling: f64,
+}
+
+impl QualityGates {
+    /// The checked-in limits. Seed measurement at [`GOLDEN`]:
+    /// PSNR ≈ 49.4 dB at ≈ 6.33 bpp (`BENCH_quality.json`); the floor
+    /// sits ~4 dB below and the ceiling ~10 % above, wide enough for
+    /// numeric drift, tight enough to catch a real quality or rate
+    /// regression.
+    pub const PINNED: QualityGates = QualityGates {
+        psnr_floor_db: 45.0,
+        bpp_ceiling: 7.0,
+    };
+}
+
+/// What the gate saw at the golden point.
+#[derive(Debug, Clone, Copy)]
+pub struct GateOutcome {
+    /// Measured PSNR at the golden point.
+    pub psnr_db: f64,
+    /// Measured payload rate at the golden point.
+    pub bpp: f64,
+}
+
+/// Check a report against the gates.
+///
+/// # Errors
+/// One message per violation — a missing golden point (dataset or
+/// operating point not swept) is itself a violation, so a gate can
+/// never silently pass by not measuring.
+pub fn check(report: &QualityReport, gates: &QualityGates) -> Result<GateOutcome, Vec<String>> {
+    let golden = report
+        .datasets
+        .iter()
+        .find(|d| d.name == GOLDEN.dataset)
+        .and_then(|d| {
+            d.points.iter().find(|p| {
+                p.codec == "quantum"
+                    && p.tile_size == GOLDEN.point.tile_size
+                    && p.latent_dim == GOLDEN.point.latent_dim
+                    && p.bits == GOLDEN.point.bits
+            })
+        });
+    let Some(point) = golden else {
+        return Err(vec![format!(
+            "quality gate: golden point ({} @ {}) was not swept — \
+             include dataset {:?} and the golden operating point in the grid",
+            GOLDEN.dataset,
+            GOLDEN.point.label(),
+            GOLDEN.dataset
+        )]);
+    };
+    let mut violations = Vec::new();
+    // NaN-hostile comparisons: a NaN measurement violates the gate
+    // rather than slipping past a `<`.
+    if point.psnr_db < gates.psnr_floor_db || point.psnr_db.is_nan() {
+        violations.push(format!(
+            "quality gate: PSNR {:.2} dB at the golden point fell below the pinned floor {:.2} dB",
+            point.psnr_db, gates.psnr_floor_db
+        ));
+    }
+    if point.bpp > gates.bpp_ceiling || point.bpp.is_nan() {
+        violations.push(format!(
+            "quality gate: rate {:.3} bpp at the golden point exceeds the pinned ceiling {:.3} bpp",
+            point.bpp, gates.bpp_ceiling
+        ));
+    }
+    if violations.is_empty() {
+        Ok(GateOutcome {
+            psnr_db: point.psnr_db,
+            bpp: point.bpp,
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BaselineSet, QualityReport};
+    use crate::{registry, Grid};
+
+    fn smoke_report() -> QualityReport {
+        QualityReport::build(
+            &[registry::builtin("blobs", 0).unwrap()],
+            &Grid::smoke(),
+            &BaselineSet::none(),
+            false,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pinned_gates_pass_on_the_seed_measurement() {
+        let report = smoke_report();
+        let outcome = check(&report, &QualityGates::PINNED).expect("gates pass at seed");
+        assert!(outcome.psnr_db >= QualityGates::PINNED.psnr_floor_db);
+        assert!(outcome.bpp <= QualityGates::PINNED.bpp_ceiling);
+    }
+
+    #[test]
+    fn violations_name_the_limit_that_broke() {
+        let report = smoke_report();
+        let impossible = QualityGates {
+            psnr_floor_db: 1000.0,
+            bpp_ceiling: 0.001,
+        };
+        let errs = check(&report, &impossible).unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert!(errs[0].contains("below the pinned floor"), "{}", errs[0]);
+        assert!(
+            errs[1].contains("exceeds the pinned ceiling"),
+            "{}",
+            errs[1]
+        );
+    }
+
+    #[test]
+    fn missing_golden_point_is_a_violation_not_a_pass() {
+        let report = QualityReport::build(
+            &[registry::builtin("paper", 0).unwrap()],
+            &Grid::smoke(),
+            &BaselineSet::none(),
+            false,
+            0,
+        )
+        .unwrap();
+        let errs = check(&report, &QualityGates::PINNED).unwrap_err();
+        assert!(errs[0].contains("was not swept"), "{}", errs[0]);
+    }
+}

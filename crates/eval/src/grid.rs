@@ -1,0 +1,193 @@
+//! Operating-point grids: which (tile size, latent dimension, quantizer
+//! bits) corners the sweep visits.
+//!
+//! Grid specs parse from a compact `key=values` syntax so CI and the
+//! CLI share one vocabulary:
+//!
+//! ```text
+//! tile=4;d=2,4,8;bits=4,8        # explicit grid (cartesian product)
+//! smoke                          # the CI smoke grid
+//! default                       # the full checked-in grid
+//! ```
+
+use qn_backend::BackendKind;
+
+/// One corner of the sweep: the codec settings a rate–distortion point
+/// is measured at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatingPoint {
+    /// Tile edge length (`tile_size²` pixels per state vector).
+    pub tile_size: usize,
+    /// Latent dimension `d` (and the matched classical rank).
+    pub latent_dim: usize,
+    /// Quantizer bit depth.
+    pub bits: u8,
+}
+
+impl OperatingPoint {
+    /// Compact stable label, e.g. `tile4-d8-b8`.
+    pub fn label(&self) -> String {
+        format!("tile{}-d{}-b{}", self.tile_size, self.latent_dim, self.bits)
+    }
+}
+
+/// A full sweep grid: the cartesian product corners plus the backend
+/// every mesh pass runs through (backends are bit-compatible, so this
+/// only affects throughput measurements).
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Stable name recorded in the report (`smoke`, `default`, `custom`).
+    pub name: String,
+    /// The operating points, in sweep order.
+    pub points: Vec<OperatingPoint>,
+    /// Execution backend for the quantum sweep.
+    pub backend: BackendKind,
+}
+
+impl Grid {
+    /// Build the cartesian product of the given axes.
+    pub fn cartesian(name: &str, tiles: &[usize], dims: &[usize], bits: &[u8]) -> Self {
+        let mut points = Vec::new();
+        for &tile_size in tiles {
+            for &latent_dim in dims {
+                for &b in bits {
+                    if latent_dim >= 1 && latent_dim <= tile_size * tile_size {
+                        points.push(OperatingPoint {
+                            tile_size,
+                            latent_dim,
+                            bits: b,
+                        });
+                    }
+                }
+            }
+        }
+        Grid {
+            name: name.into(),
+            points,
+            backend: BackendKind::default(),
+        }
+    }
+
+    /// The CI smoke grid: three latent dimensions at 8 bits, tile 4 —
+    /// small enough for every CI run, and it contains [`crate::GOLDEN`].
+    pub fn smoke() -> Self {
+        Grid::cartesian("smoke", &[4], &[2, 4, 8], &[8])
+    }
+
+    /// The full checked-in grid behind `BENCH_quality.json`: latent
+    /// dimensions 2/4/8 at 4 and 8 bits, tile 4.
+    pub fn default_grid() -> Self {
+        Grid::cartesian("default", &[4], &[2, 4, 8], &[4, 8])
+    }
+
+    /// Parse a grid spec: `smoke`, `default`, or `tile=..;d=..;bits=..`
+    /// with comma-separated values per axis.
+    ///
+    /// # Errors
+    /// Describes the offending clause; rejects empty grids (e.g. every
+    /// `d` exceeding `tile²`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "smoke" => return Ok(Grid::smoke()),
+            "default" => return Ok(Grid::default_grid()),
+            _ => {}
+        }
+        let mut tiles: Vec<usize> = vec![4];
+        let mut dims: Vec<usize> = vec![8];
+        let mut bits: Vec<u8> = vec![8];
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, values) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("grid clause {clause:?} is not key=values"))?;
+            let parse_list = |what: &str| -> Result<Vec<u64>, String> {
+                values
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad {what} value {v:?} in grid spec"))
+                    })
+                    .collect()
+            };
+            match key.trim() {
+                "tile" => tiles = parse_list("tile")?.iter().map(|&v| v as usize).collect(),
+                "d" => dims = parse_list("d")?.iter().map(|&v| v as usize).collect(),
+                "bits" => {
+                    bits = parse_list("bits")?
+                        .iter()
+                        .map(|&v| {
+                            u8::try_from(v).map_err(|_| format!("bits value {v} exceeds 255"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown grid axis {other:?} (expected tile, d or bits)"
+                    ))
+                }
+            }
+        }
+        let grid = Grid::cartesian("custom", &tiles, &dims, &bits);
+        if grid.points.is_empty() {
+            return Err(format!(
+                "grid spec {spec:?} yields no valid operating points (is every d > tile²?)"
+            ));
+        }
+        Ok(grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_grids_contain_the_golden_point() {
+        for grid in [Grid::smoke(), Grid::default_grid()] {
+            assert!(
+                grid.points.contains(&crate::GOLDEN.point),
+                "{} grid must include the golden operating point",
+                grid.name
+            );
+        }
+        assert_eq!(Grid::smoke().points.len(), 3);
+        assert_eq!(Grid::default_grid().points.len(), 6);
+    }
+
+    #[test]
+    fn specs_parse_as_cartesian_products() {
+        let g = Grid::parse("tile=4;d=2,8;bits=4,8").unwrap();
+        assert_eq!(g.points.len(), 4);
+        assert_eq!(
+            g.points[0],
+            OperatingPoint {
+                tile_size: 4,
+                latent_dim: 2,
+                bits: 4
+            }
+        );
+        // Named specs resolve too.
+        assert_eq!(Grid::parse("smoke").unwrap().points.len(), 3);
+        // Omitted axes take defaults.
+        let d_only = Grid::parse("d=4").unwrap();
+        assert_eq!(d_only.points.len(), 1);
+        assert_eq!(d_only.points[0].tile_size, 4);
+        assert_eq!(d_only.points[0].bits, 8);
+    }
+
+    #[test]
+    fn invalid_latent_dims_are_dropped_not_swept() {
+        // d = 32 exceeds tile² = 16: dropped from the product.
+        let g = Grid::parse("tile=4;d=8,32;bits=8").unwrap();
+        assert_eq!(g.points.len(), 1);
+        // A grid of only invalid corners is an error, not an empty sweep.
+        assert!(Grid::parse("tile=2;d=5;bits=8").is_err());
+        assert!(Grid::parse("potato").is_err());
+        assert!(Grid::parse("speed=11").is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(crate::GOLDEN.point.label(), "tile4-d8-b8");
+    }
+}

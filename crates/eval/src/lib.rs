@@ -1,0 +1,46 @@
+//! `qn-eval` — the rate–distortion evaluation subsystem.
+//!
+//! The paper's central claim is a *quality* claim: the quantum network
+//! reconstructs images competitively at a given compression ratio. The
+//! rest of the workspace measures throughput (`BENCH_codec.json`,
+//! `BENCH_serve.json`); this crate supplies the missing leg — a
+//! deterministic harness that turns the in-tree ingredients
+//! (`qn_image::datasets`/`metrics`, the `qn-codec` pipeline,
+//! `qn_classical::{pca, svd_compress, csc}`) into reproducible
+//! rate–distortion evidence:
+//!
+//! - [`registry`] — named, seeded datasets (the paper binary set, the
+//!   hard glyph variant, grayscale blobs, low-rank ensembles) plus
+//!   loading a directory of PGM files;
+//! - [`grid`] — operating-point grids (latent dimension × quantizer
+//!   bits × tile size) with a parseable spec syntax;
+//! - [`sweep`] — the quantum sweep runner: one shared spectral model
+//!   per (dataset, tile, d), every image encoded/decoded through the
+//!   real `.qnc` bitstream, aggregate bpp/PSNR/SSIM per point and
+//!   optional encode/decode tile throughput;
+//! - [`baselines`] — classical comparisons evaluated with identical
+//!   metrics and honest rate accounting: rank-`k` SVD and tile-level
+//!   PCA at matched bits, and the K-SVD/OMP sparse-coding (CSC)
+//!   pipeline where the dataset shape admits it;
+//! - [`report`] — the `BENCH_quality.json` writer (stable key order,
+//!   fixed float formatting — byte-identical across reruns at a fixed
+//!   seed) and a human-readable summary table;
+//! - [`gates`] — the CI quality gates: a pinned PSNR floor and bpp
+//!   ceiling at the golden operating point, so every future PR is
+//!   provably quality-neutral.
+//!
+//! The subsystem is surfaced as `qnc eval` (see `crates/serve`'s `qnc`
+//! binary) and exercised by the named "Quality gates" CI step.
+
+pub mod baselines;
+pub mod gates;
+pub mod grid;
+pub mod registry;
+pub mod report;
+pub mod sweep;
+
+pub use gates::{GateOutcome, QualityGates, GOLDEN};
+pub use grid::{Grid, OperatingPoint};
+pub use registry::Dataset;
+pub use report::{BaselineSet, DatasetReport, QualityReport};
+pub use sweep::{RdPoint, Throughput};

@@ -80,6 +80,36 @@ pub fn read_pgm(path: &Path) -> Result<GrayImage, ImageError> {
     from_pgm_string(&s)
 }
 
+/// Read every `.pgm` file in a directory, sorted by file name so the
+/// resulting dataset order is stable across platforms and reruns.
+/// Returns `(file stem, image)` pairs; non-`.pgm` entries are ignored.
+///
+/// # Errors
+/// Returns [`ImageError`] when the directory cannot be read, when it
+/// holds no `.pgm` files, or when any PGM file is malformed.
+pub fn read_pgm_dir(dir: &Path) -> Result<Vec<(String, GrayImage)>, ImageError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| ImageError(format!("read directory {dir:?}: {e}")))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "pgm"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(ImageError(format!("no .pgm files in {dir:?}")));
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            read_pgm(&p).map(|img| (name, img))
+        })
+        .collect()
+}
+
 /// Serialise a binary image as plain PBM (P1); pixels are thresholded at
 /// 0.5 (PBM convention: 1 = black).
 pub fn to_pbm_string(img: &GrayImage) -> String {
@@ -116,6 +146,28 @@ mod tests {
         let img = GrayImage::zeros(4, 4);
         let s = to_pgm_string(&img);
         assert!(s.starts_with("P2\n4 4\n255\n"));
+    }
+
+    #[test]
+    fn pgm_dir_reads_sorted_and_rejects_empty() {
+        let dir = std::env::temp_dir()
+            .join("qn_pgm_dir_tests")
+            .join(std::process::id().to_string());
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        assert!(read_pgm_dir(&dir).is_err(), "empty directory must error");
+        let a = GrayImage::from_pixels(2, 1, vec![0.0, 1.0]).unwrap();
+        let b = GrayImage::from_pixels(1, 2, vec![1.0, 0.0]).unwrap();
+        // Written in reverse name order: the read must still sort.
+        write_pgm(&b, &dir.join("b.pgm")).unwrap();
+        write_pgm(&a, &dir.join("a.pgm")).unwrap();
+        fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let loaded = read_pgm_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, "a");
+        assert_eq!(loaded[1].0, "b");
+        assert_eq!((loaded[0].1.width(), loaded[0].1.height()), (2, 1));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

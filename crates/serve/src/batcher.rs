@@ -82,14 +82,32 @@ impl TileBatcher {
         img: &GrayImage,
         opts: &CodecOptions,
     ) -> Result<(Vec<u8>, EncodeStats)> {
+        self.encode_hinted(codec, img, opts, false)
+    }
+
+    /// [`TileBatcher::encode`] with an eager-flush hint: pass `true`
+    /// when the caller knows no other request is in flight (the
+    /// server's adaptive flush), so a solo request never pays the
+    /// batch deadline. Bytes are identical either way.
+    ///
+    /// # Errors
+    /// See [`TileBatcher::encode`].
+    pub fn encode_hinted(
+        &self,
+        codec: &Arc<Codec>,
+        img: &GrayImage,
+        opts: &CodecOptions,
+        eager: bool,
+    ) -> Result<(Vec<u8>, EncodeStats)> {
         let (plan, states) = codec.prepare_encode(img, opts)?;
-        let handle = self.inner.submit(
+        let handle = self.inner.submit_with(
             BatchKey {
                 model: codec.model_id(),
                 lane: LANE_COMPRESS,
             },
             Arc::new(CompressMesh(Arc::clone(codec))),
             states,
+            eager,
         );
         let outs = handle
             .wait()
@@ -104,14 +122,29 @@ impl TileBatcher {
     /// Codec geometry errors; [`ServeError::Internal`] if the batcher
     /// is torn down mid-request.
     pub fn decode(&self, codec: &Arc<Codec>, container: &Container) -> Result<GrayImage> {
+        self.decode_hinted(codec, container, false)
+    }
+
+    /// [`TileBatcher::decode`] with an eager-flush hint — see
+    /// [`TileBatcher::encode_hinted`].
+    ///
+    /// # Errors
+    /// See [`TileBatcher::decode`].
+    pub fn decode_hinted(
+        &self,
+        codec: &Arc<Codec>,
+        container: &Container,
+        eager: bool,
+    ) -> Result<GrayImage> {
         let (plan, states) = codec.prepare_decode(container)?;
-        let handle = self.inner.submit(
+        let handle = self.inner.submit_with(
             BatchKey {
                 model: codec.model_id(),
                 lane: LANE_RECONSTRUCT,
             },
             Arc::new(ReconstructMesh(Arc::clone(codec))),
             states,
+            eager,
         );
         let outs = handle
             .wait()

@@ -6,7 +6,9 @@
 //! qnc train      <input.pgm> -o <model.qnm> [options]
 //! qnc info       <file.qnc | file.qnm> [--json]
 //! qnc serve      [--addr HOST:PORT] [--store DIR] [options]
-//! qnc remote     compress|decompress|info … --addr HOST:PORT
+//! qnc remote     compress|decompress|info|models … --addr HOST:PORT
+//! qnc eval       [--datasets LIST] [--grid SPEC] [--baselines LIST]
+//!                [-o report.json] [--json] [--check] [--timings]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the dependency set is frozen); every
@@ -44,6 +46,11 @@ USAGE:
                    [--per-tile-scale] [--no-inline-model]
     qnc remote decompress <input.qnc> -o <out.pgm> --addr HOST:PORT
     qnc remote info       [file.qnc | file.qnm] --addr HOST:PORT
+    qnc remote models     --addr HOST:PORT
+    qnc eval       [--datasets a,b,c] [--dir PGM_DIR] [--grid SPEC]
+                   [--baselines svd,pca,csc|all|none] [--backend B]
+                   [-o report.json] [--json] [--seed S] [--check]
+                   [--timings]
 
 Defaults: tile 4, latent 8, bits 8, inline model, panel backend.
 Backends (--backend scalar|scalar-parallel|panel; --serial is shorthand
@@ -55,9 +62,16 @@ decodes standalone. `train` distills a model from an image's tiles:
 spectral initialisation plus --iters gradient refinement steps (0 =
 spectral only). `serve` runs the batching codec server (default addr
 127.0.0.1:7733, port 0 = ephemeral; --store names the model-zoo
-directory); `remote` runs compress/decompress/info against it, with
-responses byte-identical to the offline commands. `remote compress
---model` uploads the model to the server's zoo first.";
+directory); `remote` runs compress/decompress/info/models against it,
+with responses byte-identical to the offline commands. `remote
+compress --model` uploads the model to the server's zoo first. `eval`
+runs the rate-distortion sweep (datasets from the registry and/or a
+--dir of PGMs, grid spec like 'tile=4;d=2,4,8;bits=4,8' or
+smoke/default) with classical baselines at matched rates, prints the
+summary table (or the stable JSON with --json), writes the JSON report
+with -o, and with --check fails unless the pinned quality gates hold
+at the golden operating point. --timings adds wall-clock throughput
+(which makes the report run-dependent, so stable reports omit it).";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("qnc: {msg}");
@@ -96,6 +110,10 @@ impl Args {
             "--batch-tiles",
             "--batch-deadline-ms",
             "--cache-models",
+            "--datasets",
+            "--grid",
+            "--baselines",
+            "--dir",
         ];
         let boolean = [
             "--per-tile-scale",
@@ -103,6 +121,8 @@ impl Args {
             "--serial",
             "--no-verify",
             "--json",
+            "--check",
+            "--timings",
             "--help",
             "-h",
         ];
@@ -462,8 +482,36 @@ fn cmd_remote(args: &Args) -> Result<(), String> {
         "compress" => remote_compress(args, rest),
         "decompress" => remote_decompress(args, rest),
         "info" => remote_info(args, rest),
+        "models" => remote_models(args, rest),
         other => Err(format!("unknown remote subcommand {other:?}")),
     }
+}
+
+fn remote_models(args: &Args, positional: &[String]) -> Result<(), String> {
+    if !positional.is_empty() {
+        return Err(format!(
+            "remote models takes no positionals, got {positional:?}"
+        ));
+    }
+    let mut client = remote_client(args)?;
+    let entries = client
+        .list_models()
+        .map_err(|e| format!("remote models: {e}"))?;
+    if entries.is_empty() {
+        println!("model zoo is empty");
+        return Ok(());
+    }
+    println!("{:<18}  {:>10}  cached", "model id", "bytes");
+    for e in &entries {
+        println!(
+            "{:#018x}  {:>10}  {}",
+            e.id,
+            e.size_bytes,
+            if e.cached { "yes" } else { "no" }
+        );
+    }
+    println!("{} model(s)", entries.len());
+    Ok(())
 }
 
 fn remote_compress(args: &Args, positional: &[String]) -> Result<(), String> {
@@ -561,6 +609,51 @@ fn remote_info(args: &Args, positional: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err(format!(
+            "eval takes no positionals, got {:?}",
+            args.positional
+        ));
+    }
+    let seed: u64 = args.numeric(&["--seed"], 0u64)?;
+    let mut datasets = match args.value(&["--datasets"]) {
+        Some(roster) => qn_eval::registry::resolve(roster, seed)?,
+        None if args.value(&["--dir"]).is_some() => Vec::new(),
+        None => qn_eval::registry::all_builtin(seed),
+    };
+    if let Some(dir) = args.value(&["--dir"]) {
+        datasets.push(qn_eval::registry::from_pgm_dir(Path::new(dir))?);
+    }
+    let mut grid = qn_eval::Grid::parse(args.value(&["--grid"]).unwrap_or("default"))?;
+    grid.backend = backend_choice(args)?;
+    let baselines = qn_eval::BaselineSet::parse(args.value(&["--baselines"]).unwrap_or("all"))?;
+    let report =
+        qn_eval::QualityReport::build(&datasets, &grid, &baselines, args.has("--timings"), seed)?;
+    if args.has("--json") {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.human_table());
+    }
+    if let Some(out) = args.value(&["-o", "--output"]) {
+        std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("eval: report -> {out}");
+    }
+    if args.has("--check") {
+        match qn_eval::gates::check(&report, &qn_eval::QualityGates::PINNED) {
+            Ok(outcome) => eprintln!(
+                "quality gates: OK ({:.2} dB >= {:.2} dB floor, {:.3} bpp <= {:.3} bpp ceiling)",
+                outcome.psnr_db,
+                qn_eval::QualityGates::PINNED.psnr_floor_db,
+                outcome.bpp,
+                qn_eval::QualityGates::PINNED.bpp_ceiling,
+            ),
+            Err(violations) => return Err(violations.join("; ")),
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
@@ -581,6 +674,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "serve" => cmd_serve(&args),
         "remote" => cmd_remote(&args),
+        "eval" => cmd_eval(&args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

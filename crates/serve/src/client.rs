@@ -3,8 +3,8 @@
 
 use crate::error::{Result, ServeError};
 use crate::protocol::{
-    read_image_payload, EncodeRequest, Frame, Opcode, ENC_FLAG_INLINE_MODEL,
-    ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID,
+    model_list_from_payload, read_image_payload, EncodeRequest, Frame, ModelEntry, Opcode,
+    ENC_FLAG_INLINE_MODEL, ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID,
 };
 use qn_codec::CodecOptions;
 use qn_image::GrayImage;
@@ -109,6 +109,16 @@ impl Client {
             ))
         })?;
         Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Enumerate the server's model zoo (id, serialized size, RAM
+    /// residency), sorted by id.
+    ///
+    /// # Errors
+    /// Transport and remote errors; malformed reply payloads.
+    pub fn list_models(&mut self) -> Result<Vec<ModelEntry>> {
+        let reply = self.roundtrip(Opcode::ListModels, Vec::new())?;
+        model_list_from_payload(&reply.payload)
     }
 
     /// Server status JSON (no payload) or file info JSON (a `.qnc` /

@@ -15,7 +15,7 @@
 //! end     4     CRC-32 (IEEE) of header + payload
 //! ```
 //!
-//! Requests use opcodes `0x01..=0x04`; a success reply echoes the
+//! Requests use opcodes `0x01..=0x05`; a success reply echoes the
 //! request opcode with bit 7 set (`op | 0x80`) and status 0; an error
 //! reply uses opcode `0xFF` with a non-zero status code and a UTF-8
 //! message payload. Stream-level violations (bad magic, oversized
@@ -51,6 +51,9 @@
 //! the payload is a `.qnm` file; the reply is the 8-byte model id.
 //! `INFO`: an empty payload returns server status JSON; a `.qnc` or
 //! `.qnm` payload returns the same JSON `qnc info --json` prints.
+//! `LIST_MODELS`: an empty payload; the reply enumerates the zoo as a
+//! `count u32` followed by 17-byte entries (`id u64, size u64,
+//! cached u8`), sorted by id — see [`ModelEntry`].
 
 use crate::error::ServeError;
 use qn_codec::bitstream::{crc32, crc32_of_parts};
@@ -67,7 +70,7 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 /// Fixed frame-header length.
 pub const HEADER_LEN: usize = 16;
 
-/// Frame opcodes. Requests are `0x01..=0x04`; success replies set bit 7;
+/// Frame opcodes. Requests are `0x01..=0x05`; success replies set bit 7;
 /// `0xFF` is the typed error reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -80,6 +83,9 @@ pub enum Opcode {
     LoadModel = 0x03,
     /// Describe the server, or a submitted `.qnc`/`.qnm` file, as JSON.
     Info = 0x04,
+    /// Enumerate the model zoo (empty request payload; the reply is a
+    /// [`ModelEntry`] list — see [`model_list_to_payload`]).
+    ListModels = 0x05,
     /// Success reply to [`Opcode::Encode`].
     EncodeReply = 0x81,
     /// Success reply to [`Opcode::Decode`].
@@ -88,6 +94,8 @@ pub enum Opcode {
     LoadModelReply = 0x83,
     /// Success reply to [`Opcode::Info`].
     InfoReply = 0x84,
+    /// Success reply to [`Opcode::ListModels`].
+    ListModelsReply = 0x85,
     /// Typed error reply (status carries the [`ErrorCode`]).
     ErrorReply = 0xFF,
 }
@@ -100,10 +108,12 @@ impl Opcode {
             0x02 => Opcode::Decode,
             0x03 => Opcode::LoadModel,
             0x04 => Opcode::Info,
+            0x05 => Opcode::ListModels,
             0x81 => Opcode::EncodeReply,
             0x82 => Opcode::DecodeReply,
             0x83 => Opcode::LoadModelReply,
             0x84 => Opcode::InfoReply,
+            0x85 => Opcode::ListModelsReply,
             0xFF => Opcode::ErrorReply,
             _ => return None,
         })
@@ -116,6 +126,7 @@ impl Opcode {
             Opcode::Decode => Opcode::DecodeReply,
             Opcode::LoadModel => Opcode::LoadModelReply,
             Opcode::Info => Opcode::InfoReply,
+            Opcode::ListModels => Opcode::ListModelsReply,
             other => other,
         }
     }
@@ -311,6 +322,25 @@ impl Frame {
     /// [`FrameError`] for stream-level violations; EOF (clean or
     /// mid-frame) surfaces as [`FrameError::Io`].
     pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+        Frame::read_from_tracked(r, |_| {})
+    }
+
+    /// [`Frame::read_from`] with a progress hook: `on_header` fires
+    /// with the frame's opcode byte once the fixed header has arrived
+    /// and validated — the earliest moment a reader *knows* a request
+    /// is in flight, and of which kind (before that, a blocked read
+    /// just means an idle connection). The server's adaptive batch
+    /// flush keys off this: a batch waits out its deadline only while
+    /// some other connection has a *mesh-bound* request past its
+    /// header.
+    ///
+    /// # Errors
+    /// See [`Frame::read_from`]. The hook does not fire on
+    /// header-level violations.
+    pub fn read_from_tracked<R: Read>(
+        r: &mut R,
+        on_header: impl FnOnce(u8),
+    ) -> Result<Frame, FrameError> {
         let mut header = [0u8; HEADER_LEN];
         r.read_exact(&mut header).map_err(FrameError::Io)?;
         if header[..4] != FRAME_MAGIC {
@@ -328,6 +358,7 @@ impl Frame {
         if len as usize > MAX_PAYLOAD {
             return Err(FrameError::TooLarge(len));
         }
+        on_header(opcode);
         let mut payload = vec![0u8; len as usize];
         r.read_exact(&mut payload).map_err(FrameError::Io)?;
         let mut crc_bytes = [0u8; 4];
@@ -503,6 +534,71 @@ pub fn read_image_payload(payload: &[u8]) -> Result<(GrayImage, &[u8]), ServeErr
     Ok((image, &payload[8 + need..]))
 }
 
+/// One zoo model in a `LIST_MODELS` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelEntry {
+    /// Content-addressed model id.
+    pub id: u64,
+    /// Serialized `.qnm` size in bytes (on disk, or of the in-memory
+    /// body for a store without a zoo directory).
+    pub size_bytes: u64,
+    /// Whether a parsed copy currently sits in the RAM cache.
+    pub cached: bool,
+}
+
+/// Serialise a `LIST_MODELS` reply: `count u32`, then per entry
+/// `id u64, size u64, cached u8`.
+pub fn model_list_to_payload(entries: &[ModelEntry]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(4 + entries.len() * 17);
+    p.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        p.extend_from_slice(&e.id.to_le_bytes());
+        p.extend_from_slice(&e.size_bytes.to_le_bytes());
+        p.push(u8::from(e.cached));
+    }
+    p
+}
+
+/// Parse a `LIST_MODELS` reply payload.
+///
+/// # Errors
+/// [`ServeError::BadRequest`] when the count disagrees with the
+/// payload length (checked before allocating) or a cached flag is not
+/// 0/1.
+pub fn model_list_from_payload(payload: &[u8]) -> Result<Vec<ModelEntry>, ServeError> {
+    if payload.len() < 4 {
+        return Err(ServeError::BadRequest(
+            "model list payload needs a 4-byte count".into(),
+        ));
+    }
+    let count = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+    let body = &payload[4..];
+    if count.checked_mul(17) != Some(body.len()) {
+        return Err(ServeError::BadRequest(format!(
+            "model list declares {count} entries but carries {} body bytes",
+            body.len()
+        )));
+    }
+    body.chunks_exact(17)
+        .map(|c| {
+            let cached = match c[16] {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ServeError::BadRequest(format!(
+                        "model list cached flag must be 0 or 1, got {other}"
+                    )))
+                }
+            };
+            Ok(ModelEntry {
+                id: u64::from_le_bytes(c[0..8].try_into().expect("8 bytes")),
+                size_bytes: u64::from_le_bytes(c[8..16].try_into().expect("8 bytes")),
+                cached,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,6 +746,47 @@ mod tests {
             EncodeRequest::from_payload(&payload),
             Err(ServeError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn model_lists_roundtrip_and_reject_malformed_payloads() {
+        let entries = [
+            ModelEntry {
+                id: 0x0123_4567_89ab_cdef,
+                size_bytes: 4096,
+                cached: true,
+            },
+            ModelEntry {
+                id: u64::MAX,
+                size_bytes: 0,
+                cached: false,
+            },
+        ];
+        let p = model_list_to_payload(&entries);
+        assert_eq!(p.len(), 4 + 2 * 17);
+        assert_eq!(model_list_from_payload(&p).unwrap(), entries);
+        assert_eq!(
+            model_list_from_payload(&model_list_to_payload(&[])).unwrap(),
+            vec![]
+        );
+        // Truncated, count-mismatched and flag-corrupted payloads fail
+        // typed.
+        assert!(model_list_from_payload(&p[..3]).is_err());
+        assert!(model_list_from_payload(&p[..p.len() - 1]).is_err());
+        let mut huge = p.clone();
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(model_list_from_payload(&huge).is_err());
+        let mut bad_flag = p;
+        let last = bad_flag.len() - 1;
+        bad_flag[last] = 7;
+        assert!(model_list_from_payload(&bad_flag).is_err());
+    }
+
+    #[test]
+    fn list_models_opcode_has_a_reply() {
+        assert_eq!(Opcode::from_u8(0x05), Some(Opcode::ListModels));
+        assert_eq!(Opcode::from_u8(0x85), Some(Opcode::ListModelsReply));
+        assert_eq!(Opcode::ListModels.reply(), Opcode::ListModelsReply);
     }
 
     #[test]

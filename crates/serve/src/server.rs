@@ -23,7 +23,7 @@ use qn_codec::{info, Codec, CodecOptions, Container};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -69,6 +69,17 @@ struct Shared {
     batcher: TileBatcher,
     config: ServerConfig,
     requests: AtomicU64,
+    /// Mesh-bound (ENCODE/DECODE) requests currently *incoming*:
+    /// counted from the moment a connection has read such a frame's
+    /// header (the request is definitely coming) until the request
+    /// submits its tiles to the batcher. Drives the adaptive batch
+    /// flush — a submitter that sees no other incoming request
+    /// flushes its batch eagerly instead of paying the deadline.
+    /// A peer that stalls between header and payload keeps the count
+    /// raised and temporarily degrades others to deadline-bounded
+    /// batching (pre-adaptive behavior) — never worse; socket read
+    /// timeouts would remove even that (see ROADMAP).
+    inflight: AtomicUsize,
     shutdown: AtomicBool,
 }
 
@@ -131,6 +142,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         batcher: TileBatcher::new(config.backend, config.batch_tiles, config.batch_deadline),
         config,
         requests: AtomicU64::new(0),
+        inflight: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
     });
     let accept = {
@@ -159,13 +171,42 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
 /// Serve one connection until EOF, a stream-level violation, or
 /// shutdown.
+/// Decrements the in-flight gauge on every exit path once a request
+/// was counted — normally released by `submitting_alone` at batch
+/// submission, but a mid-payload disconnect or a pre-submit error
+/// must never leak a count (which would permanently disable the
+/// adaptive flush).
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let frame = match Frame::read_from(&mut stream) {
+        // Count this connection in flight from the moment a header
+        // lands: an idle connection parked in read_exact contributes
+        // nothing, but once a header has arrived the request is
+        // certainly coming and batches should wait for it. Only
+        // mesh-bound opcodes (ENCODE/DECODE) count — an INFO poll or
+        // model upload never submits to the batcher, so it must not
+        // make a concurrent encode forfeit its eager flush.
+        let mut counted = None;
+        let frame = match Frame::read_from_tracked(&mut stream, |opcode| {
+            if matches!(
+                Opcode::from_u8(opcode),
+                Some(Opcode::Encode | Opcode::Decode)
+            ) {
+                shared.inflight.fetch_add(1, Ordering::SeqCst);
+                counted = Some(InflightGuard(&shared.inflight));
+            }
+        }) {
             Ok(frame) => frame,
             // EOF / reset / mid-frame disconnect: nothing to answer.
             Err(FrameError::Io(_)) => return,
@@ -179,7 +220,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
         let request_id = frame.request_id;
-        let reply = match dispatch(shared, &frame) {
+        let reply = match dispatch(shared, &frame, counted) {
             Ok((op, payload)) => Frame::reply(op, request_id, payload),
             Err(e) => Frame::error(request_id, e.code(), &e.to_string()),
         };
@@ -201,15 +242,35 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 }
 
 /// Route one well-framed request; every failure comes back typed.
-fn dispatch(shared: &Shared, frame: &Frame) -> Result<(Opcode, Vec<u8>)> {
+/// `inflight` is the request's in-flight count guard (held only by
+/// mesh-bound opcodes) — the encode/decode handlers release it at
+/// submission time, everything else drops it on entry.
+fn dispatch(
+    shared: &Shared,
+    frame: &Frame,
+    inflight: Option<InflightGuard<'_>>,
+) -> Result<(Opcode, Vec<u8>)> {
     match Opcode::from_u8(frame.opcode) {
-        Some(Opcode::Encode) => handle_encode(shared, &frame.payload),
-        Some(Opcode::Decode) => handle_decode(shared, &frame.payload),
+        Some(Opcode::Encode) => handle_encode(shared, &frame.payload, inflight),
+        Some(Opcode::Decode) => handle_decode(shared, &frame.payload, inflight),
         Some(Opcode::LoadModel) => {
             let id = shared.store.insert_bytes(&frame.payload)?;
             Ok((Opcode::LoadModel, id.to_le_bytes().to_vec()))
         }
         Some(Opcode::Info) => handle_info(shared, &frame.payload),
+        Some(Opcode::ListModels) => {
+            if !frame.payload.is_empty() {
+                return Err(ServeError::BadRequest(format!(
+                    "LIST_MODELS takes no payload, got {} bytes",
+                    frame.payload.len()
+                )));
+            }
+            let entries = shared.store.list()?;
+            Ok((
+                Opcode::ListModels,
+                crate::protocol::model_list_to_payload(&entries),
+            ))
+        }
         _ => Err(ServeError::BadRequest(format!(
             "opcode {:#04x} names no request this build understands",
             frame.opcode
@@ -217,7 +278,11 @@ fn dispatch(shared: &Shared, frame: &Frame) -> Result<(Opcode, Vec<u8>)> {
     }
 }
 
-fn handle_encode(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
+fn handle_encode(
+    shared: &Shared,
+    payload: &[u8],
+    inflight: Option<InflightGuard<'_>>,
+) -> Result<(Opcode, Vec<u8>)> {
     let req = EncodeRequest::from_payload(payload)?;
     let codec: Arc<Codec> = if req.flags & ENC_FLAG_USE_MODEL_ID != 0 {
         shared.store.get(req.model_id)?
@@ -235,8 +300,28 @@ fn handle_encode(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
         inline_model: req.flags & ENC_FLAG_INLINE_MODEL != 0,
         backend: shared.config.backend,
     };
-    let (bytes, _) = shared.batcher.encode(&codec, &req.image, &opts)?;
+    let eager = submitting_alone(shared, inflight);
+    let (bytes, _) = shared
+        .batcher
+        .encode_hinted(&codec, &req.image, &opts, eager)?;
     Ok((Opcode::Encode, bytes))
+}
+
+/// The adaptive-flush test, evaluated at submission time: release this
+/// request's own in-flight count (its tiles are about to be in the
+/// batcher — it is no longer "incoming"), then ask whether any *other*
+/// mesh-bound request is still between its frame header and its own
+/// submission. If not, nothing can be coalesced with and the batch
+/// flushes eagerly — so a solo client never pays the deadline, and in
+/// overlapping pairs the *last* submitter flushes the merged group
+/// (the count it waited on was released by the earlier submitter).
+/// Racing is benign in both directions: a header arriving just after
+/// the load only loses one coalescing opportunity, never correctness
+/// (backends are bit-identical per vector regardless of batch
+/// composition).
+fn submitting_alone(shared: &Shared, inflight: Option<InflightGuard<'_>>) -> bool {
+    drop(inflight);
+    shared.inflight.load(Ordering::SeqCst) == 0
 }
 
 /// Most pixels a served decode may produce: the decoded image must fit
@@ -277,7 +362,11 @@ fn check_container_dims(payload: &[u8]) -> Result<()> {
     Ok(())
 }
 
-fn handle_decode(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
+fn handle_decode(
+    shared: &Shared,
+    payload: &[u8],
+    inflight: Option<InflightGuard<'_>>,
+) -> Result<(Opcode, Vec<u8>)> {
     check_container_dims(payload)?;
     let container = Container::from_bytes(payload)?;
     let codec: Arc<Codec> = if container.header.inline_model() {
@@ -286,7 +375,8 @@ fn handle_decode(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
         shared.store.get(container.header.model_id)?
     };
     codec.check_container(&container)?;
-    let img = shared.batcher.decode(&codec, &container)?;
+    let eager = submitting_alone(shared, inflight);
+    let img = shared.batcher.decode_hinted(&codec, &container, eager)?;
     Ok((Opcode::Decode, image_to_payload(&img)))
 }
 
@@ -318,7 +408,8 @@ fn server_info_json(shared: &Shared) -> String {
     format!(
         "{{\"format\":\"qn-serve\",\"protocol_version\":{PROTOCOL_VERSION},\
          \"backend\":\"{}\",\"batch_tiles\":{},\"batch_deadline_ms\":{},\
-         \"coalescing\":{},\"models_cached\":{},\"store_dir\":{store_dir},\
+         \"coalescing\":{},\"adaptive_flush\":true,\
+         \"models_cached\":{},\"store_dir\":{store_dir},\
          \"requests_served\":{}}}",
         shared.config.backend,
         shared.config.batch_tiles,

@@ -16,6 +16,7 @@
 //! copy; lookups transparently reload from disk.
 
 use crate::error::{Result, ServeError};
+use crate::protocol::ModelEntry;
 use qn_codec::{model, Codec};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -129,6 +130,55 @@ impl ModelStore {
         Ok(codec)
     }
 
+    /// Enumerate the zoo, sorted by id: every `.qnm` in the zoo
+    /// directory (file size from disk) plus any cached models a
+    /// directory-less store retains (size of the re-serialized body).
+    /// The `cached` flag reports RAM-cache residency either way.
+    ///
+    /// # Errors
+    /// Directory read failures; unreadable or foreign files in the zoo
+    /// directory are skipped rather than failing the listing (the
+    /// store only ever writes `<16 hex digits>.qnm` names).
+    pub fn list(&self) -> Result<Vec<ModelEntry>> {
+        let cached_ids: Vec<u64> = {
+            let cache = self.cache.lock().expect("store lock");
+            cache.iter().map(|(id, _)| *id).collect()
+        };
+        let mut entries: Vec<ModelEntry> = Vec::new();
+        if let Some(dir) = &self.dir {
+            for entry in std::fs::read_dir(dir).map_err(ServeError::Io)? {
+                let Ok(entry) = entry else { continue };
+                let path = entry.path();
+                let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                    continue;
+                };
+                if path.extension().is_none_or(|e| e != "qnm") || stem.len() != 16 {
+                    continue;
+                }
+                let Ok(id) = u64::from_str_radix(stem, 16) else {
+                    continue;
+                };
+                let Ok(meta) = entry.metadata() else { continue };
+                entries.push(ModelEntry {
+                    id,
+                    size_bytes: meta.len(),
+                    cached: cached_ids.contains(&id),
+                });
+            }
+        } else {
+            let cache = self.cache.lock().expect("store lock");
+            for (id, codec) in cache.iter() {
+                entries.push(ModelEntry {
+                    id: *id,
+                    size_bytes: model::encode_model(codec.model()).len() as u64,
+                    cached: true,
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.id);
+        Ok(entries)
+    }
+
     /// Insert or refresh a cache entry, evicting the least recently
     /// used beyond capacity.
     fn touch(&self, id: u64, codec: Arc<Codec>) {
@@ -216,6 +266,49 @@ mod tests {
         std::fs::write(store.model_path(id).unwrap(), &other_bytes).unwrap();
         assert!(matches!(store.get(id), Err(ServeError::Codec(_))));
         drop(bytes);
+    }
+
+    #[test]
+    fn list_enumerates_disk_and_cache_with_residency_flags() {
+        let dir = temp_dir("list");
+        let store = ModelStore::new(Some(dir.clone()), 2).unwrap();
+        assert_eq!(store.list().unwrap(), vec![], "fresh zoo is empty");
+        let mut ids: Vec<u64> = (0..3)
+            .map(|s| {
+                let (id, bytes) = model_bytes(s + 40);
+                store.insert_bytes(&bytes).unwrap();
+                id
+            })
+            .collect();
+        ids.sort_unstable();
+        // Foreign files in the zoo directory are ignored.
+        std::fs::write(dir.join("README.txt"), "not a model").unwrap();
+        std::fs::write(dir.join("short.qnm"), "wrong name shape").unwrap();
+        let listed = store.list().unwrap();
+        assert_eq!(listed.iter().map(|e| e.id).collect::<Vec<_>>(), ids);
+        for e in &listed {
+            assert_eq!(
+                e.size_bytes,
+                std::fs::metadata(store.model_path(e.id).unwrap())
+                    .unwrap()
+                    .len()
+            );
+        }
+        // Capacity 2: exactly one of the three fell out of RAM but
+        // stays listed from disk.
+        assert_eq!(listed.iter().filter(|e| e.cached).count(), 2);
+        assert_eq!(listed.iter().filter(|e| !e.cached).count(), 1);
+
+        // A directory-less store lists its cache (all resident by
+        // definition).
+        let mem = ModelStore::new(None, 4).unwrap();
+        let (id, bytes) = model_bytes(50);
+        mem.insert_bytes(&bytes).unwrap();
+        let listed = mem.list().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].id, id);
+        assert_eq!(listed[0].size_bytes, bytes.len() as u64);
+        assert!(listed[0].cached);
     }
 
     #[test]

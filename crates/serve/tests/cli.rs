@@ -475,6 +475,125 @@ fn remote_compress_is_byte_identical_to_offline() {
     assert!(status.contains("\"format\":\"qn-serve\""), "{status}");
 }
 
+/// `qnc remote models` lists zoo contents after a model upload and
+/// reports an empty zoo before it.
+#[test]
+fn remote_models_lists_the_zoo() {
+    let dir = work_dir("remote_models");
+    let input = dir.join("img.pgm");
+    let model = dir.join("model.qnm");
+    write_dataset_image(&input, 16, 16, 77);
+    run_ok(qnc().arg("train").arg(&input).arg("-o").arg(&model));
+
+    // The work dir persists across test runs: start from a fresh zoo
+    // so the emptiness check below means what it says.
+    let _ = std::fs::remove_dir_all(dir.join("zoo"));
+    let server = ServeProcess::start(&["--store", dir.join("zoo").to_str().unwrap()]);
+    let out = run_ok(
+        qnc()
+            .arg("remote")
+            .arg("models")
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("model zoo is empty"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Upload the model through a remote compress, then list again.
+    run_ok(
+        qnc()
+            .arg("remote")
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(dir.join("out.qnc"))
+            .arg("--model")
+            .arg(&model)
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    let out = run_ok(
+        qnc()
+            .arg("remote")
+            .arg("models")
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    let listing = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(listing.contains("1 model(s)"), "{listing}");
+    assert!(listing.contains("yes"), "cached column: {listing}");
+    let model_bytes = std::fs::metadata(&model).unwrap().len();
+    assert!(listing.contains(&model_bytes.to_string()), "{listing}");
+}
+
+/// `qnc eval` — the smoke sweep passes its pinned quality gates and
+/// two runs write byte-identical JSON (the CI byte-stability check in
+/// miniature).
+#[test]
+fn eval_smoke_is_gated_and_byte_stable() {
+    let dir = work_dir("eval");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    for path in [&a, &b] {
+        let out = run_ok(
+            qnc()
+                .arg("eval")
+                .arg("--datasets")
+                .arg("blobs")
+                .arg("--grid")
+                .arg("smoke")
+                .arg("--baselines")
+                .arg("pca")
+                .arg("--check")
+                .arg("-o")
+                .arg(path),
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("quality gates: OK"), "{stderr}");
+        let table = String::from_utf8_lossy(&out.stdout);
+        assert!(table.contains("quantum"), "{table}");
+        assert!(table.contains("pca"), "{table}");
+    }
+    let a_bytes = std::fs::read(&a).unwrap();
+    assert_eq!(
+        a_bytes,
+        std::fs::read(&b).unwrap(),
+        "reports must be byte-stable"
+    );
+    let json = String::from_utf8_lossy(&a_bytes);
+    assert!(json.contains("\"format\": \"qn-eval-quality\""), "{json}");
+    assert!(json.contains("\"codec\": \"quantum\""), "{json}");
+
+    // --json prints the same stable document to stdout.
+    let out = run_ok(
+        qnc()
+            .arg("eval")
+            .arg("--datasets")
+            .arg("blobs")
+            .arg("--grid")
+            .arg("smoke")
+            .arg("--baselines")
+            .arg("pca")
+            .arg("--json"),
+    );
+    assert_eq!(out.stdout, a_bytes, "--json must match the file report");
+
+    // Unknown datasets fail cleanly with the registry listed.
+    let out = qnc()
+        .arg("eval")
+        .arg("--datasets")
+        .arg("imagenet")
+        .output()
+        .expect("spawn qnc");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("registry"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
 #[test]
 fn remote_against_a_dead_server_fails_cleanly() {
     let dir = work_dir("remote_dead");

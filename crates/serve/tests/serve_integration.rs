@@ -140,6 +140,96 @@ fn sixteen_concurrent_clients_round_trip_byte_identically() {
 }
 
 #[test]
+fn solo_requests_flush_adaptively_well_under_the_deadline() {
+    // A deliberately huge batch deadline: without the adaptive flush a
+    // solo request would stall the full two seconds waiting for
+    // batch-mates that never come. With it, the server notices no
+    // other request is past its frame header and flushes immediately.
+    let deadline = Duration::from_secs(2);
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_deadline: deadline,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let img = datasets::grayscale_blobs(1, 24, 24, 31).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+    let offline_img = codec.decode_bytes(&offline).unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    for round in 0..3 {
+        let t0 = std::time::Instant::now();
+        let bytes = client
+            .encode(&spectral_encode_request(&img, &opts, 8))
+            .unwrap();
+        let decoded = client.decode(&bytes).unwrap();
+        let elapsed = t0.elapsed();
+        // Bytes stay identical — the eager flush changes latency only.
+        assert_eq!(bytes, offline, "round {round}");
+        assert_eq!(decoded, offline_img, "round {round}");
+        assert!(
+            elapsed < deadline / 2,
+            "round {round}: solo encode+decode took {elapsed:?}, \
+             deadline is {deadline:?} — adaptive flush not engaging"
+        );
+    }
+}
+
+#[test]
+fn overlapping_closed_loop_clients_never_pay_the_full_deadline() {
+    // Two clients in a closed loop (each sends its next request as
+    // soon as its reply lands): with the in-flight count released at
+    // *submission* rather than at reply time, the last submitter of
+    // any overlap sees no other incoming request and flushes the
+    // merged group eagerly — so neither client ever stalls out a full
+    // deadline, even while the other is mid mesh-pass. Were the count
+    // held through the reply, roughly every second request here would
+    // pay the whole 2 s.
+    let deadline = Duration::from_secs(2);
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_deadline: deadline,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let img = datasets::grayscale_blobs(1, 24, 24, 61).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+
+    let addr = server.addr();
+    let rounds = 4;
+    let t0 = std::time::Instant::now();
+    let workers: Vec<_> = (0..2)
+        .map(|worker| {
+            let img = img.clone();
+            let opts = opts.clone();
+            let offline = offline.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..rounds {
+                    let bytes = client
+                        .encode(&spectral_encode_request(&img, &opts, 8))
+                        .unwrap_or_else(|e| panic!("worker {worker} round {round}: {e}"));
+                    assert_eq!(bytes, offline, "worker {worker} round {round}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < deadline,
+        "2 clients × {rounds} rounds took {elapsed:?} against a {deadline:?} \
+         deadline — some request waited out the batch deadline"
+    );
+}
+
+#[test]
 fn encode_options_travel_the_wire() {
     let server = boot(None);
     let img = datasets::grayscale_blobs(1, 24, 16, 5).remove(0);
@@ -163,6 +253,47 @@ fn encode_options_travel_the_wire() {
             "options (scale={per_tile_scale}, inline={inline_model}, bits={bits})"
         );
     }
+}
+
+#[test]
+fn list_models_enumerates_the_zoo_with_sizes_and_residency() {
+    let dir = temp_dir("list_models");
+    let server = boot(Some(dir));
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.list_models().unwrap(), vec![], "fresh zoo is empty");
+
+    let mut expected = Vec::new();
+    for seed in [21u64, 22] {
+        let img = datasets::grayscale_blobs(1, 16, 16, seed).remove(0);
+        let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+        let bytes = encode_model(codec.model());
+        let id = client.load_model(&bytes).unwrap();
+        expected.push((id, bytes.len() as u64));
+    }
+    expected.sort_unstable();
+
+    let listed = client.list_models().unwrap();
+    assert_eq!(
+        listed
+            .iter()
+            .map(|e| (e.id, e.size_bytes))
+            .collect::<Vec<_>>(),
+        expected,
+        "ids and serialized sizes, sorted by id"
+    );
+    assert!(
+        listed.iter().all(|e| e.cached),
+        "freshly loaded models are cache-resident"
+    );
+
+    // A malformed LIST_MODELS request (non-empty payload) fails typed
+    // and keeps the connection usable.
+    use qn_serve::protocol::{ErrorCode, Frame, Opcode};
+    let bad = Frame::request(Opcode::ListModels, 77, vec![1, 2, 3]);
+    bad.write_to(client.stream_mut()).unwrap();
+    let reply = Frame::read_from(client.stream_mut()).unwrap();
+    assert_eq!(reply.status, ErrorCode::BadRequest as u16);
+    assert_eq!(client.list_models().unwrap().len(), 2, "connection lives");
 }
 
 #[test]

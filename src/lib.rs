@@ -25,6 +25,9 @@
 //! - [`serve`](qn_serve) — the batching codec server: binary wire
 //!   protocol, cross-request tile batching, the content-addressed model
 //!   zoo, and the `qnc` CLI (offline commands plus `serve`/`remote`).
+//! - [`eval`](qn_eval) — the rate–distortion evaluation subsystem:
+//!   dataset registry, operating-point sweeps, classical baselines at
+//!   matched rates, stable quality reports and CI quality gates.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use qn_backend as backend;
 pub use qn_classical as classical;
 pub use qn_codec as codec;
 pub use qn_core as core;
+pub use qn_eval as eval;
 pub use qn_image as image;
 pub use qn_linalg as linalg;
 pub use qn_photonic as photonic;
