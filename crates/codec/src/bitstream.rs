@@ -177,6 +177,20 @@ pub fn read_rice(r: &mut BitReader<'_>, k: u32) -> Result<u32> {
         .map_err(|_| CodecError::Invalid("rice symbol exceeds the 32-bit symbol range".to_string()))
 }
 
+/// Map a signed value onto the non-negative integers for Rice/EG
+/// coding: 0, −1, 1, −2, 2, … → 0, 1, 2, 3, 4, … (the delta streams of
+/// bitstream v2 use this for norm and Rice-parameter predictions).
+#[inline]
+pub fn zigzag_signed(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_signed`].
+#[inline]
+pub fn unzigzag_signed(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 // ---------------------------------------------------------------------
 // Checksums / ids
 // ---------------------------------------------------------------------
@@ -495,6 +509,17 @@ mod tests {
             Err(CodecError::Invalid(_)) | Err(CodecError::Truncated { .. }) => {}
             other => panic!("expected typed error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn signed_zigzag_is_a_bijection() {
+        for v in [-3i64, -2, -1, 0, 1, 2, 3, -65535, 65535, i32::MAX as i64] {
+            assert_eq!(unzigzag_signed(zigzag_signed(v)), v);
+        }
+        assert_eq!(zigzag_signed(0), 0);
+        assert_eq!(zigzag_signed(-1), 1);
+        assert_eq!(zigzag_signed(1), 2);
+        assert_eq!(zigzag_signed(-2), 3);
     }
 
     #[test]

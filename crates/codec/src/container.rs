@@ -1,13 +1,15 @@
 //! The `.qnc` compressed-image container.
 //!
-//! # Byte layout (format version 1, all integers little-endian)
+//! # Byte layout (format versions 1 and 2, all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic "QNC1"
-//! 4       2     format version (current: 1)
+//! 4       2     format version (1 = rice, 2 = rice-pos / range)
 //! 6       2     flags: bit 0 = per-tile scaled quantization
 //!                      bit 1 = inline model present
+//!                      bit 2 = per-position Rice coding (v2 only)
+//!                      bit 3 = adaptive range coding   (v2 only)
 //! 8       8     model id (FNV-1a 64 of the encoder's model body)
 //! 16      4     image width   (pixels)
 //! 20      4     image height  (pixels)
@@ -22,7 +24,8 @@
 //! end−4   4     CRC-32 (IEEE) of every preceding byte
 //! ```
 //!
-//! Payload bitstream, tiles in row-major tile order, bits LSB-first:
+//! **Version 1 payload** (`rice`), tiles in row-major order, bits
+//! LSB-first:
 //!
 //! ```text
 //! per tile:
@@ -33,31 +36,101 @@
 //!   d ×     Rice(k)-coded zigzag symbols of the quantized latents
 //! ```
 //!
+//! **Version 2 payload, flag bit 2** (`rice-pos`): one Rice parameter
+//! per latent position, estimated over the whole tile panel, plus
+//! predicted-norm deltas between raster-neighbouring occupied tiles:
+//!
+//! ```text
+//! k-table:  5 bits k₀, then per position j = 1..d the signed delta
+//!           kⱼ − kⱼ₋₁, zigzag-mapped and Rice(1)-coded
+//! norm-k:   5 bits — Rice parameter of the norm-delta stream
+//! per tile:
+//!   1 bit   occupancy
+//!   Rice(norm-k) zigzag of (norm_q − pred); pred = previous occupied
+//!           tile's norm_q, initially 65535 (the max-norm tile's value)
+//!   [flags bit 0] 32 bits per-tile scale (f32 bit pattern)
+//!   d ×     Rice(kⱼ)-coded zigzag symbols
+//! ```
+//!
+//! **Version 2 payload, flag bit 3** (`range`): a single adaptive
+//! binary range-coded stream (see [`crate::entropy`]) carrying, per
+//! tile: the occupancy bit (one adaptive context), the zigzagged norm
+//! delta (Exp-Golomb, shared context set), the optional scale as 32
+//! bypass bits, and each latent symbol Exp-Golomb-coded under its
+//! position's context set. No side tables: the contexts adapt as the
+//! stream decodes.
+//!
 //! # Versioning rules
 //!
-//! Same policy as the model format: readers reject versions above
-//! [`CONTAINER_VERSION`]; any layout change bumps the version; the
-//! reserved header bytes absorb small additions without a bump.
+//! Readers reject versions above [`CONTAINER_VERSION`]; any layout
+//! change bumps the version; the reserved header bytes absorb small
+//! additions without a bump. A v1 container must not carry the v2
+//! entropy flags (and vice versa: v2 requires exactly one of them) —
+//! inconsistent pairings surface as
+//! [`CodecError::UnsupportedCoder`].
 
 use crate::bitstream::{
-    best_rice_k, crc32, read_rice, write_rice, BitReader, BitWriter, ByteReader, ByteWriter,
-    RICE_K_BITS,
+    best_rice_k, crc32, read_rice, unzigzag_signed, write_rice, zigzag_signed, BitReader,
+    BitWriter, ByteReader, ByteWriter, RICE_K_BITS,
 };
+use crate::entropy::{decode_eg, encode_eg, EntropyCoder, RangeDecoder, RangeEncoder, PROB_INIT};
 use crate::error::{CodecError, Result};
-use crate::quantize::MAX_BITS;
+use crate::quantize::{Quantizer, MAX_BITS};
 
 /// Leading magic of a container file.
 pub const CONTAINER_MAGIC: [u8; 4] = *b"QNC1";
-/// Highest container version this build reads and the version it writes.
-pub const CONTAINER_VERSION: u16 = 1;
+/// Highest container version this build reads. Version 1 is written
+/// for `rice` containers (bit-exact with pre-v2 builds), version 2 for
+/// `rice-pos` / `range`.
+pub const CONTAINER_VERSION: u16 = 2;
+/// The version `rice` containers carry.
+pub const CONTAINER_VERSION_V1: u16 = 1;
 
 /// Flag bit 0: per-tile scaled quantization.
 pub const FLAG_PER_TILE_SCALE: u16 = 1 << 0;
 /// Flag bit 1: the container embeds its own model file.
 pub const FLAG_INLINE_MODEL: u16 = 1 << 1;
+/// Flag bit 2 (v2): per-latent-position Rice coding.
+pub const FLAG_ENTROPY_RICE_POS: u16 = 1 << 2;
+/// Flag bit 3 (v2): adaptive binary range coding.
+pub const FLAG_ENTROPY_RANGE: u16 = 1 << 3;
 
 /// Levels of the 16-bit norm quantizer.
 const NORM_LEVELS: u32 = u16::MAX as u32;
+/// Predictor seed for the first occupied tile's norm delta: the
+/// max-norm tile quantizes to exactly [`NORM_LEVELS`], so single-tile
+/// images (and images whose first tile carries the peak) get a
+/// zero-cost first delta.
+const NORM_PRED_INIT: u32 = NORM_LEVELS;
+/// Largest meaningful Rice parameter for the norm-delta stream
+/// (zigzagged deltas are below 2^18).
+const MAX_NORM_K: u32 = 17;
+/// Rice parameter for the k-table's delta stream.
+const K_TABLE_DELTA_K: u32 = 1;
+/// Exp-Golomb bucket cap for range-coded values (both zigzag symbols
+/// and norm deltas are below 2^18).
+const MAX_EG_BUCKET: u32 = 17;
+/// Adaptive context bins for range-coded symbol prefixes.
+const SYM_CTX_BINS: usize = 10;
+/// Adaptive context bins for range-coded norm-delta prefixes.
+const NORM_CTX_BINS: usize = 12;
+/// Latent positions with their own context set; higher positions share
+/// the last set (bounds context memory for hostile headers).
+const MAX_CTX_POSITIONS: usize = 64;
+/// Hard cap on the tile count of a `range` container. Range-coded
+/// occupancy bits compress below one bit per tile, so the v1 "one bit
+/// per tile" payload-budget guard cannot bound the tile vector; this
+/// cap does (4 Mi tiles ≈ an 8192×8192 image at tile 4), symmetric in
+/// encoder and decoder.
+const MAX_RANGE_TILES: usize = 1 << 22;
+/// Decoded items (occupancy bits, norms, symbols) a `range` payload
+/// byte may yield. A fully adapted context floors at probability
+/// 2017/2048, so one decoded bin costs ≥ −log₂(2017/2048) ≈ 0.022
+/// bits — at most ~364 items per byte from any stream our coder can
+/// produce. 512 leaves margin while keeping decode memory and work
+/// proportional to the *input* size: a small corrupt-but-CRC-valid
+/// container cannot balloon into millions of decoded tiles.
+const RANGE_ITEMS_PER_BYTE: usize = 512;
 
 /// Upper bound on header dimensions (defends allocations against
 /// corrupt headers; 2³⁰ pixels ≈ 1 gigapixel per side is far beyond any
@@ -117,6 +190,23 @@ impl ContainerHeader {
         self.flags & FLAG_INLINE_MODEL != 0
     }
 
+    /// The entropy coder the version/flag pair names.
+    ///
+    /// # Errors
+    /// [`CodecError::UnsupportedCoder`] for inconsistent pairings: a v1
+    /// container carrying v2 entropy flags, a v2 container carrying
+    /// none (or both) — the typed "this build does not read that
+    /// coder" signal.
+    pub fn entropy(&self) -> Result<EntropyCoder> {
+        let coder_bits = self.flags & (FLAG_ENTROPY_RICE_POS | FLAG_ENTROPY_RANGE);
+        match (self.version, coder_bits) {
+            (CONTAINER_VERSION_V1, 0) => Ok(EntropyCoder::Rice),
+            (CONTAINER_VERSION, FLAG_ENTROPY_RICE_POS) => Ok(EntropyCoder::RicePos),
+            (CONTAINER_VERSION, FLAG_ENTROPY_RANGE) => Ok(EntropyCoder::Range),
+            _ => Err(CodecError::UnsupportedCoder { flags: coder_bits }),
+        }
+    }
+
     fn validate(&self) -> Result<()> {
         if self.version == 0 || self.version > CONTAINER_VERSION {
             return Err(CodecError::UnsupportedVersion {
@@ -124,13 +214,15 @@ impl ContainerHeader {
                 supported: CONTAINER_VERSION,
             });
         }
-        let known = FLAG_PER_TILE_SCALE | FLAG_INLINE_MODEL;
+        let known =
+            FLAG_PER_TILE_SCALE | FLAG_INLINE_MODEL | FLAG_ENTROPY_RICE_POS | FLAG_ENTROPY_RANGE;
         if self.flags & !known != 0 {
             return Err(CodecError::Invalid(format!(
                 "unknown container flags: {:#06x}",
                 self.flags & !known
             )));
         }
+        self.entropy()?;
         if self.width == 0 || self.height == 0 || self.width > MAX_DIM || self.height > MAX_DIM {
             return Err(CodecError::Invalid(format!(
                 "image dimensions {}x{} out of range",
@@ -219,52 +311,22 @@ impl Container {
                 "inline-model flag disagrees with inline model presence".into(),
             ));
         }
-        let quantizer = crate::quantize::Quantizer::new(self.header.bits)?;
-        let levels = quantizer.levels();
-        let zero_level = quantizer.zero_level();
-
-        // Payload bitstream.
-        let mut bits = BitWriter::new();
-        for tile in &self.tiles {
-            match tile {
-                None => bits.write_bit(false),
-                Some(payload) => {
-                    if payload.levels.len() != self.header.latent_dim as usize {
-                        return Err(CodecError::Invalid(format!(
-                            "tile has {} latents, header says {}",
-                            payload.levels.len(),
-                            self.header.latent_dim
-                        )));
-                    }
-                    if payload.scale.is_some() != self.header.per_tile_scale() {
-                        return Err(CodecError::Invalid(
-                            "tile scale presence disagrees with container flags".into(),
-                        ));
-                    }
-                    bits.write_bit(true);
-                    bits.write_bits(u64::from(payload.norm_q), 16);
-                    if let Some(scale) = payload.scale {
-                        bits.write_bits(u64::from(scale.to_bits()), 32);
-                    }
-                    let mut symbols = Vec::with_capacity(payload.levels.len());
-                    for &level in &payload.levels {
-                        if level >= levels {
-                            return Err(CodecError::Invalid(format!(
-                                "level {level} out of range for {}-bit quantizer",
-                                self.header.bits
-                            )));
-                        }
-                        symbols.push(crate::quantize::zigzag(level, zero_level));
-                    }
-                    let k = best_rice_k(&symbols, u32::from(self.header.bits) + 1);
-                    bits.write_bits(u64::from(k), RICE_K_BITS);
-                    for &s in &symbols {
-                        write_rice(&mut bits, s, k);
-                    }
+        let quantizer = Quantizer::new(self.header.bits)?;
+        let symbols = self.tile_symbols(&quantizer)?;
+        let payload = match self.header.entropy()? {
+            EntropyCoder::Rice => self.payload_rice(&symbols),
+            EntropyCoder::RicePos => self.payload_rice_pos(&symbols),
+            EntropyCoder::Range => {
+                if self.tiles.len() > MAX_RANGE_TILES {
+                    return Err(CodecError::Invalid(format!(
+                        "{} tiles exceed the {MAX_RANGE_TILES}-tile limit of the range \
+                         coder; use rice or rice-pos for images this large",
+                        self.tiles.len()
+                    )));
                 }
+                self.payload_range(&symbols)
             }
-        }
-        let payload = bits.finish();
+        };
 
         let mut w = ByteWriter::new();
         w.put_bytes(&CONTAINER_MAGIC);
@@ -361,64 +423,38 @@ impl Container {
         }
         let payload = r.get_bytes(payload_len, "payload bytes")?;
 
-        // Every tile costs at least its occupancy bit, so a grid larger
-        // than the payload's bit count is corrupt — reject it before the
-        // tile vector is allocated (a crafted width/height pair can
-        // otherwise imply ~2^60 tiles and abort on allocation).
-        if header.tile_count() > payload.len() * 8 {
-            return Err(CodecError::Invalid(format!(
-                "header implies {} tiles but the payload holds only {} bits",
-                header.tile_count(),
-                payload.len() * 8
-            )));
-        }
-        let quantizer = crate::quantize::Quantizer::new(header.bits)?;
-        let levels = quantizer.levels();
-        let zero_level = quantizer.zero_level();
-        let mut bits = BitReader::new(payload);
-        let mut tiles = Vec::with_capacity(header.tile_count());
-        for _ in 0..header.tile_count() {
-            if !bits.read_bit()? {
-                tiles.push(None);
-                continue;
-            }
-            let norm_q = bits.read_bits(16)? as u16;
-            let scale = if header.per_tile_scale() {
-                let raw = bits.read_bits(32)? as u32;
-                let s = f32::from_bits(raw);
-                if !s.is_finite() || s <= 0.0 {
+        let entropy = header.entropy()?;
+        // Bound the tile-vector allocation before it happens (a crafted
+        // width/height pair can imply ~2^60 tiles). Under Rice coding
+        // every tile costs at least its occupancy bit, so the payload's
+        // bit count bounds the grid; range-coded occupancy compresses
+        // below a bit per tile, so that mode carries its own hard cap.
+        match entropy {
+            EntropyCoder::Rice | EntropyCoder::RicePos => {
+                if header.tile_count() > payload.len() * 8 {
                     return Err(CodecError::Invalid(format!(
-                        "tile scale {s} is not a positive finite value"
+                        "header implies {} tiles but the payload holds only {} bits",
+                        header.tile_count(),
+                        payload.len() * 8
                     )));
                 }
-                Some(s)
-            } else {
-                None
-            };
-            let k = bits.read_bits(RICE_K_BITS)? as u32;
-            if k > u32::from(header.bits) + 1 {
-                return Err(CodecError::Invalid(format!(
-                    "rice parameter {k} exceeds the maximum for {}-bit symbols",
-                    header.bits
-                )));
             }
-            let mut tile_levels = Vec::with_capacity(header.latent_dim as usize);
-            for _ in 0..header.latent_dim {
-                let symbol = read_rice(&mut bits, k)?;
-                if symbol >= levels {
+            EntropyCoder::Range => {
+                if header.tile_count() > MAX_RANGE_TILES {
                     return Err(CodecError::Invalid(format!(
-                        "zigzag symbol {symbol} out of range for {}-bit quantizer",
-                        header.bits
+                        "header implies {} tiles, above the {MAX_RANGE_TILES}-tile limit \
+                         of the range coder",
+                        header.tile_count()
                     )));
                 }
-                tile_levels.push(crate::quantize::unzigzag(symbol, zero_level));
             }
-            tiles.push(Some(TilePayload {
-                norm_q,
-                scale,
-                levels: tile_levels,
-            }));
         }
+        let quantizer = Quantizer::new(header.bits)?;
+        let tiles = match entropy {
+            EntropyCoder::Rice => read_tiles_rice(&header, &quantizer, payload)?,
+            EntropyCoder::RicePos => read_tiles_rice_pos(&header, &quantizer, payload)?,
+            EntropyCoder::Range => read_tiles_range(&header, &quantizer, payload)?,
+        };
 
         Ok(Container {
             header,
@@ -426,6 +462,364 @@ impl Container {
             tiles,
         })
     }
+
+    /// Validate every tile against the header and zigzag-map its
+    /// levels — the symbol view all three payload writers share.
+    fn tile_symbols(&self, quantizer: &Quantizer) -> Result<Vec<Option<Vec<u32>>>> {
+        let levels = quantizer.levels();
+        let zero_level = quantizer.zero_level();
+        self.tiles
+            .iter()
+            .map(|tile| match tile {
+                None => Ok(None),
+                Some(payload) => {
+                    if payload.levels.len() != self.header.latent_dim as usize {
+                        return Err(CodecError::Invalid(format!(
+                            "tile has {} latents, header says {}",
+                            payload.levels.len(),
+                            self.header.latent_dim
+                        )));
+                    }
+                    if payload.scale.is_some() != self.header.per_tile_scale() {
+                        return Err(CodecError::Invalid(
+                            "tile scale presence disagrees with container flags".into(),
+                        ));
+                    }
+                    let mut symbols = Vec::with_capacity(payload.levels.len());
+                    for &level in &payload.levels {
+                        if level >= levels {
+                            return Err(CodecError::Invalid(format!(
+                                "level {level} out of range for {}-bit quantizer",
+                                self.header.bits
+                            )));
+                        }
+                        symbols.push(crate::quantize::zigzag(level, zero_level));
+                    }
+                    Ok(Some(symbols))
+                }
+            })
+            .collect()
+    }
+
+    /// The v1 payload: per-tile Rice parameter, raw 16-bit norms.
+    /// Bit-exact with every pre-v2 build.
+    fn payload_rice(&self, symbols: &[Option<Vec<u32>>]) -> Vec<u8> {
+        let max_k = u32::from(self.header.bits) + 1;
+        let mut bits = BitWriter::new();
+        for (tile, syms) in self.tiles.iter().zip(symbols) {
+            let (Some(payload), Some(syms)) = (tile, syms) else {
+                bits.write_bit(false);
+                continue;
+            };
+            bits.write_bit(true);
+            bits.write_bits(u64::from(payload.norm_q), 16);
+            if let Some(scale) = payload.scale {
+                bits.write_bits(u64::from(scale.to_bits()), 32);
+            }
+            let k = best_rice_k(syms, max_k);
+            bits.write_bits(u64::from(k), RICE_K_BITS);
+            for &s in syms {
+                write_rice(&mut bits, s, k);
+            }
+        }
+        bits.finish()
+    }
+
+    /// The v2 `rice-pos` payload: delta-coded per-position k-table and
+    /// norm-delta stream up front, then the tiles.
+    fn payload_rice_pos(&self, symbols: &[Option<Vec<u32>>]) -> Vec<u8> {
+        let d = self.header.latent_dim as usize;
+        let max_k = u32::from(self.header.bits) + 1;
+
+        // Per-position Rice parameters over the whole tile panel.
+        let mut k_table = vec![0u32; d];
+        let mut column = Vec::new();
+        for (j, k) in k_table.iter_mut().enumerate() {
+            column.clear();
+            column.extend(symbols.iter().flatten().map(|syms| syms[j]));
+            *k = best_rice_k(&column, max_k);
+        }
+
+        // Predicted-norm deltas between raster-neighbouring occupied
+        // tiles, and the Rice parameter that fits them best.
+        let mut pred = NORM_PRED_INIT;
+        let mut deltas = Vec::new();
+        for tile in self.tiles.iter().flatten() {
+            let norm_q = u32::from(tile.norm_q);
+            deltas.push(zigzag_signed(i64::from(norm_q) - i64::from(pred)) as u32);
+            pred = norm_q;
+        }
+        let norm_k = best_rice_k(&deltas, MAX_NORM_K);
+
+        let mut bits = BitWriter::new();
+        bits.write_bits(u64::from(k_table[0]), RICE_K_BITS);
+        for j in 1..d {
+            let delta = i64::from(k_table[j]) - i64::from(k_table[j - 1]);
+            write_rice(&mut bits, zigzag_signed(delta) as u32, K_TABLE_DELTA_K);
+        }
+        bits.write_bits(u64::from(norm_k), RICE_K_BITS);
+
+        let mut delta_iter = deltas.into_iter();
+        for (tile, syms) in self.tiles.iter().zip(symbols) {
+            let (Some(payload), Some(syms)) = (tile, syms) else {
+                bits.write_bit(false);
+                continue;
+            };
+            bits.write_bit(true);
+            write_rice(
+                &mut bits,
+                delta_iter.next().expect("one delta per tile"),
+                norm_k,
+            );
+            if let Some(scale) = payload.scale {
+                bits.write_bits(u64::from(scale.to_bits()), 32);
+            }
+            for (j, &s) in syms.iter().enumerate() {
+                write_rice(&mut bits, s, k_table[j]);
+            }
+        }
+        bits.finish()
+    }
+
+    /// The v2 `range` payload: one adaptive binary range-coded stream,
+    /// per-position contexts, no side tables.
+    fn payload_range(&self, symbols: &[Option<Vec<u32>>]) -> Vec<u8> {
+        let d = self.header.latent_dim as usize;
+        let ctx_sets = d.clamp(1, MAX_CTX_POSITIONS);
+        let mut enc = RangeEncoder::new();
+        let mut occ_ctx = PROB_INIT;
+        let mut norm_ctx = [PROB_INIT; NORM_CTX_BINS];
+        let mut sym_ctx = vec![[PROB_INIT; SYM_CTX_BINS]; ctx_sets];
+        let mut pred = NORM_PRED_INIT;
+        for (tile, syms) in self.tiles.iter().zip(symbols) {
+            let (Some(payload), Some(syms)) = (tile, syms) else {
+                enc.encode_bit(&mut occ_ctx, false);
+                continue;
+            };
+            enc.encode_bit(&mut occ_ctx, true);
+            let norm_q = u32::from(payload.norm_q);
+            let delta = zigzag_signed(i64::from(norm_q) - i64::from(pred)) as u32;
+            encode_eg(&mut enc, &mut norm_ctx, delta);
+            pred = norm_q;
+            if let Some(scale) = payload.scale {
+                enc.encode_direct(u64::from(scale.to_bits()), 32);
+            }
+            for (j, &s) in syms.iter().enumerate() {
+                encode_eg(&mut enc, &mut sym_ctx[j.min(ctx_sets - 1)], s);
+            }
+        }
+        enc.finish()
+    }
+}
+
+/// Shared per-tile field validation: the scale read by both v2 readers.
+fn validate_scale(raw: u32) -> Result<f32> {
+    let s = f32::from_bits(raw);
+    if !s.is_finite() || s <= 0.0 {
+        return Err(CodecError::Invalid(format!(
+            "tile scale {s} is not a positive finite value"
+        )));
+    }
+    Ok(s)
+}
+
+/// Apply a decoded zigzag norm delta to the running predictor,
+/// rejecting out-of-range results (corrupt stream).
+fn apply_norm_delta(pred: &mut u32, delta_zz: u32) -> Result<u16> {
+    let norm = i64::from(*pred) + unzigzag_signed(u64::from(delta_zz));
+    if !(0..=i64::from(NORM_LEVELS)).contains(&norm) {
+        return Err(CodecError::Invalid(format!(
+            "norm delta walks the predictor to {norm}, outside the 16-bit norm range"
+        )));
+    }
+    *pred = norm as u32;
+    Ok(norm as u16)
+}
+
+/// Decode the v1 payload (per-tile Rice parameter, raw norms).
+fn read_tiles_rice(
+    header: &ContainerHeader,
+    quantizer: &Quantizer,
+    payload: &[u8],
+) -> Result<Vec<Option<TilePayload>>> {
+    let levels = quantizer.levels();
+    let zero_level = quantizer.zero_level();
+    let mut bits = BitReader::new(payload);
+    let mut tiles = Vec::with_capacity(header.tile_count());
+    for _ in 0..header.tile_count() {
+        if !bits.read_bit()? {
+            tiles.push(None);
+            continue;
+        }
+        let norm_q = bits.read_bits(16)? as u16;
+        let scale = if header.per_tile_scale() {
+            Some(validate_scale(bits.read_bits(32)? as u32)?)
+        } else {
+            None
+        };
+        let k = bits.read_bits(RICE_K_BITS)? as u32;
+        if k > u32::from(header.bits) + 1 {
+            return Err(CodecError::Invalid(format!(
+                "rice parameter {k} exceeds the maximum for {}-bit symbols",
+                header.bits
+            )));
+        }
+        let mut tile_levels = Vec::with_capacity(header.latent_dim as usize);
+        for _ in 0..header.latent_dim {
+            let symbol = read_rice(&mut bits, k)?;
+            if symbol >= levels {
+                return Err(CodecError::Invalid(format!(
+                    "zigzag symbol {symbol} out of range for {}-bit quantizer",
+                    header.bits
+                )));
+            }
+            tile_levels.push(crate::quantize::unzigzag(symbol, zero_level));
+        }
+        tiles.push(Some(TilePayload {
+            norm_q,
+            scale,
+            levels: tile_levels,
+        }));
+    }
+    Ok(tiles)
+}
+
+/// Decode the v2 `rice-pos` payload.
+fn read_tiles_rice_pos(
+    header: &ContainerHeader,
+    quantizer: &Quantizer,
+    payload: &[u8],
+) -> Result<Vec<Option<TilePayload>>> {
+    let levels = quantizer.levels();
+    let zero_level = quantizer.zero_level();
+    let d = header.latent_dim as usize;
+    let max_k = u32::from(header.bits) + 1;
+    let mut bits = BitReader::new(payload);
+
+    let mut k_table = Vec::with_capacity(d);
+    let mut k = bits.read_bits(RICE_K_BITS)? as i64;
+    for j in 0..d {
+        if j > 0 {
+            let delta_zz = read_rice(&mut bits, K_TABLE_DELTA_K)?;
+            k += unzigzag_signed(u64::from(delta_zz));
+        }
+        if !(0..=i64::from(max_k)).contains(&k) {
+            return Err(CodecError::Invalid(format!(
+                "per-position rice parameter {k} at position {j} exceeds the maximum \
+                 for {}-bit symbols",
+                header.bits
+            )));
+        }
+        k_table.push(k as u32);
+    }
+    let norm_k = bits.read_bits(RICE_K_BITS)? as u32;
+    if norm_k > MAX_NORM_K {
+        return Err(CodecError::Invalid(format!(
+            "norm-delta rice parameter {norm_k} exceeds the maximum {MAX_NORM_K}"
+        )));
+    }
+
+    let mut pred = NORM_PRED_INIT;
+    let mut tiles = Vec::with_capacity(header.tile_count());
+    for _ in 0..header.tile_count() {
+        if !bits.read_bit()? {
+            tiles.push(None);
+            continue;
+        }
+        let norm_q = apply_norm_delta(&mut pred, read_rice(&mut bits, norm_k)?)?;
+        let scale = if header.per_tile_scale() {
+            Some(validate_scale(bits.read_bits(32)? as u32)?)
+        } else {
+            None
+        };
+        let mut tile_levels = Vec::with_capacity(d);
+        for &kj in &k_table {
+            let symbol = read_rice(&mut bits, kj)?;
+            if symbol >= levels {
+                return Err(CodecError::Invalid(format!(
+                    "zigzag symbol {symbol} out of range for {}-bit quantizer",
+                    header.bits
+                )));
+            }
+            tile_levels.push(crate::quantize::unzigzag(symbol, zero_level));
+        }
+        tiles.push(Some(TilePayload {
+            norm_q,
+            scale,
+            levels: tile_levels,
+        }));
+    }
+    Ok(tiles)
+}
+
+/// Decode the v2 `range` payload.
+fn read_tiles_range(
+    header: &ContainerHeader,
+    quantizer: &Quantizer,
+    payload: &[u8],
+) -> Result<Vec<Option<TilePayload>>> {
+    let levels = quantizer.levels();
+    let zero_level = quantizer.zero_level();
+    let d = header.latent_dim as usize;
+    let ctx_sets = d.clamp(1, MAX_CTX_POSITIONS);
+    let mut dec = RangeDecoder::new(payload)?;
+    let mut occ_ctx = PROB_INIT;
+    let mut norm_ctx = [PROB_INIT; NORM_CTX_BINS];
+    let mut sym_ctx = vec![[PROB_INIT; SYM_CTX_BINS]; ctx_sets];
+    let mut pred = NORM_PRED_INIT;
+    // Decode memory must stay proportional to the *input*: no
+    // preallocation from header fields (a tiny CRC-valid file must not
+    // reserve a MAX_RANGE_TILES-sized vector up front), and a budget of
+    // decoded items tied to the payload size — any stream our encoder
+    // can produce stays far under it, while a corrupt stream that
+    // "decodes" endless near-free items hits a typed error instead of
+    // ballooning.
+    let mut item_budget = payload
+        .len()
+        .saturating_mul(RANGE_ITEMS_PER_BYTE)
+        .saturating_add(64);
+    let mut spend = |items: usize| -> Result<()> {
+        item_budget = item_budget.checked_sub(items).ok_or_else(|| {
+            CodecError::Invalid(format!(
+                "range payload of {} bytes implies more decoded symbols than it can carry",
+                payload.len()
+            ))
+        })?;
+        Ok(())
+    };
+    let mut tiles = Vec::new();
+    for _ in 0..header.tile_count() {
+        spend(1)?;
+        if !dec.decode_bit(&mut occ_ctx)? {
+            tiles.push(None);
+            continue;
+        }
+        spend(1 + d)?;
+        let delta_zz = decode_eg(&mut dec, &mut norm_ctx, MAX_EG_BUCKET)?;
+        let norm_q = apply_norm_delta(&mut pred, delta_zz)?;
+        let scale = if header.per_tile_scale() {
+            Some(validate_scale(dec.decode_direct(32)? as u32)?)
+        } else {
+            None
+        };
+        let mut tile_levels = Vec::with_capacity(d);
+        for j in 0..d {
+            let symbol = decode_eg(&mut dec, &mut sym_ctx[j.min(ctx_sets - 1)], MAX_EG_BUCKET)?;
+            if symbol >= levels {
+                return Err(CodecError::Invalid(format!(
+                    "zigzag symbol {symbol} out of range for {}-bit quantizer",
+                    header.bits
+                )));
+            }
+            tile_levels.push(crate::quantize::unzigzag(symbol, zero_level));
+        }
+        tiles.push(Some(TilePayload {
+            norm_q,
+            scale,
+            levels: tile_levels,
+        }));
+    }
+    Ok(tiles)
 }
 
 #[cfg(test)]
@@ -441,7 +835,7 @@ mod tests {
             flags |= FLAG_INLINE_MODEL;
         }
         let header = ContainerHeader {
-            version: CONTAINER_VERSION,
+            version: CONTAINER_VERSION_V1,
             flags,
             model_id: 0xDEAD_BEEF_CAFE_F00D,
             width: 10,
@@ -471,6 +865,14 @@ mod tests {
         }
     }
 
+    /// Rewrite a v1 sample as a v2 container carrying `coder`.
+    fn with_entropy(mut c: Container, coder: EntropyCoder) -> Container {
+        c.header.version = coder.container_version();
+        c.header.flags &= !(FLAG_ENTROPY_RICE_POS | FLAG_ENTROPY_RANGE);
+        c.header.flags |= coder.container_flags();
+        c
+    }
+
     #[test]
     fn roundtrip_is_exact() {
         for per_tile in [false, true] {
@@ -483,6 +885,126 @@ mod tests {
                 assert_eq!(back.to_bytes().unwrap(), bytes);
             }
         }
+    }
+
+    #[test]
+    fn v2_coders_roundtrip_exactly_and_agree_on_tiles() {
+        for coder in [EntropyCoder::RicePos, EntropyCoder::Range] {
+            for per_tile in [false, true] {
+                for model in [None, Some(vec![1u8, 2, 3])] {
+                    let c = with_entropy(sample_container(per_tile, model), coder);
+                    let bytes = c.to_bytes().unwrap();
+                    let back = Container::from_bytes(&bytes).unwrap();
+                    assert_eq!(back, c, "{coder} per_tile={per_tile}");
+                    assert_eq!(back.to_bytes().unwrap(), bytes, "{coder}");
+                    assert_eq!(back.header.entropy().unwrap(), coder);
+                    // Same tiles as the v1 encoding of the same data:
+                    // entropy coding is lossless re the levels.
+                    let v1 = sample_container(per_tile, None);
+                    assert_eq!(back.tiles, v1.tiles, "{coder}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_coder_version_pairings_are_typed_errors() {
+        // v1 carrying a v2 entropy flag.
+        let mut c = sample_container(false, None);
+        c.header.flags |= FLAG_ENTROPY_RICE_POS;
+        assert!(matches!(
+            c.to_bytes(),
+            Err(CodecError::UnsupportedCoder { .. })
+        ));
+        // v2 with no coder flag at all.
+        let mut c = sample_container(false, None);
+        c.header.version = CONTAINER_VERSION;
+        assert!(matches!(
+            c.to_bytes(),
+            Err(CodecError::UnsupportedCoder { .. })
+        ));
+        // v2 with both coder flags.
+        let mut c = with_entropy(sample_container(false, None), EntropyCoder::RicePos);
+        c.header.flags |= FLAG_ENTROPY_RANGE;
+        assert!(matches!(
+            c.to_bytes(),
+            Err(CodecError::UnsupportedCoder { .. })
+        ));
+        // The same pairings forged into serialized bytes fail on read.
+        let good = with_entropy(sample_container(false, None), EntropyCoder::Range)
+            .to_bytes()
+            .unwrap();
+        let mut forged = good.clone();
+        forged[4..6].copy_from_slice(&CONTAINER_VERSION_V1.to_le_bytes());
+        let body = forged.len() - 4;
+        let crc = crc32(&forged[..body]).to_le_bytes();
+        forged[body..].copy_from_slice(&crc);
+        assert!(matches!(
+            Container::from_bytes(&forged),
+            Err(CodecError::UnsupportedCoder { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_truncation_and_flips_never_panic() {
+        for coder in [EntropyCoder::RicePos, EntropyCoder::Range] {
+            let bytes = with_entropy(sample_container(true, None), coder)
+                .to_bytes()
+                .unwrap();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Container::from_bytes(&bytes[..cut]).is_err(),
+                    "{coder}: cut {cut}"
+                );
+            }
+            for pos in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 0x10;
+                assert!(
+                    Container::from_bytes(&bad).is_err(),
+                    "{coder}: flip at {pos} went unnoticed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_occupied_tile_norm_delta_is_cheap() {
+        // A 4×4 single-tile container: the sole tile carries the max
+        // norm, so its quantized norm is exactly 65535 and the seeded
+        // predictor makes the delta zero — rice-pos must beat v1's raw
+        // 16-bit norm even after paying for the k-table.
+        let header = ContainerHeader {
+            version: CONTAINER_VERSION_V1,
+            flags: 0,
+            model_id: 1,
+            width: 4,
+            height: 4,
+            tile_size: 4,
+            latent_dim: 8,
+            bits: 8,
+            max_norm: 2.0,
+        };
+        let tiles = vec![Some(TilePayload {
+            norm_q: u16::MAX,
+            scale: None,
+            levels: vec![200, 140, 131, 126, 129, 128, 127, 128],
+        })];
+        let v1 = Container {
+            header,
+            inline_model: None,
+            tiles,
+        };
+        let v1_bytes = v1.to_bytes().unwrap();
+        let v2 = with_entropy(v1.clone(), EntropyCoder::RicePos);
+        let v2_bytes = v2.to_bytes().unwrap();
+        assert!(
+            v2_bytes.len() <= v1_bytes.len(),
+            "rice-pos {} bytes vs rice {} bytes on a single PCA-ordered tile",
+            v2_bytes.len(),
+            v1_bytes.len()
+        );
+        assert_eq!(Container::from_bytes(&v2_bytes).unwrap().tiles, v2.tiles);
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! Entropy-coder selection and the adaptive binary range coder behind
+//! bitstream format v2.
+//!
+//! Format v1 spends one Rice parameter per tile: a single `k` must
+//! serve every latent position, even though PCA-ordered latents have
+//! strongly position-dependent statistics (position 0 carries most of
+//! the energy, the tail hugs zero). Version 2 adds two coders that
+//! exploit that structure:
+//!
+//! - **`rice-pos`** — one Rice parameter *per latent position*,
+//!   estimated from the whole tile panel and stored once per container
+//!   as delta-coded side information, plus predicted-norm deltas
+//!   between raster-neighbouring tiles for the norm stream.
+//! - **`range`** — an adaptive binary range coder (LZMA-style, 11-bit
+//!   probabilities) over Exp-Golomb binarized symbols with per-position
+//!   contexts: no side table at all, the contexts learn the statistics
+//!   as the stream decodes.
+//!
+//! Both are lossless re-encodings of the same quantized levels, so the
+//! decoded pixels are bit-identical across coders — only the rate
+//! moves. The container layer (`crate::container`) owns the byte
+//! layouts; this module owns the coder primitives.
+
+use crate::error::{CodecError, Result};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which entropy coder a container's latent payload uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntropyCoder {
+    /// Format v1: one Rice parameter per tile (the only coder v1
+    /// containers can carry).
+    #[default]
+    Rice,
+    /// Format v2: per-latent-position Rice parameters + norm deltas.
+    RicePos,
+    /// Format v2: adaptive binary range coder with per-position
+    /// contexts + norm deltas.
+    Range,
+}
+
+impl EntropyCoder {
+    /// Every selectable coder, in CLI/documentation order.
+    pub const ALL: [EntropyCoder; 3] = [
+        EntropyCoder::Rice,
+        EntropyCoder::RicePos,
+        EntropyCoder::Range,
+    ];
+
+    /// The container format version this coder serialises as.
+    pub fn container_version(self) -> u16 {
+        match self {
+            EntropyCoder::Rice => 1,
+            EntropyCoder::RicePos | EntropyCoder::Range => 2,
+        }
+    }
+
+    /// The container feature-flag bits this coder sets (the inverse of
+    /// `ContainerHeader::entropy`, kept single-sourced here).
+    pub fn container_flags(self) -> u16 {
+        match self {
+            EntropyCoder::Rice => 0,
+            EntropyCoder::RicePos => crate::container::FLAG_ENTROPY_RICE_POS,
+            EntropyCoder::Range => crate::container::FLAG_ENTROPY_RANGE,
+        }
+    }
+
+    /// Stable one-byte wire id (the serve protocol's encode-request
+    /// field; 0 is what pre-v2 clients send).
+    pub fn wire_id(self) -> u8 {
+        match self {
+            EntropyCoder::Rice => 0,
+            EntropyCoder::RicePos => 1,
+            EntropyCoder::Range => 2,
+        }
+    }
+
+    /// Decode a wire id.
+    pub fn from_wire_id(id: u8) -> Option<EntropyCoder> {
+        match id {
+            0 => Some(EntropyCoder::Rice),
+            1 => Some(EntropyCoder::RicePos),
+            2 => Some(EntropyCoder::Range),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EntropyCoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EntropyCoder::Rice => "rice",
+            EntropyCoder::RicePos => "rice-pos",
+            EntropyCoder::Range => "range",
+        })
+    }
+}
+
+impl FromStr for EntropyCoder {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "rice" => Ok(EntropyCoder::Rice),
+            "rice-pos" => Ok(EntropyCoder::RicePos),
+            "range" => Ok(EntropyCoder::Range),
+            other => Err(format!(
+                "unknown entropy coder {other:?} (expected rice, rice-pos or range)"
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary range coder (LZMA-style)
+// ---------------------------------------------------------------------
+
+/// Probability resolution: probabilities live in `0..2^11`.
+const PROB_BITS: u32 = 11;
+/// The fixed-point value representing probability 1.
+const PROB_ONE: u16 = 1 << PROB_BITS;
+/// Adaptation speed: larger shifts adapt slower.
+const MOVE_BITS: u32 = 5;
+/// Renormalisation threshold.
+const TOP: u32 = 1 << 24;
+
+/// A fresh adaptive context (probability ½).
+pub const PROB_INIT: u16 = PROB_ONE / 2;
+
+/// Encoder half of the binary range coder. Probabilities are plain
+/// `u16` slots the caller owns (context modelling stays at the call
+/// site); `encode_bit` updates them adaptively.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn shift_low(&mut self) {
+        if (self.low & 0xFFFF_FFFF) < 0xFF00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    fn normalize(&mut self) {
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encode one bit against an adaptive probability slot.
+    pub fn encode_bit(&mut self, prob: &mut u16, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * u32::from(*prob);
+        if bit {
+            self.low += u64::from(bound);
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+        } else {
+            self.range = bound;
+            *prob += (PROB_ONE - *prob) >> MOVE_BITS;
+        }
+        self.normalize();
+    }
+
+    /// Encode the `n` low bits of `value` (MSB first) as equiprobable
+    /// "bypass" bits — no context, no adaptation.
+    pub fn encode_direct(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 63, "direct runs are below 64 bits");
+        for i in (0..n).rev() {
+            self.range >>= 1;
+            if (value >> i) & 1 == 1 {
+                self.low += u64::from(self.range);
+            }
+            self.normalize();
+        }
+    }
+
+    /// Flush and return the coded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Decoder half of the binary range coder, reading from a byte slice.
+/// Running out of bytes mid-stream is a typed truncation error —
+/// well-formed streams never over-read because the encoder's 5-byte
+/// flush covers every renormalisation the decoder replays.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Start decoding `bytes`.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] when fewer than the 5 initialisation
+    /// bytes are present.
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        let mut d = RangeDecoder {
+            code: 0,
+            range: u32::MAX,
+            bytes,
+            pos: 0,
+        };
+        // The first output byte is the encoder's zero-initialised cache.
+        d.next_byte()?;
+        for _ in 0..4 {
+            let b = d.next_byte()?;
+            d.code = (d.code << 8) | u32::from(b);
+        }
+        Ok(d)
+    }
+
+    fn next_byte(&mut self) -> Result<u8> {
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(CodecError::Truncated {
+                context: "range-coded payload",
+            })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn normalize(&mut self) -> Result<()> {
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | u32::from(self.next_byte()?);
+        }
+        Ok(())
+    }
+
+    /// Decode one bit against an adaptive probability slot.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn decode_bit(&mut self, prob: &mut u16) -> Result<bool> {
+        let bound = (self.range >> PROB_BITS) * u32::from(*prob);
+        let bit = if self.code < bound {
+            self.range = bound;
+            *prob += (PROB_ONE - *prob) >> MOVE_BITS;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+            true
+        };
+        self.normalize()?;
+        Ok(bit)
+    }
+
+    /// Decode `n` bypass bits (MSB first).
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn decode_direct(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 63, "direct runs are below 64 bits");
+        let mut v = 0u64;
+        for _ in 0..n {
+            self.range >>= 1;
+            let bit = if self.code >= self.range {
+                self.code -= self.range;
+                1u64
+            } else {
+                0u64
+            };
+            v = (v << 1) | bit;
+            self.normalize()?;
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exp-Golomb binarization over the range coder
+// ---------------------------------------------------------------------
+
+/// Encode a non-negative value as Exp-Golomb order 0: the bucket
+/// `b = ⌊log₂(value+1)⌋` as a context-coded unary prefix (contexts
+/// shared beyond `ctx.len()-1` bins), then `b` bypass offset bits.
+pub fn encode_eg(enc: &mut RangeEncoder, ctx: &mut [u16], value: u32) {
+    debug_assert!(value < u32::MAX, "value + 1 must not overflow");
+    debug_assert!(!ctx.is_empty(), "need at least one context slot");
+    let bucket = 31 - (value + 1).leading_zeros();
+    for i in 0..bucket {
+        let slot = (i as usize).min(ctx.len() - 1);
+        enc.encode_bit(&mut ctx[slot], true);
+    }
+    let slot = (bucket as usize).min(ctx.len() - 1);
+    enc.encode_bit(&mut ctx[slot], false);
+    if bucket > 0 {
+        enc.encode_direct(u64::from(value + 1) & ((1u64 << bucket) - 1), bucket);
+    }
+}
+
+/// Decode an Exp-Golomb value written by [`encode_eg`], rejecting
+/// buckets above `max_bucket` (corrupt stream) instead of looping.
+///
+/// # Errors
+/// [`CodecError::Truncated`] at end of input; [`CodecError::Invalid`]
+/// when the unary prefix exceeds `max_bucket`.
+pub fn decode_eg(dec: &mut RangeDecoder<'_>, ctx: &mut [u16], max_bucket: u32) -> Result<u32> {
+    debug_assert!(!ctx.is_empty(), "need at least one context slot");
+    let mut bucket = 0u32;
+    loop {
+        let slot = (bucket as usize).min(ctx.len() - 1);
+        if !dec.decode_bit(&mut ctx[slot])? {
+            break;
+        }
+        bucket += 1;
+        if bucket > max_bucket {
+            return Err(CodecError::Invalid(format!(
+                "exp-golomb prefix exceeds the maximum bucket {max_bucket}"
+            )));
+        }
+    }
+    let offset = if bucket > 0 {
+        dec.decode_direct(bucket)?
+    } else {
+        0
+    };
+    Ok((((1u64 << bucket) | offset) - 1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coder_names_roundtrip() {
+        for coder in EntropyCoder::ALL {
+            assert_eq!(coder.to_string().parse::<EntropyCoder>(), Ok(coder));
+            assert_eq!(EntropyCoder::from_wire_id(coder.wire_id()), Some(coder));
+        }
+        assert!("huffman".parse::<EntropyCoder>().is_err());
+        assert_eq!(EntropyCoder::from_wire_id(77), None);
+        assert_eq!(EntropyCoder::default(), EntropyCoder::Rice);
+        assert_eq!(EntropyCoder::Rice.container_version(), 1);
+        assert_eq!(EntropyCoder::RicePos.container_version(), 2);
+        assert_eq!(EntropyCoder::Range.container_version(), 2);
+    }
+
+    #[test]
+    fn adaptive_bits_roundtrip_and_compress_biased_streams() {
+        // A heavily biased bit stream must roundtrip exactly and come
+        // out well below 1 bit/symbol once the context adapts.
+        let bits: Vec<bool> = (0..4000).map(|i| i % 17 == 0).collect();
+        let mut enc = RangeEncoder::new();
+        let mut prob = PROB_INIT;
+        for &b in &bits {
+            enc.encode_bit(&mut prob, b);
+        }
+        let bytes = enc.finish();
+        assert!(
+            bytes.len() < bits.len() / 16,
+            "biased stream coded at {} bytes for {} bits",
+            bytes.len(),
+            bits.len()
+        );
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut prob = PROB_INIT;
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode_bit(&mut prob).unwrap(), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn direct_bits_roundtrip_interleaved_with_adaptive_bits() {
+        let mut enc = RangeEncoder::new();
+        let mut prob = PROB_INIT;
+        let values: Vec<(u64, u32)> = (0..200)
+            .map(|i: u64| (i.wrapping_mul(0x9E37_79B9) & 0xFFFF, 16))
+            .collect();
+        for (i, &(v, n)) in values.iter().enumerate() {
+            enc.encode_bit(&mut prob, i % 3 == 0);
+            enc.encode_direct(v, n);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut prob = PROB_INIT;
+        for (i, &(v, n)) in values.iter().enumerate() {
+            assert_eq!(dec.decode_bit(&mut prob).unwrap(), i % 3 == 0);
+            assert_eq!(dec.decode_direct(n).unwrap(), v, "value {i}");
+        }
+    }
+
+    #[test]
+    fn exp_golomb_roundtrips_every_small_value() {
+        let mut enc = RangeEncoder::new();
+        let mut ctx = [PROB_INIT; 8];
+        for v in 0..600u32 {
+            encode_eg(&mut enc, &mut ctx, v);
+        }
+        // Include the largest symbol the container layer can emit.
+        encode_eg(&mut enc, &mut ctx, 1 << 17);
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut ctx = [PROB_INIT; 8];
+        for v in 0..600u32 {
+            assert_eq!(decode_eg(&mut dec, &mut ctx, 17).unwrap(), v);
+        }
+        assert_eq!(decode_eg(&mut dec, &mut ctx, 17).unwrap(), 1 << 17);
+    }
+
+    #[test]
+    fn truncated_range_streams_error_typed() {
+        let mut enc = RangeEncoder::new();
+        let mut ctx = [PROB_INIT; 4];
+        for v in 0..64u32 {
+            encode_eg(&mut enc, &mut ctx, v * 31);
+        }
+        let bytes = enc.finish();
+        for cut in 0..bytes.len().min(5) {
+            assert!(matches!(
+                RangeDecoder::new(&bytes[..cut]),
+                Err(CodecError::Truncated { .. })
+            ));
+        }
+        // Cut mid-stream: continued decoding must hit a typed
+        // truncation once the bytes run out, never run off the slice.
+        let mut dec = RangeDecoder::new(&bytes[..bytes.len() / 2]).unwrap();
+        let mut ctx = [PROB_INIT; 4];
+        let mut saw_error = false;
+        // A fully adapted context spends ~0.02 bits per bin, so a few
+        // hundred thousand decodes certainly exhaust the leftover bytes.
+        for _ in 0..500_000 {
+            match decode_eg(&mut dec, &mut ctx, 30) {
+                Ok(_) => {}
+                Err(CodecError::Truncated { .. }) | Err(CodecError::Invalid(_)) => {
+                    saw_error = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(saw_error, "truncation must surface once the bytes run out");
+    }
+
+    #[test]
+    fn corrupt_prefix_is_bounded_by_max_bucket() {
+        // An all-ones stream drives the unary prefix upward forever;
+        // the bucket cap must turn that into a typed error.
+        let bytes = vec![0xFFu8; 64];
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut ctx = [PROB_INIT; 4];
+        let mut hit = false;
+        for _ in 0..200 {
+            match decode_eg(&mut dec, &mut ctx, 17) {
+                Err(CodecError::Invalid(_)) | Err(CodecError::Truncated { .. }) => {
+                    hit = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(hit, "corrupt stream must hit a typed error");
+    }
+}

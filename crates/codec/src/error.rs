@@ -37,6 +37,12 @@ pub enum CodecError {
         /// Checksum computed over the received bytes.
         computed: u32,
     },
+    /// The container's feature flags name an entropy coder this build
+    /// does not implement (or an inconsistent coder/version pairing).
+    UnsupportedCoder {
+        /// The entropy-coder feature bits found in the header.
+        flags: u16,
+    },
     /// The container was produced by a different model than the one
     /// supplied for decoding.
     ModelMismatch {
@@ -71,6 +77,11 @@ impl fmt::Display for CodecError {
             CodecError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CodecError::UnsupportedCoder { flags } => write!(
+                f,
+                "unsupported entropy coder: feature flags {flags:#06x} name no coder this \
+                 build reads (rice, rice-pos, range)"
             ),
             CodecError::ModelMismatch {
                 container,
@@ -149,6 +160,10 @@ mod tests {
                     supplied: 2,
                 },
                 "model mismatch",
+            ),
+            (
+                CodecError::UnsupportedCoder { flags: 0x000C },
+                "unsupported entropy coder",
             ),
             (CodecError::Invalid("bits".into()), "invalid: bits"),
         ];

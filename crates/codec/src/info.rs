@@ -44,6 +44,9 @@ pub fn container_info_json(container: &Container, file_len: usize) -> String {
         h.tile_count()
     );
     let _ = write!(s, ",\"latent_dim\":{},\"bits\":{}", h.latent_dim, h.bits);
+    // Parsed containers always carry a consistent coder/version pair.
+    let entropy = h.entropy().map_or("unknown".into(), |e| e.to_string());
+    let _ = write!(s, ",\"entropy\":\"{entropy}\"");
     let _ = write!(s, ",\"per_tile_scale\":{}", h.per_tile_scale());
     match inline_len {
         Some(n) => {

@@ -14,6 +14,9 @@
 //!   amplitudes, global or per-tile scaled, 1–16 bits;
 //! - [`bitstream`] — bit-level IO plus Rice entropy coding of
 //!   zigzag-mapped symbols, CRC-32 and FNV-1a identities;
+//! - [`entropy`] — the bitstream-v2 coder layer: the [`EntropyCoder`]
+//!   selector (`rice` / `rice-pos` / `range`) and the adaptive binary
+//!   range coder with Exp-Golomb binarization;
 //! - [`container`] — the `.qnc` layout: header, model id, tile grid,
 //!   per-tile payloads, optional inline model, trailing checksum;
 //! - [`pipeline`] — the full-image path: `qn-image` tiling → batch
@@ -30,6 +33,7 @@
 
 pub mod bitstream;
 pub mod container;
+pub mod entropy;
 pub mod error;
 pub mod info;
 pub mod model;
@@ -37,6 +41,7 @@ pub mod pipeline;
 pub mod quantize;
 
 pub use container::{Container, ContainerHeader, TilePayload};
+pub use entropy::EntropyCoder;
 pub use error::{CodecError, Result};
 pub use model::{load_model, save_model};
 pub use pipeline::{

@@ -15,9 +15,10 @@
 //! holds — and the pixels it decodes to — never depend on the schedule.
 
 use crate::container::{
-    dequantize_norm, quantize_norm, Container, ContainerHeader, TilePayload, CONTAINER_VERSION,
-    FLAG_INLINE_MODEL, FLAG_PER_TILE_SCALE,
+    dequantize_norm, quantize_norm, Container, ContainerHeader, TilePayload, FLAG_INLINE_MODEL,
+    FLAG_PER_TILE_SCALE,
 };
+use crate::entropy::EntropyCoder;
 use crate::error::{CodecError, Result};
 use crate::model;
 use crate::quantize::{tile_scale, Quantizer};
@@ -43,6 +44,11 @@ pub struct CodecOptions {
     /// Execution backend for the mesh passes. Backends are
     /// bit-compatible: this knob changes throughput only, never bytes.
     pub backend: BackendKind,
+    /// Entropy coder for the latent payload. `Rice` writes format v1
+    /// (bit-exact with pre-v2 builds); `RicePos`/`Range` write format
+    /// v2. Lossless re the quantized levels: every coder decodes to
+    /// identical pixels, only the rate moves.
+    pub entropy: EntropyCoder,
 }
 
 impl Default for CodecOptions {
@@ -53,6 +59,7 @@ impl Default for CodecOptions {
             per_tile_scale: false,
             inline_model: true,
             backend: BackendKind::Panel,
+            entropy: EntropyCoder::Rice,
         }
     }
 }
@@ -313,8 +320,9 @@ impl Codec {
         if opts.inline_model {
             flags |= FLAG_INLINE_MODEL;
         }
+        flags |= opts.entropy.container_flags();
         let header = ContainerHeader {
-            version: CONTAINER_VERSION,
+            version: opts.entropy.container_version(),
             flags,
             model_id: self.model_id,
             width: plan.width,

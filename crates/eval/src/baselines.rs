@@ -83,6 +83,7 @@ pub fn svd_point(dataset: &Dataset, rank: usize, bits: u8) -> Result<RdPoint, St
         tile_size: 0,
         latent_dim: rank,
         bits,
+        entropy: None,
         bpp: (rank as f64 * f64::from(bits)) / n as f64,
         psnr_db,
         ssim,
@@ -133,6 +134,7 @@ pub fn pca_point(dataset: &Dataset, point: OperatingPoint) -> Result<RdPoint, St
         tile_size: point.tile_size,
         latent_dim: point.latent_dim,
         bits: point.bits,
+        entropy: None,
         // Every coded tile pays d × bits — including zero-padded edge
         // tiles on images whose dimensions are not tile multiples, so
         // the rate stays honest for --dir datasets.
@@ -202,6 +204,7 @@ pub fn csc_point(dataset: &Dataset, sparsity: usize, bits: u8) -> Result<RdPoint
         tile_size: 0,
         latent_dim: sparsity,
         bits,
+        entropy: None,
         bpp: (sparsity as f64 * (f64::from(bits) + index_bits)) / n as f64,
         psnr_db,
         ssim,

@@ -6,11 +6,19 @@
 //!
 //! ```text
 //! tile=4;d=2,4,8;bits=4,8        # explicit grid (cartesian product)
+//! tile=4;d=8;entropy=rice,range  # add the entropy-coder axis
 //! smoke                          # the CI smoke grid
 //! default                       # the full checked-in grid
 //! ```
+//!
+//! The entropy axis is orthogonal to the geometry: the same operating
+//! point is swept once per coder (entropy coding is lossless re the
+//! quantized levels, so PSNR/SSIM repeat and only the rate moves — the
+//! axis exists to measure exactly that rate delta). Both named grids
+//! sweep all three coders.
 
 use qn_backend::BackendKind;
+use qn_codec::EntropyCoder;
 
 /// One corner of the sweep: the codec settings a rate–distortion point
 /// is measured at.
@@ -40,13 +48,21 @@ pub struct Grid {
     pub name: String,
     /// The operating points, in sweep order.
     pub points: Vec<OperatingPoint>,
+    /// Entropy coders each point is swept with, in sweep order.
+    pub coders: Vec<EntropyCoder>,
     /// Execution backend for the quantum sweep.
     pub backend: BackendKind,
 }
 
 impl Grid {
     /// Build the cartesian product of the given axes.
-    pub fn cartesian(name: &str, tiles: &[usize], dims: &[usize], bits: &[u8]) -> Self {
+    pub fn cartesian(
+        name: &str,
+        tiles: &[usize],
+        dims: &[usize],
+        bits: &[u8],
+        coders: &[EntropyCoder],
+    ) -> Self {
         let mut points = Vec::new();
         for &tile_size in tiles {
             for &latent_dim in dims {
@@ -64,24 +80,28 @@ impl Grid {
         Grid {
             name: name.into(),
             points,
+            coders: coders.to_vec(),
             backend: BackendKind::default(),
         }
     }
 
-    /// The CI smoke grid: three latent dimensions at 8 bits, tile 4 —
-    /// small enough for every CI run, and it contains [`crate::GOLDEN`].
+    /// The CI smoke grid: three latent dimensions at 8 bits, tile 4,
+    /// all three entropy coders — small enough for every CI run, and
+    /// it contains [`crate::GOLDEN`].
     pub fn smoke() -> Self {
-        Grid::cartesian("smoke", &[4], &[2, 4, 8], &[8])
+        Grid::cartesian("smoke", &[4], &[2, 4, 8], &[8], &EntropyCoder::ALL)
     }
 
     /// The full checked-in grid behind `BENCH_quality.json`: latent
-    /// dimensions 2/4/8 at 4 and 8 bits, tile 4.
+    /// dimensions 2/4/8 at 4 and 8 bits, tile 4, all three entropy
+    /// coders.
     pub fn default_grid() -> Self {
-        Grid::cartesian("default", &[4], &[2, 4, 8], &[4, 8])
+        Grid::cartesian("default", &[4], &[2, 4, 8], &[4, 8], &EntropyCoder::ALL)
     }
 
-    /// Parse a grid spec: `smoke`, `default`, or `tile=..;d=..;bits=..`
-    /// with comma-separated values per axis.
+    /// Parse a grid spec: `smoke`, `default`, or
+    /// `tile=..;d=..;bits=..;entropy=..` with comma-separated values
+    /// per axis (entropy values: `rice`, `rice-pos`, `range`).
     ///
     /// # Errors
     /// Describes the offending clause; rejects empty grids (e.g. every
@@ -95,6 +115,7 @@ impl Grid {
         let mut tiles: Vec<usize> = vec![4];
         let mut dims: Vec<usize> = vec![8];
         let mut bits: Vec<u8> = vec![8];
+        let mut coders: Vec<EntropyCoder> = vec![EntropyCoder::Rice];
         for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
             let (key, values) = clause
                 .split_once('=')
@@ -120,14 +141,23 @@ impl Grid {
                         })
                         .collect::<Result<_, _>>()?;
                 }
+                "entropy" => {
+                    coders = values
+                        .split(',')
+                        .map(|v| v.trim().parse::<EntropyCoder>())
+                        .collect::<Result<_, _>>()?;
+                    if coders.is_empty() {
+                        return Err("entropy axis must name at least one coder".into());
+                    }
+                }
                 other => {
                     return Err(format!(
-                        "unknown grid axis {other:?} (expected tile, d or bits)"
+                        "unknown grid axis {other:?} (expected tile, d, bits or entropy)"
                     ))
                 }
             }
         }
-        let grid = Grid::cartesian("custom", &tiles, &dims, &bits);
+        let grid = Grid::cartesian("custom", &tiles, &dims, &bits, &coders);
         if grid.points.is_empty() {
             return Err(format!(
                 "grid spec {spec:?} yields no valid operating points (is every d > tile²?)"
@@ -149,6 +179,12 @@ mod tests {
                 "{} grid must include the golden operating point",
                 grid.name
             );
+            assert_eq!(
+                grid.coders,
+                EntropyCoder::ALL.to_vec(),
+                "{} grid must sweep every entropy coder",
+                grid.name
+            );
         }
         assert_eq!(Grid::smoke().points.len(), 3);
         assert_eq!(Grid::default_grid().points.len(), 6);
@@ -166,6 +202,7 @@ mod tests {
                 bits: 4
             }
         );
+        assert_eq!(g.coders, vec![EntropyCoder::Rice], "default entropy axis");
         // Named specs resolve too.
         assert_eq!(Grid::parse("smoke").unwrap().points.len(), 3);
         // Omitted axes take defaults.
@@ -173,6 +210,15 @@ mod tests {
         assert_eq!(d_only.points.len(), 1);
         assert_eq!(d_only.points[0].tile_size, 4);
         assert_eq!(d_only.points[0].bits, 8);
+    }
+
+    #[test]
+    fn entropy_axis_parses_and_rejects_unknown_coders() {
+        let g = Grid::parse("d=8;entropy=rice,rice-pos,range").unwrap();
+        assert_eq!(g.coders, EntropyCoder::ALL.to_vec());
+        let one = Grid::parse("entropy=range").unwrap();
+        assert_eq!(one.coders, vec![EntropyCoder::Range]);
+        assert!(Grid::parse("entropy=huffman").is_err());
     }
 
     #[test]

@@ -130,7 +130,7 @@ impl QualityReport {
     ) -> Result<QualityReport, String> {
         let mut reports = Vec::with_capacity(datasets.len());
         for ds in datasets {
-            let mut points = sweep::quantum_sweep(ds, &grid.points, grid.backend, timings)?;
+            let mut points = sweep::quantum_sweep(ds, grid, timings)?;
             let mut skipped = Vec::new();
             let mut push = |result: Result<RdPoint, String>, skipped: &mut Vec<String>| match result
             {
@@ -194,7 +194,8 @@ impl QualityReport {
         let mut s = String::with_capacity(4096);
         s.push_str("{\n");
         s.push_str("  \"format\": \"qn-eval-quality\",\n");
-        s.push_str("  \"version\": 1,\n");
+        // Schema version 2: points carry the entropy-coder axis.
+        s.push_str("  \"version\": 2,\n");
         s.push_str(&format!("  \"backend\": \"{}\",\n", self.backend));
         s.push_str(&format!("  \"grid\": \"{}\",\n", self.grid));
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
@@ -247,7 +248,7 @@ impl QualityReport {
     /// Render the fixed-width summary table (one row per point).
     pub fn human_table(&self) -> String {
         let header = [
-            "dataset", "codec", "point", "bpp", "psnr_db", "ssim", "side_B",
+            "dataset", "codec", "entropy", "point", "bpp", "psnr_db", "ssim", "side_B",
         ];
         let mut rows: Vec<Vec<String>> = Vec::new();
         for ds in &self.datasets {
@@ -260,6 +261,7 @@ impl QualityReport {
                 let mut row = vec![
                     ds.name.clone(),
                     p.codec.clone(),
+                    p.entropy.map_or("-".to_string(), |e| e.to_string()),
                     label,
                     format!("{:.3}", p.bpp),
                     if p.psnr_db.is_finite() {
@@ -341,8 +343,9 @@ fn fmt(v: f64) -> String {
 }
 
 fn point_json(p: &RdPoint) -> String {
+    let entropy = p.entropy.map_or("null".to_string(), |e| format!("\"{e}\""));
     let mut s = format!(
-        "{{\"codec\": \"{}\", \"tile\": {}, \"d\": {}, \"bits\": {}, \
+        "{{\"codec\": \"{}\", \"entropy\": {entropy}, \"tile\": {}, \"d\": {}, \"bits\": {}, \
          \"bpp\": {}, \"psnr_db\": {}, \"ssim\": {}, \"side_bytes\": {}",
         p.codec,
         p.tile_size,

@@ -15,7 +15,9 @@
 //! failure exits with a message on stderr and a non-zero status — no
 //! panics on user input.
 
-use qn_codec::{decode_standalone_with, info, model, BackendKind, Codec, CodecOptions};
+use qn_codec::{
+    decode_standalone_with, info, model, BackendKind, Codec, CodecOptions, EntropyCoder,
+};
 use qn_core::config::{
     CompressionTargetKind, InitStrategy, NetworkConfig, OptimizerKind, SubspaceKind,
 };
@@ -32,8 +34,9 @@ qnc — quantum-network image codec
 
 USAGE:
     qnc compress   <input.pgm> -o <out.qnc> [--model <m.qnm>] [--tile N]
-                   [--latent D] [--bits B] [--per-tile-scale]
-                   [--no-inline-model] [--backend B] [--serial] [--no-verify]
+                   [--latent D] [--bits B] [--entropy rice|rice-pos|range]
+                   [--per-tile-scale] [--no-inline-model] [--backend B]
+                   [--serial] [--no-verify]
     qnc decompress <input.qnc> -o <out.pgm> [--model <m.qnm>]
                    [--backend B] [--serial]
     qnc train      <input.pgm> -o <model.qnm> [--tile N] [--latent D]
@@ -41,9 +44,10 @@ USAGE:
     qnc info       <file.qnc | file.qnm> [--json]
     qnc serve      [--addr HOST:PORT] [--store DIR] [--backend B]
                    [--batch-tiles N] [--batch-deadline-ms T] [--cache-models N]
+                   [--read-timeout-ms T]
     qnc remote compress   <input.pgm> -o <out.qnc> --addr HOST:PORT
                    [--model <m.qnm>] [--tile N] [--latent D] [--bits B]
-                   [--per-tile-scale] [--no-inline-model]
+                   [--entropy C] [--per-tile-scale] [--no-inline-model]
     qnc remote decompress <input.qnc> -o <out.pgm> --addr HOST:PORT
     qnc remote info       [file.qnc | file.qnm] --addr HOST:PORT
     qnc remote models     --addr HOST:PORT
@@ -52,18 +56,23 @@ USAGE:
                    [-o report.json] [--json] [--seed S] [--check]
                    [--timings]
 
-Defaults: tile 4, latent 8, bits 8, inline model, panel backend.
-Backends (--backend scalar|scalar-parallel|panel; --serial is shorthand
-for --backend scalar) change throughput only: every backend produces
-byte-identical containers and pixel-identical decodes. `compress`
-without --model builds a PCA-spectral model from the input image itself
-and (unless --no-inline-model) embeds it in the container, so the .qnc
-decodes standalone. `train` distills a model from an image's tiles:
-spectral initialisation plus --iters gradient refinement steps (0 =
-spectral only). `serve` runs the batching codec server (default addr
-127.0.0.1:7733, port 0 = ephemeral; --store names the model-zoo
-directory); `remote` runs compress/decompress/info/models against it,
-with responses byte-identical to the offline commands. `remote
+Defaults: tile 4, latent 8, bits 8, rice entropy coding, inline model,
+panel backend. Backends (--backend scalar|scalar-parallel|panel;
+--serial is shorthand for --backend scalar) change throughput only:
+every backend produces byte-identical containers and pixel-identical
+decodes. --entropy picks the latent bitstream coder: rice writes
+format v1 (readable by every build), rice-pos and range write format
+v2 (per-position Rice parameters / adaptive range coding + norm
+deltas — smaller files, identical pixels). `decompress` reads all
+three automatically. `compress` without --model builds a PCA-spectral
+model from the input image itself and (unless --no-inline-model)
+embeds it in the container, so the .qnc decodes standalone. `train`
+distills a model from an image's tiles: spectral initialisation plus
+--iters gradient refinement steps (0 = spectral only). `serve` runs
+the batching codec server (default addr 127.0.0.1:7733, port 0 =
+ephemeral; --store names the model-zoo directory); `remote` runs
+compress/decompress/info/models against it, with responses
+byte-identical to the offline commands. `remote
 compress --model` uploads the model to the server's zoo first. `eval`
 runs the rate-distortion sweep (datasets from the registry and/or a
 --dir of PGMs, grid spec like 'tile=4;d=2,4,8;bits=4,8' or
@@ -110,6 +119,8 @@ impl Args {
             "--batch-tiles",
             "--batch-deadline-ms",
             "--cache-models",
+            "--read-timeout-ms",
+            "--entropy",
             "--datasets",
             "--grid",
             "--baselines",
@@ -180,6 +191,15 @@ fn backend_choice(args: &Args) -> Result<BackendKind, String> {
     }
 }
 
+/// Entropy-coder selection: `--entropy rice|rice-pos|range`, default
+/// rice (the v1 bitstream every build reads).
+fn entropy_choice(args: &Args) -> Result<EntropyCoder, String> {
+    match args.value(&["--entropy"]) {
+        Some(name) => name.parse(),
+        None => Ok(EntropyCoder::Rice),
+    }
+}
+
 /// The codec for `compress`: an explicit model file, or a spectral model
 /// distilled from the image itself.
 fn codec_for_compress(
@@ -214,6 +234,7 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         per_tile_scale: args.has("--per-tile-scale"),
         inline_model: !args.has("--no-inline-model"),
         backend: backend_choice(args)?,
+        entropy: entropy_choice(args)?,
     };
 
     let img = read_image(Path::new(input))?;
@@ -437,6 +458,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         backend: backend_choice(args)?,
         batch_tiles: args.numeric(&["--batch-tiles"], 4096usize)?,
         batch_deadline: Duration::from_millis(args.numeric(&["--batch-deadline-ms"], 2u64)?),
+        read_timeout: Duration::from_millis(args.numeric(&["--read-timeout-ms"], 30_000u64)?),
     };
     let store = config
         .store_dir
@@ -537,6 +559,7 @@ fn remote_compress(args: &Args, positional: &[String]) -> Result<(), String> {
         per_tile_scale: args.has("--per-tile-scale"),
         inline_model: !args.has("--no-inline-model"),
         backend: BackendKind::Panel, // server-side choice; irrelevant to bytes
+        entropy: entropy_choice(args)?,
     };
     let img = read_image(Path::new(input))?;
     let mut client = remote_client(args)?;

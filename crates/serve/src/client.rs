@@ -151,6 +151,7 @@ pub fn spectral_encode_request(
         bits: opts.bits,
         flags: option_flags(opts),
         latent_dim: saturate_u16(latent_dim),
+        entropy: opts.entropy,
         model_id: 0,
         image: img.clone(),
     }
@@ -164,6 +165,7 @@ pub fn model_encode_request(img: &GrayImage, opts: &CodecOptions, model_id: u64)
         bits: opts.bits,
         flags: option_flags(opts) | ENC_FLAG_USE_MODEL_ID,
         latent_dim: 0,
+        entropy: opts.entropy,
         model_id,
         image: img.clone(),
     }

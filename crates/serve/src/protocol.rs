@@ -35,7 +35,9 @@
 //!                bit 2 encode with the model id below (else a
 //!                      PCA-spectral model is built from the image)
 //! 4   2   latent dimension d (spectral model; ignored with bit 2)
-//! 6   2   reserved (0)
+//! 6   1   entropy coder: 0 rice (what pre-v2 clients send), 1
+//!         rice-pos, 2 range — unknown ids are rejected typed
+//! 7   1   reserved (0)
 //! 8   8   model id (with bit 2)
 //! 16  4   image width    20  4  image height
 //! 24  …   width·height pixel values, f64 raw IEEE-754 bits
@@ -57,6 +59,7 @@
 
 use crate::error::ServeError;
 use qn_codec::bitstream::{crc32, crc32_of_parts};
+use qn_codec::EntropyCoder;
 use qn_image::GrayImage;
 use std::io::{Read, Write};
 
@@ -405,6 +408,9 @@ pub struct EncodeRequest {
     /// Spectral-model latent dimension (ignored with
     /// [`ENC_FLAG_USE_MODEL_ID`]).
     pub latent_dim: u16,
+    /// Entropy coder for the latent bitstream (pre-v2 clients leave
+    /// the byte zero, which is `rice` — the v1 format).
+    pub entropy: EntropyCoder,
     /// Zoo model to encode with (with [`ENC_FLAG_USE_MODEL_ID`]).
     pub model_id: u64,
     /// The image to compress.
@@ -419,7 +425,8 @@ impl EncodeRequest {
         p.push(self.bits);
         p.push(self.flags);
         p.extend_from_slice(&self.latent_dim.to_le_bytes());
-        p.extend_from_slice(&[0, 0]); // reserved
+        p.push(self.entropy.wire_id());
+        p.push(0); // reserved
         p.extend_from_slice(&self.model_id.to_le_bytes());
         p.extend_from_slice(&(self.image.width() as u32).to_le_bytes());
         p.extend_from_slice(&(self.image.height() as u32).to_le_bytes());
@@ -458,10 +465,19 @@ impl EncodeRequest {
             )));
         }
         let latent_dim = u16::from_le_bytes(payload[4..6].try_into().expect("2 bytes"));
-        // Reserved bytes must be zero, like unknown flag bits: a future
-        // revision that assigns them meaning must not be silently
-        // misread by this build.
-        if payload[6] != 0 || payload[7] != 0 {
+        // Byte 6 was reserved-zero before bitstream v2, so pre-v2
+        // clients land on `rice` and this build's rejections stay
+        // typed for ids it does not implement.
+        let entropy = EntropyCoder::from_wire_id(payload[6]).ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "entropy coder id {} names no coder this build understands",
+                payload[6]
+            ))
+        })?;
+        // The remaining reserved byte must be zero, like unknown flag
+        // bits: a future revision that assigns it meaning must not be
+        // silently misread by this build.
+        if payload[7] != 0 {
             return Err(ServeError::BadRequest(
                 "reserved encode-request bytes must be zero".into(),
             ));
@@ -479,6 +495,7 @@ impl EncodeRequest {
             bits,
             flags,
             latent_dim,
+            entropy,
             model_id,
             image,
         })
@@ -688,6 +705,7 @@ mod tests {
             bits: 8,
             flags: ENC_FLAG_INLINE_MODEL,
             latent_dim: 8,
+            entropy: EntropyCoder::RicePos,
             model_id: 0,
             image,
         };
@@ -728,6 +746,28 @@ mod tests {
                 "tile size {bad_tile} must be rejected"
             );
         }
+        // Unknown entropy-coder ids are rejected typed (byte 6 was
+        // reserved-zero before v2, so 0 still means rice).
+        let mut ok = vec![0u8; 32];
+        ok[0..2].copy_from_slice(&4u16.to_le_bytes());
+        ok[2] = 8;
+        ok[16..20].copy_from_slice(&1u32.to_le_bytes());
+        ok[20..24].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            EncodeRequest::from_payload(&ok).unwrap().entropy,
+            EntropyCoder::Rice
+        );
+        for (byte, value) in [(6usize, 3u8), (6, 0xFF), (7, 1)] {
+            let mut bad = ok.clone();
+            bad[byte] = value;
+            assert!(
+                matches!(
+                    EncodeRequest::from_payload(&bad),
+                    Err(ServeError::BadRequest(_))
+                ),
+                "byte {byte} = {value} must be rejected"
+            );
+        }
         // Unknown flags are rejected (reserved for future versions).
         let img = GrayImage::from_pixels(1, 1, vec![0.5]).unwrap();
         let mut req = EncodeRequest {
@@ -735,6 +775,7 @@ mod tests {
             bits: 8,
             flags: 0x80,
             latent_dim: 8,
+            entropy: EntropyCoder::Rice,
             model_id: 0,
             image: img,
         };

@@ -48,6 +48,13 @@ pub struct ServerConfig {
     /// Flush a batch group this long after it opens. Zero disables
     /// cross-request coalescing (per-request dispatch).
     pub batch_deadline: Duration,
+    /// How long a connection may take to deliver the rest of a frame
+    /// once its header has arrived (`Duration::ZERO` disables the
+    /// timeout). Idle connections are never timed out — the clock only
+    /// runs between header and payload, where a stalled peer would
+    /// otherwise pin the adaptive-flush in-flight gauge and degrade
+    /// every concurrent request to deadline-bounded batching.
+    pub read_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +66,7 @@ impl Default for ServerConfig {
             backend: BackendKind::Panel,
             batch_tiles: 4096,
             batch_deadline: Duration::from_millis(2),
+            read_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -75,10 +83,10 @@ struct Shared {
     /// submits its tiles to the batcher. Drives the adaptive batch
     /// flush — a submitter that sees no other incoming request
     /// flushes its batch eagerly instead of paying the deadline.
-    /// A peer that stalls between header and payload keeps the count
-    /// raised and temporarily degrades others to deadline-bounded
-    /// batching (pre-adaptive behavior) — never worse; socket read
-    /// timeouts would remove even that (see ROADMAP).
+    /// A peer that stalls (or drips bytes) between header and payload
+    /// keeps the count raised only until the frame read deadline
+    /// ([`ServerConfig::read_timeout`]) reaps the connection and the
+    /// guard releases the count.
     inflight: AtomicUsize,
     shutdown: AtomicBool,
 }
@@ -184,8 +192,41 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// A frame-scoped deadline over a `TcpStream`: every `read` first
+/// checks the shared deadline cell — unset means an unbounded idle
+/// wait; once set (by the header hook), each read gets the *remaining*
+/// time as its socket timeout, so the whole frame must arrive by the
+/// deadline. A per-`recv` timeout alone would let a peer drip one byte
+/// per interval and hold a frame (and the in-flight gauge) open
+/// forever.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    deadline: &'a std::cell::Cell<Option<std::time::Instant>>,
+}
+
+impl std::io::Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline.get() {
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "frame read deadline exceeded",
+                ));
+            };
+            // set_read_timeout rejects zero; the floor only matters in
+            // the last millisecond before the deadline check above
+            // fires on the next read.
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        }
+        (&mut &*self.stream).read(buf)
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
+    let timeout = shared.config.read_timeout;
+    let deadline = std::cell::Cell::new(None);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -197,8 +238,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         // mesh-bound opcodes (ENCODE/DECODE) count — an INFO poll or
         // model upload never submits to the batcher, so it must not
         // make a concurrent encode forfeit its eager flush.
+        // The same moment arms the frame deadline: idle waits are
+        // unbounded, but a peer that has started a frame must finish
+        // the *whole frame* within `read_timeout` — stalling or
+        // dripping bytes gets the connection reaped (and its in-flight
+        // count released by the guard).
+        deadline.set(None);
+        let _ = stream.set_read_timeout(None);
         let mut counted = None;
-        let frame = match Frame::read_from_tracked(&mut stream, |opcode| {
+        let mut reader = DeadlineReader {
+            stream: &stream,
+            deadline: &deadline,
+        };
+        let frame = match Frame::read_from_tracked(&mut reader, |opcode| {
+            if timeout > Duration::ZERO {
+                deadline.set(Some(std::time::Instant::now() + timeout));
+            }
             if matches!(
                 Opcode::from_u8(opcode),
                 Some(Opcode::Encode | Opcode::Decode)
@@ -208,7 +263,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             }
         }) {
             Ok(frame) => frame,
-            // EOF / reset / mid-frame disconnect: nothing to answer.
+            // EOF / reset / mid-frame disconnect / deadline expiry:
+            // nothing to answer (`counted` drops here, releasing the
+            // in-flight gauge a stalled peer would otherwise pin).
             Err(FrameError::Io(_)) => return,
             // Framing is unrecoverable: best-effort typed error, close.
             Err(e) => {
@@ -299,6 +356,7 @@ fn handle_encode(
         per_tile_scale: req.flags & ENC_FLAG_PER_TILE_SCALE != 0,
         inline_model: req.flags & ENC_FLAG_INLINE_MODEL != 0,
         backend: shared.config.backend,
+        entropy: req.entropy,
     };
     let eager = submitting_alone(shared, inflight);
     let (bytes, _) = shared
@@ -408,13 +466,14 @@ fn server_info_json(shared: &Shared) -> String {
     format!(
         "{{\"format\":\"qn-serve\",\"protocol_version\":{PROTOCOL_VERSION},\
          \"backend\":\"{}\",\"batch_tiles\":{},\"batch_deadline_ms\":{},\
-         \"coalescing\":{},\"adaptive_flush\":true,\
+         \"coalescing\":{},\"adaptive_flush\":true,\"read_timeout_ms\":{},\
          \"models_cached\":{},\"store_dir\":{store_dir},\
          \"requests_served\":{}}}",
         shared.config.backend,
         shared.config.batch_tiles,
         shared.config.batch_deadline.as_millis(),
         shared.batcher.coalesces(),
+        shared.config.read_timeout.as_millis(),
         shared.store.cached_len(),
         shared.requests.load(Ordering::Relaxed),
     )

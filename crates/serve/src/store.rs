@@ -159,6 +159,12 @@ impl ModelStore {
                     continue;
                 };
                 let Ok(meta) = entry.metadata() else { continue };
+                // A directory (or other non-file) wearing a model name
+                // is foreign too — listing it would promise a model
+                // `get` can never load.
+                if !meta.is_file() {
+                    continue;
+                }
                 entries.push(ModelEntry {
                     id,
                     size_bytes: meta.len(),
@@ -309,6 +315,80 @@ mod tests {
         assert_eq!(listed[0].id, id);
         assert_eq!(listed[0].size_bytes, bytes.len() as u64);
         assert!(listed[0].cached);
+    }
+
+    #[test]
+    fn lru_eviction_order_tracks_interleaved_inserts_and_gets() {
+        // Directory-less store: the cache IS the zoo, so eviction is
+        // observable as UnknownModel. A get() must refresh recency —
+        // inserting C after touching A evicts B, not A.
+        let store = ModelStore::new(None, 2).unwrap();
+        let (id_a, bytes_a) = model_bytes(60);
+        let (id_b, bytes_b) = model_bytes(61);
+        let (id_c, bytes_c) = model_bytes(62);
+        store.insert_bytes(&bytes_a).unwrap();
+        store.insert_bytes(&bytes_b).unwrap();
+        store.get(id_a).unwrap(); // A is now most recent
+        store.insert_bytes(&bytes_c).unwrap(); // evicts B
+        assert!(matches!(store.get(id_b), Err(ServeError::UnknownModel(b)) if b == id_b));
+        assert_eq!(store.get(id_a).unwrap().model_id(), id_a);
+        assert_eq!(store.get(id_c).unwrap().model_id(), id_c);
+        // Re-inserting an already-cached model refreshes instead of
+        // duplicating: capacity still holds exactly two entries.
+        store.insert_bytes(&bytes_a).unwrap();
+        assert_eq!(store.cached_len(), 2);
+        // ... and counts as a touch: C is now the LRU entry.
+        store.insert_bytes(&bytes_b).unwrap();
+        assert!(matches!(store.get(id_c), Err(ServeError::UnknownModel(_))));
+        assert_eq!(store.get(id_a).unwrap().model_id(), id_a);
+    }
+
+    #[test]
+    fn garbage_in_the_zoo_dir_is_skipped_by_list_not_fatal() {
+        let dir = temp_dir("garbage");
+        let store = ModelStore::new(Some(dir.clone()), 4).unwrap();
+        let (id, bytes) = model_bytes(70);
+        store.insert_bytes(&bytes).unwrap();
+        // Foreign shapes a hostile or confused operator can drop in:
+        // wrong extension, wrong stem length, non-hex stem of the right
+        // length, and a *directory* wearing a legal model name.
+        std::fs::write(dir.join("README.txt"), "hello").unwrap();
+        std::fs::write(dir.join("cafe.qnm"), "short stem").unwrap();
+        std::fs::write(dir.join("zzzzzzzzzzzzzzzz.qnm"), "sixteen non-hex").unwrap();
+        std::fs::create_dir(dir.join("00000000deadbeef.qnm")).unwrap();
+        let listed = store.list().unwrap();
+        assert_eq!(
+            listed.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![id],
+            "only the real model is listed"
+        );
+    }
+
+    #[test]
+    fn id_mismatch_corruption_is_not_cached_and_stays_typed() {
+        let dir = temp_dir("mismatch");
+        let store = ModelStore::new(Some(dir), 4).unwrap();
+        let (id_a, bytes_a) = model_bytes(80);
+        let (_, bytes_b) = model_bytes(81);
+        store.insert_bytes(&bytes_a).unwrap();
+        // Overwrite A's zoo file with B's body: content no longer
+        // hashes to the address.
+        std::fs::write(store.model_path(id_a).unwrap(), &bytes_b).unwrap();
+        // Force the parsed copy of A out of RAM so get() re-reads disk.
+        for seed in 90..94 {
+            let (_, bytes) = model_bytes(seed);
+            store.insert_bytes(&bytes).unwrap();
+        }
+        // Every lookup reports corruption; the poisoned bytes never
+        // enter the cache as model A.
+        for _ in 0..2 {
+            assert!(matches!(store.get(id_a), Err(ServeError::Codec(_))));
+        }
+        let cache_ids: Vec<u64> = store.list().unwrap().iter().map(|e| e.id).collect();
+        assert!(
+            cache_ids.contains(&id_a),
+            "file still listed (list is metadata-only)"
+        );
     }
 
     #[test]

@@ -210,6 +210,71 @@ fn corrupt_container_fails_cleanly_without_panicking() {
     );
 }
 
+/// Bitstream v2 through the binary: every entropy coder compresses
+/// and decompresses to pixel-identical output, both v2 coders shrink
+/// the container on a multi-tile image, and an unknown coder name
+/// fails cleanly.
+#[test]
+fn entropy_coders_are_selectable_and_decode_identically() {
+    let dir = work_dir("entropy");
+    let input = dir.join("img.pgm");
+    write_dataset_image(&input, 48, 32, 83);
+
+    let mut sizes = Vec::new();
+    let mut decodes = Vec::new();
+    for coder in ["rice", "rice-pos", "range"] {
+        let container = dir.join(format!("{coder}.qnc"));
+        let decoded = dir.join(format!("{coder}.pgm"));
+        run_ok(
+            qnc()
+                .arg("compress")
+                .arg(&input)
+                .arg("-o")
+                .arg(&container)
+                .arg("--entropy")
+                .arg(coder)
+                .arg("--no-verify"),
+        );
+        // `info` names the coder.
+        let info = run_ok(qnc().arg("info").arg(&container).arg("--json"));
+        let json = String::from_utf8_lossy(&info.stdout).into_owned();
+        assert!(
+            json.contains(&format!("\"entropy\":\"{coder}\"")),
+            "info --json must report the coder: {json}"
+        );
+        run_ok(
+            qnc()
+                .arg("decompress")
+                .arg(&container)
+                .arg("-o")
+                .arg(&decoded),
+        );
+        sizes.push(std::fs::metadata(&container).unwrap().len());
+        decodes.push(std::fs::read(&decoded).unwrap());
+    }
+    assert_eq!(decodes[0], decodes[1], "rice-pos decode differs from rice");
+    assert_eq!(decodes[0], decodes[2], "range decode differs from rice");
+    assert!(
+        sizes[1] < sizes[0] && sizes[2] < sizes[0],
+        "v2 coders must shrink the container: rice {} rice-pos {} range {}",
+        sizes[0],
+        sizes[1],
+        sizes[2]
+    );
+
+    let out = qnc()
+        .arg("compress")
+        .arg(&input)
+        .arg("-o")
+        .arg(dir.join("bad.qnc"))
+        .arg("--entropy")
+        .arg("huffman")
+        .output()
+        .expect("spawn qnc");
+    assert!(!out.status.success(), "unknown coder must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown entropy coder"));
+}
+
 /// `--backend` selects the execution schedule without changing a single
 /// byte: every backend compresses to the same container, and a panel
 /// decode of a scalar encode reproduces the scalar decode exactly.

@@ -256,6 +256,142 @@ fn encode_options_travel_the_wire() {
 }
 
 #[test]
+fn every_entropy_coder_round_trips_byte_identically_over_the_wire() {
+    // The bitstream-v2 acceptance property: remote encode and decode
+    // are byte-identical to offline for all three entropy coders —
+    // the coder choice travels the wire, the served container carries
+    // the right format version, and the server decodes every format
+    // it encodes.
+    use qn_codec::EntropyCoder;
+    let server = boot(None);
+    let img = datasets::grayscale_blobs(1, 32, 24, 17).remove(0);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for entropy in EntropyCoder::ALL {
+        let opts = CodecOptions {
+            entropy,
+            ..CodecOptions::default()
+        };
+        let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+        let offline = codec.encode_image(&img, &opts).unwrap();
+        let offline_img = codec.decode_bytes(&offline).unwrap();
+
+        let remote = client
+            .encode(&spectral_encode_request(&img, &opts, 8))
+            .unwrap();
+        assert_eq!(remote, offline, "{entropy}: remote encode bytes");
+        let header = qn_codec::Container::from_bytes(&remote).unwrap().header;
+        assert_eq!(header.entropy().unwrap(), entropy, "{entropy}: wire format");
+        let decoded = client.decode(&remote).unwrap();
+        assert_eq!(decoded, offline_img, "{entropy}: remote decode pixels");
+    }
+}
+
+#[test]
+fn stalled_mid_frame_peer_is_reaped_and_releases_the_eager_flush() {
+    // A peer that sends an ENCODE frame header and then stalls used to
+    // pin the adaptive-flush in-flight gauge until it went away,
+    // degrading every other request to deadline-bounded batching. With
+    // the read timeout the server reaps the stalled connection, so a
+    // concurrent client flushes eagerly again — pinned here with a
+    // deliberately huge 2 s deadline a solo request must stay well
+    // under.
+    use std::io::{Read as _, Write as _};
+    let deadline = Duration::from_secs(2);
+    let timeout = Duration::from_millis(250);
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_deadline: deadline,
+        read_timeout: timeout,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    // The stalling peer: a full 16-byte ENCODE header promising a
+    // 4096-byte payload that never comes.
+    let mut stalled = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(b"QNF1");
+    header.push(1); // protocol version
+    header.push(0x01); // ENCODE
+    header.extend_from_slice(&0u16.to_le_bytes()); // status
+    header.extend_from_slice(&7u32.to_le_bytes()); // request id
+    header.extend_from_slice(&4096u32.to_le_bytes()); // payload length
+    stalled.write_all(&header).unwrap();
+    stalled.flush().unwrap();
+
+    // Give the timeout room to fire and the connection to be reaped.
+    std::thread::sleep(timeout * 3);
+
+    // The stalled socket is closed by the server (EOF / reset)...
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut probe = [0u8; 64];
+    match stalled.read(&mut probe) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("stalled connection got {n} unexpected reply bytes"),
+    }
+
+    // ... and a fresh client is solo again: eager flush, not deadline.
+    let img = datasets::grayscale_blobs(1, 24, 24, 43).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for round in 0..2 {
+        let t0 = std::time::Instant::now();
+        let bytes = client
+            .encode(&spectral_encode_request(&img, &opts, 8))
+            .unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(bytes, offline, "round {round}");
+        assert!(
+            elapsed < deadline / 2,
+            "round {round}: encode took {elapsed:?} with a stalled peer reaped — \
+             the in-flight gauge is still pinned"
+        );
+    }
+
+    // A *drip-feeding* peer (one payload byte per interval, each well
+    // under any per-recv timeout) must be reaped too: the deadline
+    // covers the whole frame, not each read.
+    let mut dripper = std::net::TcpStream::connect(server.addr()).unwrap();
+    dripper.write_all(&header).unwrap();
+    let drip_deadline = std::time::Instant::now() + timeout * 8;
+    let mut reaped = false;
+    while std::time::Instant::now() < drip_deadline {
+        if dripper
+            .write_all(&[0u8])
+            .and_then(|()| dripper.flush())
+            .is_err()
+        {
+            reaped = true; // connection closed mid-drip
+            break;
+        }
+        std::thread::sleep(timeout / 5);
+    }
+    if !reaped {
+        // Writes may buffer past the close; the read side settles it.
+        dripper
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut probe = [0u8; 16];
+        reaped = matches!(dripper.read(&mut probe), Ok(0) | Err(_));
+    }
+    assert!(reaped, "drip-feeding peer survived the frame deadline");
+    // And the gauge is free again.
+    let t0 = std::time::Instant::now();
+    let bytes = client
+        .encode(&spectral_encode_request(&img, &opts, 8))
+        .unwrap();
+    assert_eq!(bytes, offline);
+    assert!(
+        t0.elapsed() < deadline / 2,
+        "dripper reaped but the in-flight gauge is still pinned"
+    );
+}
+
+#[test]
 fn list_models_enumerates_the_zoo_with_sizes_and_residency() {
     let dir = temp_dir("list_models");
     let server = boot(Some(dir));

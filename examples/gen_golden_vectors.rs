@@ -10,7 +10,7 @@
 //! cargo run --release --example gen_golden_vectors
 //! ```
 
-use qn::codec::{model, BackendKind, Codec, CodecOptions};
+use qn::codec::{model, BackendKind, Codec, CodecOptions, EntropyCoder};
 use qn::image::{datasets, metrics, pgm};
 use std::path::Path;
 
@@ -55,11 +55,34 @@ fn main() {
             &img,
             &CodecOptions {
                 inline_model: true,
-                ..base
+                ..base.clone()
             },
         )
         .expect("encode inline");
     std::fs::write(dir.join("golden_24x16_d8_inline.qnc"), &inline).expect("write inline qnc");
+
+    // Bitstream v2 fixtures: the same image and model through the
+    // per-position Rice coder and the adaptive range coder.
+    let ricepos = codec
+        .encode_image(
+            &img,
+            &CodecOptions {
+                entropy: EntropyCoder::RicePos,
+                ..base.clone()
+            },
+        )
+        .expect("encode rice-pos");
+    std::fs::write(dir.join("golden_24x16_d8_ricepos.qnc"), &ricepos).expect("write ricepos qnc");
+    let range = codec
+        .encode_image(
+            &img,
+            &CodecOptions {
+                entropy: EntropyCoder::Range,
+                ..base
+            },
+        )
+        .expect("encode range");
+    std::fs::write(dir.join("golden_24x16_d8_range.qnc"), &range).expect("write range qnc");
 
     // Constants for tests/golden_vectors.rs.
     let back = codec.decode_bytes(&bytes).expect("decode").clamped();
@@ -72,6 +95,8 @@ fn main() {
     println!("QNC_LEN      = {};", bytes.len());
     println!("SCALED_LEN   = {};", scaled.len());
     println!("INLINE_LEN   = {};", inline.len());
+    println!("RICEPOS_LEN  = {};", ricepos.len());
+    println!("RANGE_LEN    = {};", range.len());
     println!("PSNR_DB      = {:.6};", metrics::psnr(&img, &back));
     println!(
         "PIXEL_HASH   = {:#018x};",

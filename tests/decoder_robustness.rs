@@ -8,15 +8,23 @@
 //! checksum.
 
 use qn::backend::BackendKind;
-use qn::codec::{bitstream, container, decode_standalone, Codec, CodecError, CodecOptions};
+use qn::codec::{
+    bitstream, container, decode_standalone, Codec, CodecError, CodecOptions, EntropyCoder,
+};
 use qn::image::datasets;
 
 /// A valid container (inline model, per-tile scales) plus its codec.
 fn valid_fixture() -> (Codec, Vec<u8>) {
+    valid_fixture_with(EntropyCoder::Rice)
+}
+
+/// Like [`valid_fixture`], through the chosen entropy coder.
+fn valid_fixture_with(entropy: EntropyCoder) -> (Codec, Vec<u8>) {
     let img = datasets::grayscale_blobs(1, 16, 16, 99).remove(0);
     let codec = Codec::spectral_for_image(&img, 4, 8).expect("spectral model");
     let opts = CodecOptions {
         per_tile_scale: true,
+        entropy,
         ..CodecOptions::default()
     };
     let bytes = codec.encode_image(&img, &opts).expect("encode");
@@ -308,6 +316,153 @@ fn every_single_byte_corruption_is_caught_or_harmless() {
         );
         assert!(codec.decode_bytes_with(&bytes, BackendKind::Panel).is_err());
     }
+}
+
+#[test]
+fn v2_every_single_byte_truncation_fails_typed() {
+    for coder in [EntropyCoder::RicePos, EntropyCoder::Range] {
+        let (codec, valid) = valid_fixture_with(coder);
+        for cut in 0..valid.len() {
+            assert!(
+                container::Container::from_bytes(&valid[..cut]).is_err(),
+                "{coder}: truncation at {cut} must fail"
+            );
+        }
+        // Spot the error taxonomy on a few cuts (every one is either a
+        // truncation or a checksum failure, like v1).
+        for cut in [0, 10, valid.len() / 2, valid.len() - 1] {
+            let err = container::Container::from_bytes(&valid[..cut]).expect_err("must fail");
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. } | CodecError::ChecksumMismatch { .. }
+                ),
+                "{coder} cut {cut}: unexpected {err:?}"
+            );
+            assert!(codec
+                .decode_bytes_with(&valid[..cut], BackendKind::Panel)
+                .is_err());
+            assert!(decode_standalone(&valid[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn v2_every_single_byte_flip_is_caught_without_crc_repair() {
+    for coder in [EntropyCoder::RicePos, EntropyCoder::Range] {
+        let (codec, valid) = valid_fixture_with(coder);
+        for pos in 0..valid.len() {
+            let mut bytes = valid.clone();
+            bytes[pos] ^= 0x24;
+            assert!(
+                container::Container::from_bytes(&bytes).is_err(),
+                "{coder}: flip at {pos} went unnoticed"
+            );
+            assert!(codec.decode_bytes_with(&bytes, BackendKind::Panel).is_err());
+        }
+    }
+}
+
+#[test]
+fn v2_payload_flips_with_crc_refixed_never_panic() {
+    // Re-fix the CRC after every single-byte payload flip: the bytes
+    // are then "authentic" as far as the format can tell, so the
+    // entropy decoders themselves must absorb the damage — a typed
+    // error or a structurally valid garbage decode, never a panic or
+    // an unbounded allocation.
+    for coder in [EntropyCoder::RicePos, EntropyCoder::Range] {
+        let (codec, valid) = valid_fixture_with(coder);
+        for pos in 0..valid.len() - 4 {
+            let mut bytes = valid.clone();
+            bytes[pos] ^= 0x41;
+            refix_crc(&mut bytes);
+            match codec.decode_bytes_with(&bytes, BackendKind::Panel) {
+                Ok(img) => assert_eq!(
+                    (img.width(), img.height()),
+                    (16, 16),
+                    "{coder}: flip at {pos} decoded to bad geometry"
+                ),
+                Err(CodecError::Core(_)) | Err(CodecError::Io(_)) => {
+                    panic!("{coder}: flip at {pos} surfaced an out-of-layer error")
+                }
+                Err(_) => {}
+            }
+            let _ = decode_standalone(&bytes);
+        }
+    }
+}
+
+#[test]
+fn v2_targeted_header_forgeries_fail_typed() {
+    let (_, valid) = valid_fixture_with(EntropyCoder::RicePos);
+    // Downgrading the version under a v2 entropy flag is an unknown
+    // coder, not garbage.
+    let mut bytes = valid.clone();
+    bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+    refix_crc(&mut bytes);
+    assert!(matches!(
+        container::Container::from_bytes(&bytes),
+        Err(CodecError::UnsupportedCoder { .. })
+    ));
+    // Setting both coder flags at once likewise.
+    let mut bytes = valid.clone();
+    let flags = u16::from_le_bytes([bytes[6], bytes[7]]) | (1 << 2) | (1 << 3);
+    bytes[6..8].copy_from_slice(&flags.to_le_bytes());
+    refix_crc(&mut bytes);
+    assert!(matches!(
+        container::Container::from_bytes(&bytes),
+        Err(CodecError::UnsupportedCoder { .. })
+    ));
+    // A v2 container whose payload is too small for its tile grid is
+    // rejected before the tile vector is allocated (rice-pos keeps the
+    // one-bit-per-tile budget guard).
+    let mut bytes = valid;
+    bytes[16..20].copy_from_slice(&(1u32 << 30).to_le_bytes());
+    bytes[20..24].copy_from_slice(&(1u32 << 30).to_le_bytes());
+    bytes[24..26].copy_from_slice(&1u16.to_le_bytes());
+    refix_crc(&mut bytes);
+    assert!(matches!(
+        container::Container::from_bytes(&bytes),
+        Err(CodecError::Invalid(_))
+    ));
+
+    // The range coder's tile grid is bounded by its own hard cap — a
+    // small CRC-fixed payload cannot imply a gigatile allocation.
+    let (_, valid) = valid_fixture_with(EntropyCoder::Range);
+    let mut bytes = valid.clone();
+    bytes[16..20].copy_from_slice(&(1u32 << 30).to_le_bytes());
+    bytes[20..24].copy_from_slice(&(1u32 << 30).to_le_bytes());
+    bytes[24..26].copy_from_slice(&1u16.to_le_bytes());
+    refix_crc(&mut bytes);
+    let err = container::Container::from_bytes(&bytes).expect_err("tile bomb must fail");
+    assert!(
+        matches!(err, CodecError::Invalid(ref m) if m.contains("tile")),
+        "unexpected {err:?}"
+    );
+
+    // Forged dimensions *inside* the tile cap still cannot make a tiny
+    // payload balloon: the decoded-item budget ties work and memory to
+    // the input size, so this returns a typed error promptly instead of
+    // materialising millions of tiles from a few hundred bytes.
+    let mut bytes = valid.clone();
+    bytes[16..20].copy_from_slice(&2048u32.to_le_bytes());
+    bytes[20..24].copy_from_slice(&2048u32.to_le_bytes());
+    bytes[24..26].copy_from_slice(&1u16.to_le_bytes()); // 4 Mi tiles exactly
+    refix_crc(&mut bytes);
+    let t0 = std::time::Instant::now();
+    assert!(container::Container::from_bytes(&bytes).is_err());
+    assert!(
+        t0.elapsed() < std::time::Duration::from_millis(500),
+        "budget must reject the forged grid promptly, took {:?}",
+        t0.elapsed()
+    );
+
+    // Likewise a forged 65535-latent header: the first occupied tile
+    // would charge 65536 items against a few-hundred-item budget.
+    let mut bytes = valid;
+    bytes[26..28].copy_from_slice(&u16::MAX.to_le_bytes());
+    refix_crc(&mut bytes);
+    assert!(container::Container::from_bytes(&bytes).is_err());
 }
 
 #[test]

@@ -7,7 +7,9 @@
 //! and regenerated fixtures (`cargo run --example gen_golden_vectors`).
 
 use qn::backend::BackendKind;
-use qn::codec::{bitstream, container, decode_standalone, model, Codec, CodecOptions};
+use qn::codec::{
+    bitstream, container, decode_standalone, model, Codec, CodecOptions, EntropyCoder,
+};
 use qn::image::{metrics, pgm, GrayImage};
 use std::path::PathBuf;
 
@@ -16,6 +18,8 @@ const MODEL_ID: u64 = 0xbc71c2dfcda332b1;
 const QNC_LEN: usize = 276;
 const SCALED_LEN: usize = 372;
 const INLINE_LEN: usize = 2248;
+const RICEPOS_LEN: usize = 182;
+const RANGE_LEN: usize = 232;
 const PSNR_DB: f64 = 47.168873;
 const PIXEL_HASH: u64 = 0xde8d991e6aae57c1;
 
@@ -130,6 +134,89 @@ fn golden_reencode_reproduces_container_bytes_on_every_backend() {
             let opts = CodecOptions {
                 inline_model: false,
                 per_tile_scale,
+                backend,
+                ..CodecOptions::default()
+            };
+            let bytes = codec.encode_image(&img, &opts).expect("encode");
+            assert_eq!(
+                bytes,
+                vector_bytes(name),
+                "{backend}: re-encoding {name} is no longer byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn v2_golden_containers_parse_and_reserialize_byte_exact() {
+    for (name, len, coder, version) in [
+        (
+            "golden_24x16_d8_ricepos.qnc",
+            RICEPOS_LEN,
+            EntropyCoder::RicePos,
+            2u16,
+        ),
+        (
+            "golden_24x16_d8_range.qnc",
+            RANGE_LEN,
+            EntropyCoder::Range,
+            2,
+        ),
+    ] {
+        let bytes = vector_bytes(name);
+        assert_eq!(bytes.len(), len, "{name}: container size drifted");
+        let parsed = container::Container::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{name} must parse: {e}"));
+        assert_eq!(parsed.header.version, version, "{name}");
+        assert_eq!(parsed.header.entropy().unwrap(), coder, "{name}");
+        assert_eq!(parsed.header.model_id, MODEL_ID, "{name}");
+        assert_eq!(
+            parsed.to_bytes().expect("reserialize"),
+            bytes,
+            "{name}: reserialization is no longer byte-exact"
+        );
+        // The v2 parse must agree tile-for-tile with the v1 fixture:
+        // entropy coding is lossless re the quantized levels.
+        let v1 = container::Container::from_bytes(&vector_bytes("golden_24x16_d8.qnc")).unwrap();
+        assert_eq!(parsed.tiles, v1.tiles, "{name}: tile payloads drifted");
+    }
+    // The v2 fixtures pin the rate win itself: both coders beat the
+    // v1 rice container on the golden image.
+    let v1_len = vector_bytes("golden_24x16_d8.qnc").len();
+    assert!(vector_bytes("golden_24x16_d8_ricepos.qnc").len() < v1_len);
+    assert!(vector_bytes("golden_24x16_d8_range.qnc").len() < v1_len);
+}
+
+#[test]
+fn v2_golden_decode_is_pinned_on_every_backend() {
+    let codec = golden_codec();
+    for name in ["golden_24x16_d8_ricepos.qnc", "golden_24x16_d8_range.qnc"] {
+        let bytes = vector_bytes(name);
+        for backend in BackendKind::ALL {
+            let back = codec
+                .decode_bytes_with(&bytes, backend)
+                .unwrap_or_else(|e| panic!("{name} on {backend}: {e}"));
+            assert_eq!(
+                pixel_hash(&back),
+                PIXEL_HASH,
+                "{name} on {backend}: v2 decode drifted from the v1 golden pixels"
+            );
+        }
+    }
+}
+
+#[test]
+fn v2_golden_reencode_reproduces_container_bytes_on_every_backend() {
+    let codec = golden_codec();
+    let img = golden_image();
+    for backend in BackendKind::ALL {
+        for (name, entropy) in [
+            ("golden_24x16_d8_ricepos.qnc", EntropyCoder::RicePos),
+            ("golden_24x16_d8_range.qnc", EntropyCoder::Range),
+        ] {
+            let opts = CodecOptions {
+                inline_model: false,
+                entropy,
                 backend,
                 ..CodecOptions::default()
             };
