@@ -21,6 +21,7 @@
 //! benchmarks compare against.
 
 use crate::BackendKind;
+use qn_metrics::{Counter, Histogram, Registry};
 use qn_photonic::Mesh;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,6 +29,80 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Why a group left the queue and executed. Every flush is attributed
+/// to exactly one cause, so the per-cause counters in
+/// [`BatcherMetrics`] always sum to the total number of flushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// The group reached the batch tile limit.
+    Full,
+    /// The group's coalescing deadline expired on the timer thread.
+    Deadline,
+    /// A submitter flushed early — the eager hint, or a batcher whose
+    /// configuration disables coalescing entirely.
+    Eager,
+    /// The batcher was dropped and drained its pending groups.
+    Drain,
+}
+
+impl FlushCause {
+    /// Stable label value used in metric keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushCause::Full => "full",
+            FlushCause::Deadline => "deadline",
+            FlushCause::Eager => "eager",
+            FlushCause::Drain => "drain",
+        }
+    }
+}
+
+/// Telemetry handles a [`MeshBatcher`] updates on every flush: a
+/// histogram of flushed batch sizes (in tiles) and one counter per
+/// [`FlushCause`]. All handles live in the [`Registry`] the metrics
+/// were built from, so exposition picks them up automatically.
+#[derive(Debug, Clone)]
+pub struct BatcherMetrics {
+    /// Tiles per executed batch (`batch_flush_tiles`).
+    pub flush_tiles: Arc<Histogram>,
+    /// Flush counters indexed by cause
+    /// (`batch_flushes_total{cause=...}`).
+    causes: [Arc<Counter>; 4],
+}
+
+impl BatcherMetrics {
+    /// Register the batcher's metrics in `registry` (idempotent —
+    /// re-registering returns the same handles).
+    pub fn new(registry: &Registry) -> Self {
+        let cause =
+            |c: FlushCause| registry.counter_with("batch_flushes_total", &[("cause", c.label())]);
+        BatcherMetrics {
+            flush_tiles: registry.histogram("batch_flush_tiles"),
+            causes: [
+                cause(FlushCause::Full),
+                cause(FlushCause::Deadline),
+                cause(FlushCause::Eager),
+                cause(FlushCause::Drain),
+            ],
+        }
+    }
+
+    /// The flush counter for `cause`.
+    pub fn flushes(&self, cause: FlushCause) -> &Counter {
+        &self.causes[match cause {
+            FlushCause::Full => 0,
+            FlushCause::Deadline => 1,
+            FlushCause::Eager => 2,
+            FlushCause::Drain => 3,
+        }]
+    }
+
+    fn record(&self, tiles: usize, cause: FlushCause) {
+        self.flush_tiles.observe(tiles as u64);
+        self.flushes(cause).inc();
+    }
+}
 
 /// Supplies the mesh a batch group executes against. Implementors wrap
 /// whatever owns the mesh (e.g. a cached codec) so the mesh stays alive
@@ -93,12 +168,16 @@ struct Shared {
     max_tiles: usize,
     deadline: Duration,
     shutdown: AtomicBool,
+    metrics: Option<BatcherMetrics>,
 }
 
 impl Shared {
     /// Execute one group as a single backend pass and fan results back
     /// out to every submitter. Runs outside the state lock.
-    fn flush(&self, group: Group) {
+    fn flush(&self, group: Group, cause: FlushCause) {
+        if let Some(m) = &self.metrics {
+            m.record(group.tiles, cause);
+        }
         let counts: Vec<usize> = group.entries.iter().map(|e| e.vecs.len()).collect();
         let mut all: Vec<Vec<f64>> = Vec::with_capacity(group.tiles);
         let mut txs = Vec::with_capacity(group.entries.len());
@@ -142,6 +221,18 @@ impl MeshBatcher {
     /// `deadline == 0` (or `max_tiles <= 1`) flushes every submission
     /// immediately — per-request dispatch with no coalescing.
     pub fn new(backend: BackendKind, max_tiles: usize, deadline: Duration) -> Self {
+        Self::with_metrics(backend, max_tiles, deadline, None)
+    }
+
+    /// [`MeshBatcher::new`] with telemetry: when `metrics` is supplied
+    /// every flush records its batch size and cause. Instrumentation
+    /// never changes flush decisions or results.
+    pub fn with_metrics(
+        backend: BackendKind,
+        max_tiles: usize,
+        deadline: Duration,
+        metrics: Option<BatcherMetrics>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 groups: HashMap::new(),
@@ -151,6 +242,7 @@ impl MeshBatcher {
             max_tiles: max_tiles.max(1),
             deadline,
             shutdown: AtomicBool::new(false),
+            metrics,
         });
         let timer = {
             let shared = Arc::clone(&shared);
@@ -223,14 +315,21 @@ impl MeshBatcher {
             group.entries.push(Entry { vecs, tx });
             group.tiles += tiles;
             if eager || group.tiles >= self.shared.max_tiles || !self.coalesces() {
-                st.groups.remove(&key)
+                // Batch-full takes attribution precedence: an eager
+                // hint that also filled the batch counts as full.
+                let cause = if group.tiles >= self.shared.max_tiles {
+                    FlushCause::Full
+                } else {
+                    FlushCause::Eager
+                };
+                st.groups.remove(&key).map(|g| (g, cause))
             } else {
                 self.shared.cond.notify_one();
                 None
             }
         };
-        if let Some(group) = flush_now {
-            self.shared.flush(group);
+        if let Some((group, cause)) = flush_now {
+            self.shared.flush(group, cause);
         }
         BatchHandle { rx }
     }
@@ -255,7 +354,7 @@ fn timer_loop(shared: &Shared) {
             let groups: Vec<Group> = st.groups.drain().map(|(_, g)| g).collect();
             drop(st);
             for group in groups {
-                shared.flush(group);
+                shared.flush(group, FlushCause::Drain);
             }
             return;
         }
@@ -270,7 +369,7 @@ fn timer_loop(shared: &Shared) {
             let groups: Vec<Group> = due.iter().filter_map(|k| st.groups.remove(k)).collect();
             drop(st);
             for group in groups {
-                shared.flush(group);
+                shared.flush(group, FlushCause::Deadline);
             }
             st = shared.state.lock().expect("batcher state lock");
             continue;
@@ -431,6 +530,62 @@ mod tests {
         let handle = batcher.submit(BatchKey { model: 5, lane: 0 }, src, xs);
         drop(batcher);
         assert_eq!(handle.wait().unwrap(), want);
+    }
+
+    #[test]
+    fn flush_causes_are_attributed_and_sum_to_total_flushes() {
+        let registry = Registry::new();
+        let metrics = BatcherMetrics::new(&registry);
+        let src = mesh(6, 2, 51);
+        let key = BatchKey { model: 20, lane: 0 };
+
+        // Full: 4 tiles meet max_tiles=4 on the submitting thread.
+        let batcher = MeshBatcher::with_metrics(
+            BackendKind::Panel,
+            4,
+            Duration::from_secs(3600),
+            Some(metrics.clone()),
+        );
+        batcher.submit(key, src.clone(), batch(6, 4, 0.0)).wait();
+        assert_eq!(metrics.flushes(FlushCause::Full).get(), 1);
+
+        // Eager: explicit hint, undersized group.
+        batcher
+            .submit_with(key, src.clone(), batch(6, 2, 0.1), true)
+            .wait();
+        assert_eq!(metrics.flushes(FlushCause::Eager).get(), 1);
+
+        // Drain: a parked group flushed by drop.
+        let parked = batcher.submit(key, src.clone(), batch(6, 1, 0.2));
+        drop(batcher);
+        parked.wait().unwrap();
+        assert_eq!(metrics.flushes(FlushCause::Drain).get(), 1);
+
+        // Deadline: a short-deadline batcher flushes on its timer.
+        let batcher = MeshBatcher::with_metrics(
+            BackendKind::Panel,
+            1_000_000,
+            Duration::from_millis(2),
+            Some(metrics.clone()),
+        );
+        batcher.submit(key, src, batch(6, 3, 0.3)).wait();
+        assert_eq!(metrics.flushes(FlushCause::Deadline).get(), 1);
+
+        // Every flush carries exactly one cause, so the cause counters
+        // sum to the batch-size histogram's count, and the histogram
+        // saw every tile.
+        let total: u64 = [
+            FlushCause::Full,
+            FlushCause::Deadline,
+            FlushCause::Eager,
+            FlushCause::Drain,
+        ]
+        .iter()
+        .map(|&c| metrics.flushes(c).get())
+        .sum();
+        assert_eq!(total, 4);
+        assert_eq!(metrics.flush_tiles.count(), 4);
+        assert_eq!(metrics.flush_tiles.sum(), 4 + 2 + 1 + 3);
     }
 
     #[test]

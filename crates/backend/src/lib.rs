@@ -33,7 +33,7 @@ mod batch;
 mod panel;
 mod scalar;
 
-pub use batch::{BatchHandle, BatchKey, MeshBatcher, MeshSource};
+pub use batch::{BatchHandle, BatchKey, BatcherMetrics, FlushCause, MeshBatcher, MeshSource};
 pub use panel::{PanelBackend, DEFAULT_PANEL_WIDTH};
 pub use scalar::ScalarBackend;
 

@@ -1,9 +1,11 @@
 //! Serving-throughput recorder: drives real TCP clients against
-//! in-process `qn-serve` instances and measures requests/s and tiles/s
-//! at 1/4/16 concurrent clients, comparing per-request scalar dispatch
-//! (batching off) against cross-request panel batching — the number
-//! the ROADMAP's serving claims point at. Results land in
-//! `BENCH_serve.json` at the workspace root.
+//! in-process `qn-serve` instances and measures requests/s, tiles/s
+//! and client-observed p50/p99 request latency at 1/4/16 concurrent
+//! clients, comparing per-request scalar dispatch (batching off)
+//! against cross-request panel batching — the number the ROADMAP's
+//! serving claims point at. A final row measures the cost of the
+//! telemetry layer itself (instrumented server vs `metrics: false`).
+//! Results land in `BENCH_serve.json` at the workspace root.
 //!
 //! Every configuration first asserts that the remote container is
 //! byte-identical to the offline encode — speed only counts after
@@ -18,10 +20,21 @@ use qn_bench::results_dir;
 use qn_codec::model::encode_model;
 use qn_codec::{Codec, CodecOptions};
 use qn_image::datasets;
+use qn_metrics::Histogram;
 use qn_serve::client::model_encode_request;
 use qn_serve::{spawn, Client, ServerConfig};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+
+/// Client-observed latency percentiles, estimated from the same log₂
+/// histogram the server uses (`qn_metrics`).
+fn percentiles_ms(hist: &Histogram) -> (f64, f64) {
+    let to_ms = |ns: u64| ns as f64 / 1e6;
+    (
+        to_ms(hist.quantile_per_mille(500)),
+        to_ms(hist.quantile_per_mille(990)),
+    )
+}
 
 const IMAGE_SIZE: usize = 64;
 
@@ -65,9 +78,52 @@ fn main() {
          {per_client} requests/client"
     );
     println!(
-        "{:<20} {:>8} {:>12} {:>14} {:>12} {:>14}",
-        "mode", "clients", "enc req/s", "enc tiles/s", "dec req/s", "dec tiles/s"
+        "{:<20} {:>8} {:>12} {:>14} {:>10} {:>10} {:>12} {:>14}",
+        "mode",
+        "clients",
+        "enc req/s",
+        "enc tiles/s",
+        "p50 ms",
+        "p99 ms",
+        "dec req/s",
+        "dec tiles/s"
     );
+
+    // One timed sweep against a running server: wall-clock seconds plus
+    // a client-side latency histogram across all requests.
+    let timed_run =
+        |addr: std::net::SocketAddr, clients: usize, decode: bool| -> (f64, Histogram) {
+            let hist = Histogram::new();
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    scope.spawn(|| {
+                        let mut client = Client::connect(addr).expect("connect");
+                        for _ in 0..per_client {
+                            let t = Instant::now();
+                            if decode {
+                                client.decode(&offline).expect("decode");
+                            } else {
+                                client
+                                    .encode(&model_encode_request(&img, &opts, codec.model_id()))
+                                    .expect("encode");
+                            }
+                            hist.observe_duration(t.elapsed());
+                        }
+                    });
+                }
+            });
+            (start.elapsed().as_secs_f64(), hist)
+        };
+    let warm = |addr: std::net::SocketAddr, name: &str| {
+        let mut warm = Client::connect(addr).expect("connect");
+        let id = warm.load_model(&model_bytes).expect("load model");
+        assert_eq!(id, codec.model_id());
+        let remote = warm
+            .encode(&model_encode_request(&img, &opts, id))
+            .expect("warm encode");
+        assert_eq!(remote, offline, "{name}: remote bytes diverged");
+    };
 
     let mut entries = String::new();
     for mode in &modes {
@@ -82,49 +138,17 @@ fn main() {
             let addr = server.addr();
 
             // Pre-warm the zoo and pin correctness before timing.
-            {
-                let mut warm = Client::connect(addr).expect("connect");
-                let id = warm.load_model(&model_bytes).expect("load model");
-                assert_eq!(id, codec.model_id());
-                let remote = warm
-                    .encode(&model_encode_request(&img, &opts, id))
-                    .expect("warm encode");
-                assert_eq!(remote, offline, "{}: remote bytes diverged", mode.name);
-            }
-
-            let run = |decode: bool| -> f64 {
-                let start = Instant::now();
-                std::thread::scope(|scope| {
-                    for _ in 0..clients {
-                        scope.spawn(|| {
-                            let mut client = Client::connect(addr).expect("connect");
-                            for _ in 0..per_client {
-                                if decode {
-                                    client.decode(&offline).expect("decode");
-                                } else {
-                                    client
-                                        .encode(&model_encode_request(
-                                            &img,
-                                            &opts,
-                                            codec.model_id(),
-                                        ))
-                                        .expect("encode");
-                                }
-                            }
-                        });
-                    }
-                });
-                start.elapsed().as_secs_f64()
-            };
+            warm(addr, mode.name);
 
             let requests = (clients * per_client) as f64;
-            let enc_s = run(false);
-            let dec_s = run(true);
+            let (enc_s, enc_hist) = timed_run(addr, clients, false);
+            let (dec_s, _) = timed_run(addr, clients, true);
             let (enc_rps, dec_rps) = (requests / enc_s, requests / dec_s);
             let (enc_tps, dec_tps) = (enc_rps * tiles as f64, dec_rps * tiles as f64);
+            let (p50_ms, p99_ms) = percentiles_ms(&enc_hist);
             println!(
-                "{:<20} {:>8} {:>12.1} {:>14.0} {:>12.1} {:>14.0}",
-                mode.name, clients, enc_rps, enc_tps, dec_rps, dec_tps
+                "{:<20} {:>8} {:>12.1} {:>14.0} {:>10.2} {:>10.2} {:>12.1} {:>14.0}",
+                mode.name, clients, enc_rps, enc_tps, p50_ms, p99_ms, dec_rps, dec_tps
             );
             if !entries.is_empty() {
                 entries.push_str(",\n");
@@ -135,6 +159,8 @@ fn main() {
                  \"clients\": {clients}, \
                  \"encode_requests_per_sec\": {enc_rps:.1}, \
                  \"encode_tiles_per_sec\": {enc_tps:.0}, \
+                 \"encode_latency_p50_ms\": {p50_ms:.3}, \
+                 \"encode_latency_p99_ms\": {p99_ms:.3}, \
                  \"decode_requests_per_sec\": {dec_rps:.1}, \
                  \"decode_tiles_per_sec\": {dec_tps:.0}}}",
                 mode.name,
@@ -146,10 +172,37 @@ fn main() {
         }
     }
 
+    // The cost of telemetry itself: the default panel configuration at
+    // 4 clients, with the metrics layer on vs off. Recorded, not
+    // asserted — single-machine noise swamps a sub-percent delta.
+    let measure_metrics = |metrics: bool| -> f64 {
+        let server = spawn(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            metrics,
+            ..ServerConfig::default()
+        })
+        .expect("spawn server");
+        warm(server.addr(), "metrics-overhead");
+        let (secs, _) = timed_run(server.addr(), 4, false);
+        let rps = (4 * per_client) as f64 / secs;
+        server.shutdown();
+        rps
+    };
+    let rps_instrumented = measure_metrics(true);
+    let rps_bare = measure_metrics(false);
+    let overhead_pct = (rps_bare - rps_instrumented) / rps_bare * 100.0;
+    println!(
+        "metrics overhead (4 clients, encode): instrumented {rps_instrumented:.1} req/s, \
+         no-metrics {rps_bare:.1} req/s ({overhead_pct:+.2}%)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"serve_throughput\",\n  \"image\": \"{IMAGE_SIZE}x{IMAGE_SIZE}\",\n  \
          \"tiles_per_request\": {tiles},\n  \"requests_per_client\": {per_client},\n  \
-         \"threads\": {},\n  \"results\": [\n{entries}\n  ]\n}}\n",
+         \"threads\": {},\n  \"metrics_overhead\": {{\"clients\": 4, \
+         \"encode_rps_instrumented\": {rps_instrumented:.1}, \
+         \"encode_rps_no_metrics\": {rps_bare:.1}, \
+         \"overhead_pct\": {overhead_pct:.2}}},\n  \"results\": [\n{entries}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
     let path = results_dir()

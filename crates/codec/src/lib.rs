@@ -46,7 +46,7 @@ pub use error::{CodecError, Result};
 pub use model::{load_model, save_model};
 pub use pipeline::{
     codec_from_inline, decode_standalone, decode_standalone_with, Codec, CodecOptions, DecodePlan,
-    EncodePlan, EncodeStats,
+    DecodeTimings, EncodePlan, EncodeStats, EncodeTimings,
 };
 pub use qn_backend::BackendKind;
 pub use quantize::Quantizer;

@@ -12,12 +12,17 @@
 //! every response is byte-identical to an offline run.
 
 use crate::error::{Result, ServeError};
-use qn_backend::{BackendKind, BatchKey, MeshBatcher, MeshSource};
-use qn_codec::{Codec, CodecOptions, Container, EncodeStats};
+use qn_backend::{BackendKind, BatchKey, BatcherMetrics, MeshBatcher, MeshSource};
+use qn_codec::{Codec, CodecOptions, Container, DecodeTimings, EncodeStats, EncodeTimings};
 use qn_image::GrayImage;
 use qn_photonic::Mesh;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Saturating nanoseconds since `t` (mirrors the codec's convention).
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Lane for the compression mesh (`U_C` forward) in [`BatchKey`]s.
 const LANE_COMPRESS: u8 = 0;
@@ -55,8 +60,19 @@ impl TileBatcher {
     /// reaches `max_tiles` or has waited `deadline`. A zero deadline
     /// (or `max_tiles <= 1`) degrades to per-request dispatch.
     pub fn new(backend: BackendKind, max_tiles: usize, deadline: Duration) -> Self {
+        TileBatcher::with_metrics(backend, max_tiles, deadline, None)
+    }
+
+    /// [`TileBatcher::new`] with optional flush telemetry (batch-size
+    /// histogram and per-cause flush counters).
+    pub fn with_metrics(
+        backend: BackendKind,
+        max_tiles: usize,
+        deadline: Duration,
+        metrics: Option<BatcherMetrics>,
+    ) -> Self {
         TileBatcher {
-            inner: MeshBatcher::new(backend, max_tiles, deadline),
+            inner: MeshBatcher::with_metrics(backend, max_tiles, deadline, metrics),
         }
     }
 
@@ -99,7 +115,28 @@ impl TileBatcher {
         opts: &CodecOptions,
         eager: bool,
     ) -> Result<(Vec<u8>, EncodeStats)> {
+        let (bytes, stats, _) = self.encode_hinted_timed(codec, img, opts, eager)?;
+        Ok((bytes, stats))
+    }
+
+    /// [`TileBatcher::encode_hinted`] with per-stage wall-clock
+    /// timings. `mesh_ns` covers submit → wait, so under load it
+    /// includes batch queueing, not just the backend pass — that is the
+    /// latency a request actually experiences. Bytes are identical.
+    ///
+    /// # Errors
+    /// See [`TileBatcher::encode`].
+    pub fn encode_hinted_timed(
+        &self,
+        codec: &Arc<Codec>,
+        img: &GrayImage,
+        opts: &CodecOptions,
+        eager: bool,
+    ) -> Result<(Vec<u8>, EncodeStats, EncodeTimings)> {
+        let t = Instant::now();
         let (plan, states) = codec.prepare_encode(img, opts)?;
+        let prepare_ns = elapsed_ns(t);
+        let t = Instant::now();
         let handle = self.inner.submit_with(
             BatchKey {
                 model: codec.model_id(),
@@ -112,7 +149,11 @@ impl TileBatcher {
         let outs = handle
             .wait()
             .ok_or_else(|| ServeError::Internal("batcher torn down mid-encode".into()))?;
-        Ok(codec.complete_encode(plan, outs)?)
+        let mesh_ns = elapsed_ns(t);
+        let (bytes, stats, mut timings) = codec.complete_encode_timed(plan, outs)?;
+        timings.prepare_ns = prepare_ns;
+        timings.mesh_ns = mesh_ns;
+        Ok((bytes, stats, timings))
     }
 
     /// Decode a parsed container with `codec`, the mesh pass batched
@@ -136,7 +177,26 @@ impl TileBatcher {
         container: &Container,
         eager: bool,
     ) -> Result<GrayImage> {
+        Ok(self.decode_hinted_timed(codec, container, eager)?.0)
+    }
+
+    /// [`TileBatcher::decode_hinted`] with per-stage timings.
+    /// `parse_ns` is left zero — the caller parsed the container and
+    /// owns that measurement. `mesh_ns` covers submit → wait (includes
+    /// batch queueing). Pixels are identical.
+    ///
+    /// # Errors
+    /// See [`TileBatcher::decode`].
+    pub fn decode_hinted_timed(
+        &self,
+        codec: &Arc<Codec>,
+        container: &Container,
+        eager: bool,
+    ) -> Result<(GrayImage, DecodeTimings)> {
+        let t = Instant::now();
         let (plan, states) = codec.prepare_decode(container)?;
+        let prepare_ns = elapsed_ns(t);
+        let t = Instant::now();
         let handle = self.inner.submit_with(
             BatchKey {
                 model: codec.model_id(),
@@ -149,7 +209,19 @@ impl TileBatcher {
         let outs = handle
             .wait()
             .ok_or_else(|| ServeError::Internal("batcher torn down mid-decode".into()))?;
-        Ok(codec.complete_decode(plan, outs)?)
+        let mesh_ns = elapsed_ns(t);
+        let t = Instant::now();
+        let img = codec.complete_decode(plan, outs)?;
+        let stitch_ns = elapsed_ns(t);
+        Ok((
+            img,
+            DecodeTimings {
+                parse_ns: 0,
+                prepare_ns,
+                mesh_ns,
+                stitch_ns,
+            },
+        ))
     }
 }
 

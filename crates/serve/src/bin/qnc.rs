@@ -36,21 +36,23 @@ USAGE:
     qnc compress   <input.pgm> -o <out.qnc> [--model <m.qnm>] [--tile N]
                    [--latent D] [--bits B] [--entropy rice|rice-pos|range]
                    [--per-tile-scale] [--no-inline-model] [--backend B]
-                   [--serial] [--no-verify]
+                   [--serial] [--no-verify] [--timings]
     qnc decompress <input.qnc> -o <out.pgm> [--model <m.qnm>]
-                   [--backend B] [--serial]
+                   [--backend B] [--serial] [--timings]
     qnc train      <input.pgm> -o <model.qnm> [--tile N] [--latent D]
                    [--layers-c N] [--layers-r N] [--iters N] [--seed S]
     qnc info       <file.qnc | file.qnm> [--json]
     qnc serve      [--addr HOST:PORT] [--store DIR] [--backend B]
                    [--batch-tiles N] [--batch-deadline-ms T] [--cache-models N]
-                   [--read-timeout-ms T]
+                   [--read-timeout-ms T] [--log-level off|info|debug]
+                   [--quiet] [--no-metrics] [--metrics-dump-secs N]
     qnc remote compress   <input.pgm> -o <out.qnc> --addr HOST:PORT
                    [--model <m.qnm>] [--tile N] [--latent D] [--bits B]
                    [--entropy C] [--per-tile-scale] [--no-inline-model]
     qnc remote decompress <input.qnc> -o <out.pgm> --addr HOST:PORT
     qnc remote info       [file.qnc | file.qnm] --addr HOST:PORT
     qnc remote models     --addr HOST:PORT
+    qnc remote stats      --addr HOST:PORT [--watch SECS]
     qnc eval       [--datasets a,b,c] [--dir PGM_DIR] [--grid SPEC]
                    [--baselines svd,pca,csc|all|none] [--backend B]
                    [-o report.json] [--json] [--seed S] [--check]
@@ -70,10 +72,17 @@ embeds it in the container, so the .qnc decodes standalone. `train`
 distills a model from an image's tiles: spectral initialisation plus
 --iters gradient refinement steps (0 = spectral only). `serve` runs
 the batching codec server (default addr 127.0.0.1:7733, port 0 =
-ephemeral; --store names the model-zoo directory); `remote` runs
-compress/decompress/info/models against it, with responses
+ephemeral; --store names the model-zoo directory; --quiet drops the
+banner, --log-level gates the timestamped stderr event lines,
+--no-metrics disables telemetry, --metrics-dump-secs prints the
+telemetry snapshot as one JSON line per interval); `remote` runs
+compress/decompress/info/models/stats against it, with responses
 byte-identical to the offline commands. `remote
-compress --model` uploads the model to the server's zoo first. `eval`
+compress --model` uploads the model to the server's zoo first.
+`remote stats` prints the server's telemetry JSON (counters, gauges,
+latency percentiles); --watch repeats it every SECS seconds.
+`compress`/`decompress` --timings print a per-stage wall-clock report
+(identical bytes — the timed path only reads clocks). `eval`
 runs the rate-distortion sweep (datasets from the registry and/or a
 --dir of PGMs, grid spec like 'tile=4;d=2,4,8;bits=4,8' or
 smoke/default) with classical baselines at matched rates, prints the
@@ -81,6 +90,12 @@ summary table (or the stable JSON with --json), writes the JSON report
 with -o, and with --check fails unless the pinned quality gates hold
 at the golden operating point. --timings adds wall-clock throughput
 (which makes the report run-dependent, so stable reports omit it).";
+
+/// Nanoseconds → milliseconds for the `--timings` stage reports.
+#[allow(clippy::cast_precision_loss)]
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("qnc: {msg}");
@@ -120,6 +135,9 @@ impl Args {
             "--batch-deadline-ms",
             "--cache-models",
             "--read-timeout-ms",
+            "--metrics-dump-secs",
+            "--log-level",
+            "--watch",
             "--entropy",
             "--datasets",
             "--grid",
@@ -134,6 +152,8 @@ impl Args {
             "--json",
             "--check",
             "--timings",
+            "--quiet",
+            "--no-metrics",
             "--help",
             "-h",
         ];
@@ -239,9 +259,24 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
 
     let img = read_image(Path::new(input))?;
     let (codec, model_source) = codec_for_compress(args, &img, tile, latent)?;
-    let (bytes, stats) = codec
-        .encode_image_with_stats(&img, &opts)
-        .map_err(|e| format!("encoding: {e}"))?;
+    let (bytes, stats) = if args.has("--timings") {
+        // The timed path produces identical bytes; it only reads clocks.
+        let (bytes, stats, t) = codec
+            .encode_image_timed(&img, &opts)
+            .map_err(|e| format!("encoding: {e}"))?;
+        println!(
+            "timings: prepare {:.3} ms, mesh {:.3} ms, quantize {:.3} ms, entropy {:.3} ms",
+            ms(t.prepare_ns),
+            ms(t.mesh_ns),
+            ms(t.quantize_ns),
+            ms(t.entropy_ns)
+        );
+        (bytes, stats)
+    } else {
+        codec
+            .encode_image_with_stats(&img, &opts)
+            .map_err(|e| format!("encoding: {e}"))?
+    };
     std::fs::write(&output, &bytes).map_err(|e| format!("writing {}: {e}", output.display()))?;
 
     println!(
@@ -280,15 +315,44 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let backend = backend_choice(args)?;
 
-    let img = match args.value(&["--model"]) {
-        Some(path) => {
-            let codec = Codec::from_model_file(Path::new(path))
-                .map_err(|e| format!("loading model {path}: {e}"))?;
-            codec
+    let codec = match args.value(&["--model"]) {
+        Some(path) => Some(
+            Codec::from_model_file(Path::new(path))
+                .map_err(|e| format!("loading model {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let img = if args.has("--timings") {
+        // Same decode, clocked per stage; a standalone container first
+        // rebuilds its codec from the inline model.
+        let codec = match codec {
+            Some(c) => c,
+            None => {
+                let container = qn_codec::Container::from_bytes(&bytes)
+                    .map_err(|e| format!("decoding: {e}"))?;
+                qn_codec::codec_from_inline(&container).map_err(|e| format!("decoding: {e}"))?
+            }
+        };
+        let (img, t) = codec
+            .decode_bytes_timed(&bytes, backend)
+            .map_err(|e| format!("decoding: {e}"))?;
+        println!(
+            "timings: parse {:.3} ms, prepare {:.3} ms, mesh {:.3} ms, stitch {:.3} ms",
+            ms(t.parse_ns),
+            ms(t.prepare_ns),
+            ms(t.mesh_ns),
+            ms(t.stitch_ns)
+        );
+        img
+    } else {
+        match codec {
+            Some(codec) => codec
                 .decode_bytes_with(&bytes, backend)
-                .map_err(|e| format!("decoding: {e}"))?
+                .map_err(|e| format!("decoding: {e}"))?,
+            None => {
+                decode_standalone_with(&bytes, backend).map_err(|e| format!("decoding: {e}"))?
+            }
         }
-        None => decode_standalone_with(&bytes, backend).map_err(|e| format!("decoding: {e}"))?,
     };
 
     pgm::write_pgm(&img.clamped(), &output)
@@ -451,6 +515,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             args.positional
         ));
     }
+    let log_level = match args.value(&["--log-level"]) {
+        // The CLI server logs by default; the library default (Off)
+        // stays silent for embedded servers.
+        None => qn_serve::LogLevel::Info,
+        Some(s) => qn_serve::LogLevel::parse(s)
+            .ok_or_else(|| format!("--log-level takes off|info|debug, got {s:?}"))?,
+    };
+    let dump_secs: u64 = args.numeric(&["--metrics-dump-secs"], 0u64)?;
     let config = ServerConfig {
         addr: args.value(&["--addr"]).unwrap_or("127.0.0.1:7733").into(),
         store_dir: args.value(&["--store"]).map(PathBuf::from),
@@ -459,7 +531,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         batch_tiles: args.numeric(&["--batch-tiles"], 4096usize)?,
         batch_deadline: Duration::from_millis(args.numeric(&["--batch-deadline-ms"], 2u64)?),
         read_timeout: Duration::from_millis(args.numeric(&["--read-timeout-ms"], 30_000u64)?),
+        metrics: !args.has("--no-metrics"),
+        log_level,
     };
+    if dump_secs > 0 && !config.metrics {
+        return Err("--metrics-dump-secs needs metrics; drop --no-metrics".into());
+    }
     let store = config
         .store_dir
         .as_ref()
@@ -470,21 +547,37 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // The address line is the startup handshake scripts and tests parse
     // (ephemeral ports are only knowable here). Written fallibly: a
     // server must keep serving even if stdout is a pipe whose reader
-    // went away after the handshake.
+    // went away after the handshake. --quiet suppresses it (and the
+    // whole banner) for setups that discover the address elsewhere.
     use std::io::Write as _;
     let mut stdout = std::io::stdout();
-    let _ = writeln!(
-        stdout,
-        "qn-serve listening on {}\n  backend {}, batch {} tiles / {} ms deadline, model store: {store}",
-        handle.addr(),
-        config.backend,
-        config.batch_tiles,
-        config.batch_deadline.as_millis()
-    );
-    let _ = stdout.flush();
-    // Serve until killed.
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
+    if !args.has("--quiet") {
+        let _ = writeln!(
+            stdout,
+            "qn-serve listening on {}\n  backend {}, batch {} tiles / {} ms deadline, model store: {store}\n  metrics {}, log level {}",
+            handle.addr(),
+            config.backend,
+            config.batch_tiles,
+            config.batch_deadline.as_millis(),
+            if config.metrics { "on" } else { "off" },
+            config.log_level,
+        );
+        let _ = stdout.flush();
+    }
+    // Serve until killed, optionally dumping the telemetry snapshot as
+    // one JSON line per interval.
+    match handle.metrics().filter(|_| dump_secs > 0) {
+        Some(m) => {
+            let m = std::sync::Arc::clone(m);
+            loop {
+                std::thread::sleep(Duration::from_secs(dump_secs));
+                let _ = writeln!(stdout, "{}", m.stats_json());
+                let _ = stdout.flush();
+            }
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
     }
 }
 
@@ -505,7 +598,26 @@ fn cmd_remote(args: &Args) -> Result<(), String> {
         "decompress" => remote_decompress(args, rest),
         "info" => remote_info(args, rest),
         "models" => remote_models(args, rest),
+        "stats" => remote_stats(args, rest),
         other => Err(format!("unknown remote subcommand {other:?}")),
+    }
+}
+
+fn remote_stats(args: &Args, positional: &[String]) -> Result<(), String> {
+    if !positional.is_empty() {
+        return Err(format!(
+            "remote stats takes no positionals, got {positional:?}"
+        ));
+    }
+    let mut client = remote_client(args)?;
+    let watch: u64 = args.numeric(&["--watch"], 0u64)?;
+    loop {
+        let json = client.stats().map_err(|e| format!("remote stats: {e}"))?;
+        println!("{json}");
+        if watch == 0 {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs(watch));
     }
 }
 

@@ -131,6 +131,19 @@ impl Client {
         String::from_utf8(reply.payload)
             .map_err(|_| ServeError::Internal("info reply is not UTF-8".into()))
     }
+
+    /// The server's telemetry snapshot as single-line JSON (counters,
+    /// gauges, histogram percentiles, uptime). Servers running with
+    /// metrics disabled answer a typed `BadRequest`; feature-detect via
+    /// the `metrics` field of [`Client::info`].
+    ///
+    /// # Errors
+    /// Transport and remote errors.
+    pub fn stats(&mut self) -> Result<String> {
+        let reply = self.roundtrip(Opcode::Stats, Vec::new())?;
+        String::from_utf8(reply.payload)
+            .map_err(|_| ServeError::Internal("stats reply is not UTF-8".into()))
+    }
 }
 
 /// Build the `ENCODE` request matching an offline

@@ -21,7 +21,13 @@
 //!   bit-identical per vector regardless of batch composition;
 //! - [`server`] — the `std::net` TCP loop (thread per connection, no
 //!   async runtime in this offline environment);
-//! - [`client`] — the blocking client used by `qnc remote` and tests.
+//! - [`client`] — the blocking client used by `qnc remote` and tests;
+//! - [`metrics`] — the server's telemetry catalogue over
+//!   [`qn_metrics`]: per-opcode request/error counters, latency and
+//!   codec-stage histograms, batcher flush causes, zoo hit rates —
+//!   served over the `STATS` RPC;
+//! - [`log`] — leveled, timestamped single-line stderr logging for the
+//!   `qnc serve` process.
 //!
 //! Responses are **byte-identical** to offline `qnc` runs with the
 //! same model and options: the serve path reuses the codec's
@@ -31,6 +37,8 @@
 pub mod batcher;
 pub mod client;
 pub mod error;
+pub mod log;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod store;
@@ -38,6 +46,8 @@ pub mod store;
 pub use batcher::TileBatcher;
 pub use client::Client;
 pub use error::ServeError;
+pub use log::{LogLevel, Logger};
+pub use metrics::ServeMetrics;
 pub use protocol::{ErrorCode, Frame, Opcode, PROTOCOL_VERSION};
 pub use server::{spawn, ServerConfig, ServerHandle};
-pub use store::ModelStore;
+pub use store::{ModelStore, StoreMetrics};

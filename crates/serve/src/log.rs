@@ -1,0 +1,155 @@
+//! Minimal structured logging for the server: timestamped,
+//! single-line events on stderr behind a [`LogLevel`], replacing
+//! ad-hoc `eprintln!`. One line per event keeps server output
+//! machine-greppable:
+//!
+//! ```text
+//! 2026-08-07T12:34:56Z info reap peer=127.0.0.1:51234 timeout_ms=30000
+//! ```
+//!
+//! Timestamps are UTC, derived from [`SystemTime`] with a hand-rolled
+//! civil-date conversion (no chrono in the offline build). Zero cost
+//! when disabled: every call first checks the level, and `Off` is the
+//! library default so embedded servers (tests, benches) stay silent.
+
+use std::fmt;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Server log verbosity. Ordered: `Off < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No log output (the library default).
+    Off,
+    /// Connection lifecycle: reaps and request errors, plus
+    /// connect/disconnect.
+    Info,
+    /// Everything above plus per-request completion lines.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parse a CLI flag value (`off`/`info`/`debug`).
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s {
+            "off" => Some(LogLevel::Off),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LogLevel::Off => "off",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        })
+    }
+}
+
+/// A leveled stderr logger. Copyable; carries only the level.
+#[derive(Debug, Clone, Copy)]
+pub struct Logger {
+    level: LogLevel,
+}
+
+impl Logger {
+    /// A logger emitting events at or below `level`.
+    pub const fn new(level: LogLevel) -> Logger {
+        Logger { level }
+    }
+
+    /// The configured verbosity.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Whether events at `level` are emitted.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level != LogLevel::Off && level <= self.level
+    }
+
+    /// Emit an info-level event line.
+    pub fn info(&self, event: &str, detail: fmt::Arguments<'_>) {
+        self.emit(LogLevel::Info, event, detail);
+    }
+
+    /// Emit a debug-level event line.
+    pub fn debug(&self, event: &str, detail: fmt::Arguments<'_>) {
+        self.emit(LogLevel::Debug, event, detail);
+    }
+
+    fn emit(&self, level: LogLevel, event: &str, detail: fmt::Arguments<'_>) {
+        if self.enabled(level) {
+            eprintln!("{} {level} {event} {detail}", format_utc(SystemTime::now()));
+        }
+    }
+}
+
+/// Render a [`SystemTime`] as `YYYY-MM-DDTHH:MM:SSZ` (UTC, second
+/// resolution). Pre-epoch times clamp to the epoch.
+pub fn format_utc(t: SystemTime) -> String {
+    let secs = t.duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()) as i64;
+    let (days, rem) = (secs.div_euclid(86_400), secs.rem_euclid(86_400));
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    // Civil-from-days (Howard Hinnant's algorithm): days since
+    // 1970-01-01 → proleptic Gregorian (y, m, d).
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn at(epoch_secs: u64) -> String {
+        format_utc(UNIX_EPOCH + Duration::from_secs(epoch_secs))
+    }
+
+    #[test]
+    fn utc_formatting_matches_known_instants() {
+        assert_eq!(at(0), "1970-01-01T00:00:00Z");
+        assert_eq!(at(86_399), "1970-01-01T23:59:59Z");
+        assert_eq!(at(86_400), "1970-01-02T00:00:00Z");
+        // One famous round number and one leap-day crossing.
+        assert_eq!(at(1_000_000_000), "2001-09-09T01:46:40Z");
+        assert_eq!(at(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(at(951_868_800), "2000-03-01T00:00:00Z");
+        // Non-leap century year: 2100-02-28 + 1 day is March 1st.
+        assert_eq!(at(4_107_456_000), "2100-02-28T00:00:00Z");
+        assert_eq!(at(4_107_542_400), "2100-03-01T00:00:00Z");
+    }
+
+    #[test]
+    fn levels_parse_display_and_gate() {
+        for (s, l) in [
+            ("off", LogLevel::Off),
+            ("info", LogLevel::Info),
+            ("debug", LogLevel::Debug),
+        ] {
+            assert_eq!(LogLevel::parse(s), Some(l));
+            assert_eq!(l.to_string(), s);
+        }
+        assert_eq!(LogLevel::parse("verbose"), None);
+        let off = Logger::new(LogLevel::Off);
+        assert!(!off.enabled(LogLevel::Info));
+        assert!(!off.enabled(LogLevel::Off), "Off events never emit");
+        let info = Logger::new(LogLevel::Info);
+        assert!(info.enabled(LogLevel::Info));
+        assert!(!info.enabled(LogLevel::Debug));
+        let debug = Logger::new(LogLevel::Debug);
+        assert!(debug.enabled(LogLevel::Info));
+        assert!(debug.enabled(LogLevel::Debug));
+    }
+}

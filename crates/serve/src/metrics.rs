@@ -1,0 +1,362 @@
+//! The server's telemetry surface: every metric the serving stack
+//! records, registered once in a single [`Registry`] and exposed
+//! through the `STATS` RPC, `qnc serve --metrics-dump-secs`, and
+//! `qnc remote stats`.
+//!
+//! # Metric catalogue
+//!
+//! | metric | type | labels |
+//! |---|---|---|
+//! | `serve_requests_total` | counter | `op` = `encode`/`decode`/`load_model`/`info`/`list_models`/`stats`/`unknown` |
+//! | `serve_errors_total` | counter | `code` = [`ErrorCode::label`] |
+//! | `serve_request_latency_ns` | histogram | `op` (whole request: frame fully read → reply written) |
+//! | `serve_frame_bytes_in_total` / `serve_frame_bytes_out_total` | counter | — |
+//! | `serve_connections_total` | counter | — |
+//! | `serve_open_connections` | gauge | — |
+//! | `serve_inflight_requests` | gauge | mirror of the adaptive-flush in-flight count |
+//! | `serve_read_deadline_reaps_total` | counter | — |
+//! | `codec_stage_ns` | histogram | `op`+`stage`: encode `spectral`/`prepare`/`mesh`/`quantize`/`entropy`; decode `parse`/`prepare`/`mesh`/`stitch` |
+//! | `codec_coded_bytes_total` / `codec_decoded_bytes_total` | counter | `coder` = `rice`/`rice-pos`/`range` |
+//! | `batch_flush_tiles` | histogram | — (tiles per executed batch) |
+//! | `batch_flushes_total` | counter | `cause` = `full`/`deadline`/`eager`/`drain` |
+//! | `zoo_hits_total` / `zoo_misses_total` / `zoo_inserts_total` | counter | — |
+//! | `zoo_cached_models` | gauge | — |
+//!
+//! Hot-path handles (per-opcode counters/histograms, per-coder byte
+//! counters) are pre-resolved into arrays at construction, so request
+//! handling never touches the registry mutex. Error counters resolve
+//! through the registry on demand — errors are cold.
+//!
+//! Determinism: counters and gauges are exact (the integration suite
+//! asserts request counts under concurrency); durations are wall-clock
+//! and never asserted.
+
+use crate::protocol::{ErrorCode, Opcode};
+use crate::store::StoreMetrics;
+use qn_backend::BatcherMetrics;
+use qn_codec::{DecodeTimings, EncodeTimings, EntropyCoder};
+use qn_metrics::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The request opcodes, in wire order — the index into the per-opcode
+/// metric arrays.
+pub const REQUEST_OPS: [Opcode; 6] = [
+    Opcode::Encode,
+    Opcode::Decode,
+    Opcode::LoadModel,
+    Opcode::Info,
+    Opcode::ListModels,
+    Opcode::Stats,
+];
+
+/// All metric handles a running server updates, plus the registry that
+/// exposes them. Built once per server; shared behind an `Arc`.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    registry: Registry,
+    started: Instant,
+    requests: [Arc<Counter>; 6],
+    requests_unknown: Arc<Counter>,
+    latency: [Arc<Histogram>; 6],
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    connections: Arc<Counter>,
+    open_connections: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    reaps: Arc<Counter>,
+    enc_stage: [Arc<Histogram>; 5],
+    dec_stage: [Arc<Histogram>; 4],
+    coded_bytes: [Arc<Counter>; 3],
+    decoded_bytes: [Arc<Counter>; 3],
+    batcher: BatcherMetrics,
+    store: StoreMetrics,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Register the full serving catalogue in a fresh registry.
+    pub fn new() -> ServeMetrics {
+        let registry = Registry::new();
+        let req = |op: Opcode| registry.counter_with("serve_requests_total", &[("op", op.label())]);
+        let lat =
+            |op: Opcode| registry.histogram_with("serve_request_latency_ns", &[("op", op.label())]);
+        let enc = |stage: &str| {
+            registry.histogram_with("codec_stage_ns", &[("op", "encode"), ("stage", stage)])
+        };
+        let dec = |stage: &str| {
+            registry.histogram_with("codec_stage_ns", &[("op", "decode"), ("stage", stage)])
+        };
+        let per_coder = |name: &str| {
+            EntropyCoder::ALL.map(|c| {
+                let label = c.to_string();
+                registry.counter_with(name, &[("coder", &label)])
+            })
+        };
+        let batcher = BatcherMetrics::new(&registry);
+        let store = StoreMetrics::new(&registry);
+        ServeMetrics {
+            started: Instant::now(),
+            requests: REQUEST_OPS.map(req),
+            requests_unknown: registry.counter_with("serve_requests_total", &[("op", "unknown")]),
+            latency: REQUEST_OPS.map(lat),
+            bytes_in: registry.counter("serve_frame_bytes_in_total"),
+            bytes_out: registry.counter("serve_frame_bytes_out_total"),
+            connections: registry.counter("serve_connections_total"),
+            open_connections: registry.gauge("serve_open_connections"),
+            inflight: registry.gauge("serve_inflight_requests"),
+            reaps: registry.counter("serve_read_deadline_reaps_total"),
+            enc_stage: ["spectral", "prepare", "mesh", "quantize", "entropy"].map(enc),
+            dec_stage: ["parse", "prepare", "mesh", "stitch"].map(dec),
+            coded_bytes: per_coder("codec_coded_bytes_total"),
+            decoded_bytes: per_coder("codec_decoded_bytes_total"),
+            batcher,
+            store,
+            registry,
+        }
+    }
+
+    /// The registry backing every handle (for exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Handles for the shared [`qn_backend::MeshBatcher`].
+    pub fn batcher_metrics(&self) -> BatcherMetrics {
+        self.batcher.clone()
+    }
+
+    /// Handles for the [`crate::store::ModelStore`].
+    pub fn store_metrics(&self) -> StoreMetrics {
+        self.store.clone()
+    }
+
+    /// Seconds since these metrics (the server) came up.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    fn op_index(op: Opcode) -> Option<usize> {
+        REQUEST_OPS.iter().position(|&o| o == op)
+    }
+
+    /// Count one request of `op` (`None` = unrecognised opcode byte).
+    pub fn record_request(&self, op: Option<Opcode>) {
+        match op.and_then(Self::op_index) {
+            Some(i) => self.requests[i].inc(),
+            None => self.requests_unknown.inc(),
+        }
+    }
+
+    /// Count one typed error reply.
+    pub fn record_error(&self, code: ErrorCode) {
+        // Cold path: registry lookup (idempotent) instead of eleven
+        // pre-resolved handles.
+        self.registry
+            .counter_with("serve_errors_total", &[("code", code.label())])
+            .inc();
+    }
+
+    /// Record a whole-request latency (frame fully read → reply
+    /// written; excludes the peer's own frame-delivery time).
+    pub fn record_latency(&self, op: Option<Opcode>, ns: u64) {
+        if let Some(i) = op.and_then(Self::op_index) {
+            self.latency[i].observe(ns);
+        }
+    }
+
+    /// Count a fully received request frame's bytes on the wire.
+    pub fn record_frame_in(&self, bytes: u64) {
+        self.bytes_in.add(bytes);
+    }
+
+    /// Count a written reply frame's bytes on the wire.
+    pub fn record_frame_out(&self, bytes: u64) {
+        self.bytes_out.add(bytes);
+    }
+
+    /// A connection was accepted.
+    pub fn connection_opened(&self) {
+        self.connections.inc();
+        self.open_connections.add(1);
+    }
+
+    /// A connection ended (any reason).
+    pub fn connection_closed(&self) {
+        self.open_connections.sub(1);
+    }
+
+    /// A connection was reaped by the frame read deadline.
+    pub fn record_reap(&self) {
+        self.reaps.inc();
+    }
+
+    /// The mirror of the adaptive-flush in-flight count. The atomic in
+    /// the server remains the source of truth for flush decisions; this
+    /// gauge only makes it observable.
+    pub fn inflight(&self) -> &Gauge {
+        &self.inflight
+    }
+
+    /// Record the spectral-fit stage (server-side model distillation).
+    pub fn record_spectral_ns(&self, ns: u64) {
+        self.enc_stage[0].observe(ns);
+    }
+
+    /// Record an encode's prepare/mesh/quantize/entropy stages.
+    pub fn record_encode_timings(&self, t: &EncodeTimings) {
+        self.enc_stage[1].observe(t.prepare_ns);
+        self.enc_stage[2].observe(t.mesh_ns);
+        self.enc_stage[3].observe(t.quantize_ns);
+        self.enc_stage[4].observe(t.entropy_ns);
+    }
+
+    /// Record a decode's parse/prepare/mesh/stitch stages.
+    pub fn record_decode_timings(&self, t: &DecodeTimings) {
+        self.dec_stage[0].observe(t.parse_ns);
+        self.dec_stage[1].observe(t.prepare_ns);
+        self.dec_stage[2].observe(t.mesh_ns);
+        self.dec_stage[3].observe(t.stitch_ns);
+    }
+
+    /// Count container bytes produced by an encode, per entropy coder.
+    pub fn record_coded_bytes(&self, coder: EntropyCoder, bytes: u64) {
+        self.coded_bytes[coder.wire_id() as usize].add(bytes);
+    }
+
+    /// Count container bytes consumed by a decode, per entropy coder.
+    pub fn record_decoded_bytes(&self, coder: EntropyCoder, bytes: u64) {
+        self.decoded_bytes[coder.wire_id() as usize].add(bytes);
+    }
+
+    /// The `STATS` reply payload: `uptime_secs` spliced ahead of the
+    /// registry's byte-stable `counters`/`gauges`/`histograms`
+    /// sections, single line.
+    pub fn stats_json(&self) -> String {
+        let registry_json = self.registry.to_json();
+        format!(
+            "{{\"uptime_secs\":{},{}",
+            self.uptime_secs(),
+            &registry_json[1..]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_opcode_routes_to_its_own_counter() {
+        let m = ServeMetrics::new();
+        for op in REQUEST_OPS {
+            m.record_request(Some(op));
+        }
+        m.record_request(Some(Opcode::Encode));
+        m.record_request(None);
+        let json = m.registry().to_json();
+        assert!(
+            json.contains("\"serve_requests_total{op=encode}\":2"),
+            "{json}"
+        );
+        for label in ["decode", "load_model", "info", "list_models", "stats"] {
+            assert!(
+                json.contains(&format!("\"serve_requests_total{{op={label}}}\":1")),
+                "{json}"
+            );
+        }
+        assert!(
+            json.contains("\"serve_requests_total{op=unknown}\":1"),
+            "{json}"
+        );
+        // Reply opcodes never have their own series.
+        m.record_request(Some(Opcode::EncodeReply));
+        assert!(
+            m.registry()
+                .to_json()
+                .contains("\"serve_requests_total{op=unknown}\":2"),
+            "a reply opcode arriving as a request counts as unknown"
+        );
+    }
+
+    #[test]
+    fn stage_and_coder_metrics_land_under_stable_keys() {
+        let m = ServeMetrics::new();
+        m.record_spectral_ns(100);
+        m.record_encode_timings(&EncodeTimings {
+            prepare_ns: 1,
+            mesh_ns: 2,
+            quantize_ns: 3,
+            entropy_ns: 4,
+        });
+        m.record_decode_timings(&DecodeTimings {
+            parse_ns: 5,
+            prepare_ns: 6,
+            mesh_ns: 7,
+            stitch_ns: 8,
+        });
+        m.record_coded_bytes(EntropyCoder::Range, 1000);
+        m.record_decoded_bytes(EntropyCoder::Rice, 500);
+        let json = m.registry().to_json();
+        for key in [
+            "codec_stage_ns{op=encode,stage=spectral}",
+            "codec_stage_ns{op=encode,stage=mesh}",
+            "codec_stage_ns{op=decode,stage=parse}",
+            "codec_stage_ns{op=decode,stage=stitch}",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":{{\"count\":1")),
+                "{key}: {json}"
+            );
+        }
+        assert!(
+            json.contains("\"codec_coded_bytes_total{coder=range}\":1000"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"codec_decoded_bytes_total{coder=rice}\":500"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn stats_json_is_one_line_and_leads_with_uptime() {
+        let m = ServeMetrics::new();
+        m.record_request(Some(Opcode::Info));
+        let json = m.stats_json();
+        assert!(json.starts_with("{\"uptime_secs\":"), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"counters\":{"), "{json}");
+        assert!(json.contains("\"gauges\":{"), "{json}");
+        assert!(json.contains("\"histograms\":{"), "{json}");
+    }
+
+    #[test]
+    fn connection_and_inflight_gauges_move_both_ways() {
+        let m = ServeMetrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.inflight().add(1);
+        m.record_reap();
+        let json = m.registry().to_json();
+        assert!(json.contains("\"serve_connections_total\":2"), "{json}");
+        assert!(json.contains("\"serve_open_connections\":1"), "{json}");
+        assert!(json.contains("\"serve_inflight_requests\":1"), "{json}");
+        assert!(
+            json.contains("\"serve_read_deadline_reaps_total\":1"),
+            "{json}"
+        );
+        m.inflight().sub(1);
+        assert!(m
+            .registry()
+            .to_json()
+            .contains("\"serve_inflight_requests\":0"));
+    }
+}

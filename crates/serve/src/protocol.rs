@@ -15,7 +15,7 @@
 //! end     4     CRC-32 (IEEE) of header + payload
 //! ```
 //!
-//! Requests use opcodes `0x01..=0x05`; a success reply echoes the
+//! Requests use opcodes `0x01..=0x06`; a success reply echoes the
 //! request opcode with bit 7 set (`op | 0x80`) and status 0; an error
 //! reply uses opcode `0xFF` with a non-zero status code and a UTF-8
 //! message payload. Stream-level violations (bad magic, oversized
@@ -56,6 +56,12 @@
 //! `LIST_MODELS`: an empty payload; the reply enumerates the zoo as a
 //! `count u32` followed by 17-byte entries (`id u64, size u64,
 //! cached u8`), sorted by id — see [`ModelEntry`].
+//! `STATS`: an empty payload; the reply is the server's telemetry
+//! registry as single-line JSON (`uptime_secs` plus the
+//! `counters`/`gauges`/`histograms` sections of
+//! `qn_metrics::Registry::to_json`). Servers running with metrics
+//! disabled answer a typed `BadRequest` — clients feature-detect via
+//! the `metrics` field of the empty-payload `INFO` reply.
 
 use crate::error::ServeError;
 use qn_codec::bitstream::{crc32, crc32_of_parts};
@@ -73,7 +79,7 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 /// Fixed frame-header length.
 pub const HEADER_LEN: usize = 16;
 
-/// Frame opcodes. Requests are `0x01..=0x05`; success replies set bit 7;
+/// Frame opcodes. Requests are `0x01..=0x06`; success replies set bit 7;
 /// `0xFF` is the typed error reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -89,6 +95,9 @@ pub enum Opcode {
     /// Enumerate the model zoo (empty request payload; the reply is a
     /// [`ModelEntry`] list — see [`model_list_to_payload`]).
     ListModels = 0x05,
+    /// Report the server's telemetry registry as JSON (empty request
+    /// payload; `BadRequest` when the server runs with metrics off).
+    Stats = 0x06,
     /// Success reply to [`Opcode::Encode`].
     EncodeReply = 0x81,
     /// Success reply to [`Opcode::Decode`].
@@ -99,6 +108,8 @@ pub enum Opcode {
     InfoReply = 0x84,
     /// Success reply to [`Opcode::ListModels`].
     ListModelsReply = 0x85,
+    /// Success reply to [`Opcode::Stats`].
+    StatsReply = 0x86,
     /// Typed error reply (status carries the [`ErrorCode`]).
     ErrorReply = 0xFF,
 }
@@ -112,11 +123,13 @@ impl Opcode {
             0x03 => Opcode::LoadModel,
             0x04 => Opcode::Info,
             0x05 => Opcode::ListModels,
+            0x06 => Opcode::Stats,
             0x81 => Opcode::EncodeReply,
             0x82 => Opcode::DecodeReply,
             0x83 => Opcode::LoadModelReply,
             0x84 => Opcode::InfoReply,
             0x85 => Opcode::ListModelsReply,
+            0x86 => Opcode::StatsReply,
             0xFF => Opcode::ErrorReply,
             _ => return None,
         })
@@ -130,7 +143,23 @@ impl Opcode {
             Opcode::LoadModel => Opcode::LoadModelReply,
             Opcode::Info => Opcode::InfoReply,
             Opcode::ListModels => Opcode::ListModelsReply,
+            Opcode::Stats => Opcode::StatsReply,
             other => other,
+        }
+    }
+
+    /// Stable lowercase label for metric keys
+    /// (`serve_requests_total{op=...}`); reply opcodes share their
+    /// request's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Opcode::Encode | Opcode::EncodeReply => "encode",
+            Opcode::Decode | Opcode::DecodeReply => "decode",
+            Opcode::LoadModel | Opcode::LoadModelReply => "load_model",
+            Opcode::Info | Opcode::InfoReply => "info",
+            Opcode::ListModels | Opcode::ListModelsReply => "list_models",
+            Opcode::Stats | Opcode::StatsReply => "stats",
+            Opcode::ErrorReply => "error",
         }
     }
 }
@@ -177,6 +206,23 @@ impl ErrorCode {
             20 => ErrorCode::Internal,
             _ => return None,
         })
+    }
+
+    /// Stable lowercase label for metric keys
+    /// (`serve_errors_total{code=...}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::BadMagic => "bad_magic",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::UnknownOpcode => "unknown_opcode",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::BadCrc => "bad_crc",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownModel => "unknown_model",
+            ErrorCode::Codec => "codec",
+            ErrorCode::ModelMismatch => "model_mismatch",
+            ErrorCode::Internal => "internal",
+        }
     }
 }
 
@@ -828,6 +874,33 @@ mod tests {
         assert_eq!(Opcode::from_u8(0x05), Some(Opcode::ListModels));
         assert_eq!(Opcode::from_u8(0x85), Some(Opcode::ListModelsReply));
         assert_eq!(Opcode::ListModels.reply(), Opcode::ListModelsReply);
+    }
+
+    #[test]
+    fn stats_opcode_has_a_reply_and_stable_labels() {
+        assert_eq!(Opcode::from_u8(0x06), Some(Opcode::Stats));
+        assert_eq!(Opcode::from_u8(0x86), Some(Opcode::StatsReply));
+        assert_eq!(Opcode::Stats.reply(), Opcode::StatsReply);
+        // Metric labels are wire-adjacent: every request opcode and its
+        // reply share one stable label, and error codes label uniquely.
+        for op in [
+            Opcode::Encode,
+            Opcode::Decode,
+            Opcode::LoadModel,
+            Opcode::Info,
+            Opcode::ListModels,
+            Opcode::Stats,
+        ] {
+            assert_eq!(op.label(), op.reply().label());
+        }
+        let mut labels: Vec<&str> = (1..=20)
+            .filter_map(ErrorCode::from_u16)
+            .map(ErrorCode::label)
+            .collect();
+        assert_eq!(labels.len(), 10);
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 10, "error-code labels must be unique");
     }
 
     #[test]

@@ -12,21 +12,34 @@
 
 use crate::batcher::TileBatcher;
 use crate::error::{Result, ServeError};
+use crate::log::{LogLevel, Logger};
+use crate::metrics::ServeMetrics;
 use crate::protocol::{
     image_to_payload, EncodeRequest, ErrorCode, Frame, FrameError, Opcode, ENC_FLAG_INLINE_MODEL,
-    ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID, PROTOCOL_VERSION,
+    ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID, HEADER_LEN, PROTOCOL_VERSION,
 };
 use crate::store::ModelStore;
 use qn_backend::BackendKind;
 use qn_codec::pipeline::codec_from_inline;
 use qn_codec::{info, Codec, CodecOptions, Container};
+use qn_metrics::Gauge;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Bytes a frame occupies on the wire: header + payload + CRC trailer.
+fn frame_wire_bytes(payload_len: usize) -> u64 {
+    (HEADER_LEN + payload_len + 4) as u64
+}
+
+/// Saturating nanoseconds since `t`.
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Tunables for [`spawn`].
 #[derive(Debug, Clone)]
@@ -55,6 +68,15 @@ pub struct ServerConfig {
     /// otherwise pin the adaptive-flush in-flight gauge and degrade
     /// every concurrent request to deadline-bounded batching.
     pub read_timeout: Duration,
+    /// Collect and serve telemetry (the `STATS` opcode, request/latency
+    /// counters, codec-stage histograms). On by default; `false` makes
+    /// `STATS` answer a typed `BadRequest` and skips every metric
+    /// update (the benchmarked no-op configuration).
+    pub metrics: bool,
+    /// Server log verbosity on stderr. The library default is
+    /// [`LogLevel::Off`] so embedded servers (tests, benches) stay
+    /// silent; the `qnc serve` CLI defaults to `info`.
+    pub log_level: LogLevel,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +89,8 @@ impl Default for ServerConfig {
             batch_tiles: 4096,
             batch_deadline: Duration::from_millis(2),
             read_timeout: Duration::from_secs(30),
+            metrics: true,
+            log_level: LogLevel::Off,
         }
     }
 }
@@ -89,6 +113,12 @@ struct Shared {
     /// guard releases the count.
     inflight: AtomicUsize,
     shutdown: AtomicBool,
+    /// Telemetry, present unless [`ServerConfig::metrics`] is off. The
+    /// `inflight` atomic above stays the source of truth for flush
+    /// decisions; the registry's gauge only mirrors it for exposition.
+    metrics: Option<Arc<ServeMetrics>>,
+    log: Logger,
+    started: Instant,
 }
 
 /// A running server. Dropping the handle (or calling
@@ -109,6 +139,13 @@ impl ServerHandle {
     /// Requests answered so far (success or typed error).
     pub fn requests_served(&self) -> u64 {
         self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// The server's telemetry, unless spawned with
+    /// [`ServerConfig::metrics`] off. Drives `--metrics-dump-secs` and
+    /// lets embedding tests assert on counters directly.
+    pub fn metrics(&self) -> Option<&Arc<ServeMetrics>> {
+        self.shared.metrics.as_ref()
     }
 
     /// Stop accepting connections and join the accept thread.
@@ -145,13 +182,26 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?,
     )?;
     let addr = listener.local_addr()?;
+    let metrics = config.metrics.then(|| Arc::new(ServeMetrics::new()));
+    let mut store = ModelStore::new(config.store_dir.clone(), config.model_cache)?;
+    if let Some(m) = &metrics {
+        store = store.with_metrics(m.store_metrics());
+    }
     let shared = Arc::new(Shared {
-        store: ModelStore::new(config.store_dir.clone(), config.model_cache)?,
-        batcher: TileBatcher::new(config.backend, config.batch_tiles, config.batch_deadline),
+        store,
+        batcher: TileBatcher::with_metrics(
+            config.backend,
+            config.batch_tiles,
+            config.batch_deadline,
+            metrics.as_ref().map(|m| m.batcher_metrics()),
+        ),
+        log: Logger::new(config.log_level),
+        started: Instant::now(),
         config,
         requests: AtomicU64::new(0),
         inflight: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
+        metrics,
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -184,11 +234,33 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
 /// submission, but a mid-payload disconnect or a pre-submit error
 /// must never leak a count (which would permanently disable the
 /// adaptive flush).
-struct InflightGuard<'a>(&'a AtomicUsize);
+struct InflightGuard<'a> {
+    count: &'a AtomicUsize,
+    /// Exposition mirror of `count` (`serve_inflight_requests`); the
+    /// atomic alone decides flush behaviour.
+    gauge: Option<&'a Gauge>,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn acquire(shared: &'a Shared) -> InflightGuard<'a> {
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let gauge = shared.metrics.as_deref().map(ServeMetrics::inflight);
+        if let Some(g) = gauge {
+            g.add(1);
+        }
+        InflightGuard {
+            count: &shared.inflight,
+            gauge,
+        }
+    }
+}
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.count.fetch_sub(1, Ordering::SeqCst);
+        if let Some(g) = self.gauge {
+            g.sub(1);
+        }
     }
 }
 
@@ -223,8 +295,37 @@ impl std::io::Read for DeadlineReader<'_> {
     }
 }
 
+/// Balances the open-connections gauge and logs the disconnect on
+/// every way out of `handle_connection`.
+struct ConnGuard<'a> {
+    shared: &'a Shared,
+    peer: &'a str,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(m) = &self.shared.metrics {
+            m.connection_closed();
+        }
+        self.shared
+            .log
+            .info("disconnect", format_args!("peer={}", self.peer));
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    if let Some(m) = &shared.metrics {
+        m.connection_opened();
+    }
+    shared.log.info("connect", format_args!("peer={peer}"));
+    let _conn = ConnGuard {
+        shared,
+        peer: &peer,
+    };
     let timeout = shared.config.read_timeout;
     let deadline = std::cell::Cell::new(None);
     loop {
@@ -258,17 +359,41 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 Opcode::from_u8(opcode),
                 Some(Opcode::Encode | Opcode::Decode)
             ) {
-                shared.inflight.fetch_add(1, Ordering::SeqCst);
-                counted = Some(InflightGuard(&shared.inflight));
+                counted = Some(InflightGuard::acquire(shared));
             }
         }) {
             Ok(frame) => frame,
             // EOF / reset / mid-frame disconnect / deadline expiry:
             // nothing to answer (`counted` drops here, releasing the
             // in-flight gauge a stalled peer would otherwise pin).
-            Err(FrameError::Io(_)) => return,
+            Err(FrameError::Io(e)) => {
+                // A timeout with the deadline armed is a reap: the peer
+                // started a frame and never finished it.
+                if deadline.get().is_some()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    )
+                {
+                    if let Some(m) = &shared.metrics {
+                        m.record_reap();
+                    }
+                    shared.log.info(
+                        "reap",
+                        format_args!("peer={peer} timeout_ms={}", timeout.as_millis()),
+                    );
+                }
+                return;
+            }
             // Framing is unrecoverable: best-effort typed error, close.
             Err(e) => {
+                if let Some(m) = &shared.metrics {
+                    m.record_error(e.code());
+                }
+                shared.log.info(
+                    "error",
+                    format_args!("peer={peer} code={} detail={e}", e.code().label()),
+                );
                 let reply = Frame::error(0, e.code(), &e.to_string());
                 let _ = reply.write_to(&mut stream);
                 let _ = stream.flush();
@@ -276,11 +401,27 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             }
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let op = Opcode::from_u8(frame.opcode);
+        if let Some(m) = &shared.metrics {
+            m.record_request(op);
+            m.record_frame_in(frame_wire_bytes(frame.payload.len()));
+        }
         let request_id = frame.request_id;
         let reply = match dispatch(shared, &frame, counted) {
             Ok((op, payload)) => Frame::reply(op, request_id, payload),
-            Err(e) => Frame::error(request_id, e.code(), &e.to_string()),
+            Err(e) => {
+                if let Some(m) = &shared.metrics {
+                    m.record_error(e.code());
+                }
+                shared.log.info(
+                    "error",
+                    format_args!("peer={peer} code={} detail={e}", e.code().label()),
+                );
+                Frame::error(request_id, e.code(), &e.to_string())
+            }
         };
+        let mut reply_payload_len = reply.payload.len();
         match reply.write_to(&mut stream) {
             Ok(()) => {}
             // An over-limit reply (InvalidInput) is a request-level
@@ -289,12 +430,25 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             // gone.
             Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
                 let fallback = Frame::error(request_id, ErrorCode::Internal, &e.to_string());
+                reply_payload_len = fallback.payload.len();
                 if fallback.write_to(&mut stream).is_err() {
                     return;
                 }
             }
             Err(_) => return,
         }
+        let latency_ns = elapsed_ns(started);
+        if let Some(m) = &shared.metrics {
+            m.record_frame_out(frame_wire_bytes(reply_payload_len));
+            m.record_latency(op, latency_ns);
+        }
+        shared.log.debug(
+            "request",
+            format_args!(
+                "peer={peer} op={} id={request_id} latency_ns={latency_ns}",
+                op.map_or("unknown", Opcode::label)
+            ),
+        );
     }
 }
 
@@ -328,6 +482,20 @@ fn dispatch(
                 crate::protocol::model_list_to_payload(&entries),
             ))
         }
+        Some(Opcode::Stats) => {
+            if !frame.payload.is_empty() {
+                return Err(ServeError::BadRequest(format!(
+                    "STATS takes no payload, got {} bytes",
+                    frame.payload.len()
+                )));
+            }
+            let m = shared.metrics.as_ref().ok_or_else(|| {
+                ServeError::BadRequest(
+                    "metrics are disabled on this server (started with --no-metrics)".into(),
+                )
+            })?;
+            Ok((Opcode::Stats, m.stats_json().into_bytes()))
+        }
         _ => Err(ServeError::BadRequest(format!(
             "opcode {:#04x} names no request this build understands",
             frame.opcode
@@ -344,11 +512,16 @@ fn handle_encode(
     let codec: Arc<Codec> = if req.flags & ENC_FLAG_USE_MODEL_ID != 0 {
         shared.store.get(req.model_id)?
     } else {
-        Arc::new(Codec::spectral_for_image(
+        let t = Instant::now();
+        let codec = Arc::new(Codec::spectral_for_image(
             &req.image,
             req.tile_size as usize,
             req.latent_dim as usize,
-        )?)
+        )?);
+        if let Some(m) = &shared.metrics {
+            m.record_spectral_ns(elapsed_ns(t));
+        }
+        codec
     };
     let opts = CodecOptions {
         tile_size: req.tile_size as usize,
@@ -359,9 +532,13 @@ fn handle_encode(
         entropy: req.entropy,
     };
     let eager = submitting_alone(shared, inflight);
-    let (bytes, _) = shared
+    let (bytes, _, timings) = shared
         .batcher
-        .encode_hinted(&codec, &req.image, &opts, eager)?;
+        .encode_hinted_timed(&codec, &req.image, &opts, eager)?;
+    if let Some(m) = &shared.metrics {
+        m.record_encode_timings(&timings);
+        m.record_coded_bytes(req.entropy, bytes.len() as u64);
+    }
     Ok((Opcode::Encode, bytes))
 }
 
@@ -426,7 +603,9 @@ fn handle_decode(
     inflight: Option<InflightGuard<'_>>,
 ) -> Result<(Opcode, Vec<u8>)> {
     check_container_dims(payload)?;
+    let t = Instant::now();
     let container = Container::from_bytes(payload)?;
+    let parse_ns = elapsed_ns(t);
     let codec: Arc<Codec> = if container.header.inline_model() {
         Arc::new(codec_from_inline(&container)?)
     } else {
@@ -434,7 +613,16 @@ fn handle_decode(
     };
     codec.check_container(&container)?;
     let eager = submitting_alone(shared, inflight);
-    let img = shared.batcher.decode_hinted(&codec, &container, eager)?;
+    let (img, mut timings) = shared
+        .batcher
+        .decode_hinted_timed(&codec, &container, eager)?;
+    if let Some(m) = &shared.metrics {
+        timings.parse_ns = parse_ns;
+        m.record_decode_timings(&timings);
+        if let Ok(coder) = container.header.entropy() {
+            m.record_decoded_bytes(coder, payload.len() as u64);
+        }
+    }
     Ok((Opcode::Decode, image_to_payload(&img)))
 }
 
@@ -465,10 +653,14 @@ fn server_info_json(shared: &Shared) -> String {
     };
     format!(
         "{{\"format\":\"qn-serve\",\"protocol_version\":{PROTOCOL_VERSION},\
+         \"server_version\":\"{}\",\"uptime_secs\":{},\"metrics\":{},\
          \"backend\":\"{}\",\"batch_tiles\":{},\"batch_deadline_ms\":{},\
          \"coalescing\":{},\"adaptive_flush\":true,\"read_timeout_ms\":{},\
          \"models_cached\":{},\"store_dir\":{store_dir},\
          \"requests_served\":{}}}",
+        env!("CARGO_PKG_VERSION"),
+        shared.started.elapsed().as_secs(),
+        shared.metrics.is_some(),
         shared.config.backend,
         shared.config.batch_tiles,
         shared.config.batch_deadline.as_millis(),

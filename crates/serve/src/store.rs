@@ -18,8 +18,52 @@
 use crate::error::{Result, ServeError};
 use crate::protocol::ModelEntry;
 use qn_codec::{model, Codec};
+use qn_metrics::{Counter, Gauge, Registry};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+
+/// Zoo telemetry handles: cache hit/miss/insert counters plus a gauge
+/// of parsed models resident in RAM. Clonable — handles share the
+/// underlying atomics.
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    inserts: Arc<Counter>,
+    cached_models: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    /// Register the zoo metrics in `registry`.
+    pub fn new(registry: &Registry) -> StoreMetrics {
+        StoreMetrics {
+            hits: registry.counter("zoo_hits_total"),
+            misses: registry.counter("zoo_misses_total"),
+            inserts: registry.counter("zoo_inserts_total"),
+            cached_models: registry.gauge("zoo_cached_models"),
+        }
+    }
+
+    /// RAM-cache hits observed by [`ModelStore::get`].
+    pub fn hits(&self) -> &Counter {
+        &self.hits
+    }
+
+    /// RAM-cache misses (the lookup then falls through to disk).
+    pub fn misses(&self) -> &Counter {
+        &self.misses
+    }
+
+    /// Successful [`ModelStore::insert_bytes`] calls.
+    pub fn inserts(&self) -> &Counter {
+        &self.inserts
+    }
+
+    /// Parsed models currently resident in the RAM cache.
+    pub fn cached_models(&self) -> &Gauge {
+        &self.cached_models
+    }
+}
 
 /// Directory-backed, LRU-cached model zoo. Thread-safe; cheap to share
 /// behind an `Arc`.
@@ -29,6 +73,7 @@ pub struct ModelStore {
     capacity: usize,
     /// Most-recently-used at the back.
     cache: Mutex<Vec<(u64, Arc<Codec>)>>,
+    metrics: Option<StoreMetrics>,
 }
 
 impl ModelStore {
@@ -45,7 +90,16 @@ impl ModelStore {
             dir,
             capacity: capacity.max(1),
             cache: Mutex::new(Vec::new()),
+            metrics: None,
         })
+    }
+
+    /// Attach zoo telemetry (hit/miss/insert counters and the residency
+    /// gauge). Builder-style; metered stores behave identically.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: StoreMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The backing directory, if any.
@@ -90,6 +144,9 @@ impl ModelStore {
             }
         }
         self.touch(id, Arc::new(codec));
+        if let Some(m) = &self.metrics {
+            m.inserts.inc();
+        }
         Ok(id)
     }
 
@@ -106,8 +163,16 @@ impl ModelStore {
                 let entry = cache.remove(at);
                 let codec = Arc::clone(&entry.1);
                 cache.push(entry);
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
                 return Ok(codec);
             }
+        }
+        // A miss is counted here, whatever the disk outcome: the metric
+        // tracks RAM-cache effectiveness, not zoo completeness.
+        if let Some(m) = &self.metrics {
+            m.misses.inc();
         }
         let path = self.model_path(id).ok_or(ServeError::UnknownModel(id))?;
         let bytes = match std::fs::read(&path) {
@@ -195,6 +260,9 @@ impl ModelStore {
         cache.push((id, codec));
         while cache.len() > self.capacity {
             cache.remove(0);
+        }
+        if let Some(m) = &self.metrics {
+            m.cached_models.set(cache.len() as i64);
         }
     }
 }
@@ -389,6 +457,37 @@ mod tests {
             cache_ids.contains(&id_a),
             "file still listed (list is metadata-only)"
         );
+    }
+
+    #[test]
+    fn zoo_metrics_count_hits_misses_inserts_and_residency() {
+        let registry = Registry::new();
+        let metrics = StoreMetrics::new(&registry);
+        let dir = temp_dir("metrics");
+        let store = ModelStore::new(Some(dir), 2)
+            .unwrap()
+            .with_metrics(metrics.clone());
+        let (id_a, bytes_a) = model_bytes(100);
+        let (id_b, bytes_b) = model_bytes(101);
+        let (_, bytes_c) = model_bytes(102);
+        store.insert_bytes(&bytes_a).unwrap();
+        store.insert_bytes(&bytes_b).unwrap();
+        assert_eq!(metrics.inserts().get(), 2);
+        assert_eq!(metrics.cached_models().get(), 2);
+        store.get(id_a).unwrap(); // RAM hit
+        assert_eq!(metrics.hits().get(), 1);
+        assert_eq!(metrics.misses().get(), 0);
+        store.insert_bytes(&bytes_c).unwrap(); // evicts B from RAM
+        assert_eq!(metrics.cached_models().get(), 2, "capacity bound");
+        store.get(id_b).unwrap(); // miss → disk reload
+        assert_eq!(metrics.misses().get(), 1);
+        // Unknown ids are misses too (cache effectiveness, not zoo
+        // completeness).
+        assert!(store.get(0xF00D).is_err());
+        assert_eq!(metrics.misses().get(), 2);
+        // A failed insert does not count.
+        assert!(store.insert_bytes(b"junk").is_err());
+        assert_eq!(metrics.inserts().get(), 3);
     }
 
     #[test]

@@ -478,3 +478,191 @@ fn per_request_dispatch_servers_answer_the_same_bytes() {
         .unwrap();
     assert_eq!(remote, offline);
 }
+
+/// Extract a plain integer counter/gauge value from the stats JSON.
+fn stat_int(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} missing in {json}"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} is not an integer in {json}"))
+}
+
+/// Extract a histogram's observation count from the stats JSON.
+fn hist_count(json: &str, key: &str) -> u64 {
+    stat_int(json, &format!("{key}\":{{\"count"))
+}
+
+#[test]
+fn stats_rejects_non_empty_payloads_with_a_typed_error() {
+    let server = boot(None);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client
+        .roundtrip(qn_serve::Opcode::Stats, b"extra".to_vec())
+        .expect_err("STATS with a payload must fail");
+    match err {
+        qn_serve::ServeError::Remote { code, message } => {
+            assert_eq!(code, qn_serve::ErrorCode::BadRequest as u16, "{message}");
+            assert!(message.contains("no payload"), "{message}");
+        }
+        other => panic!("expected a remote BadRequest, got {other}"),
+    }
+    // The connection survives a request-level error.
+    assert!(client.stats().unwrap().starts_with("{\"uptime_secs\":"));
+}
+
+#[test]
+fn metrics_disabled_servers_say_so_and_reject_stats() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        metrics: false,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    assert!(server.metrics().is_none());
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Feature detection: INFO carries metrics:false ...
+    let status = client.info(None).unwrap();
+    assert!(status.contains("\"metrics\":false"), "{status}");
+    assert!(status.contains("\"uptime_secs\":"), "{status}");
+    assert!(status.contains("\"server_version\":\""), "{status}");
+    // ... and STATS answers a typed BadRequest, not a close.
+    match client.stats().expect_err("STATS must fail without metrics") {
+        qn_serve::ServeError::Remote { code, message } => {
+            assert_eq!(code, qn_serve::ErrorCode::BadRequest as u16, "{message}");
+        }
+        other => panic!("expected a remote BadRequest, got {other}"),
+    }
+    // Disabled metrics never perturb the bytes either.
+    let img = datasets::grayscale_blobs(1, 16, 16, 21).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+    assert_eq!(
+        client
+            .encode(&spectral_encode_request(&img, &opts, 8))
+            .unwrap(),
+        offline
+    );
+}
+
+#[test]
+fn stats_counts_match_a_client_side_tally_under_sixteen_clients() {
+    let server = boot(None);
+    let addr = server.addr();
+    let img = datasets::grayscale_blobs(1, 16, 16, 33).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+
+    // Client-side tally: 16 workers × (2 encodes + 1 decode + 1 info +
+    // 1 list).
+    let workers: Vec<_> = (0..16)
+        .map(|_| {
+            let img = img.clone();
+            let opts = opts.clone();
+            let offline = offline.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..2 {
+                    client
+                        .encode(&spectral_encode_request(&img, &opts, 8))
+                        .expect("encode");
+                }
+                client.decode(&offline).expect("decode");
+                client.info(None).expect("info");
+                client.list_models().expect("list");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let (enc, dec, info_n, list_n) = (32u64, 16u64, 16u64, 16u64);
+
+    // Request counters increment before the reply is written, so after
+    // the workers join they are exact. Latency records after the reply
+    // leaves, so the last write on each connection may still be racing
+    // the stats read — poll briefly for the histograms to catch up.
+    let mut client = Client::connect(addr).unwrap();
+    let mut stats_calls = 0u64;
+    let json = loop {
+        stats_calls += 1;
+        let json = client.stats().expect("stats");
+        if hist_count(&json, "serve_request_latency_ns{op=encode}") == enc
+            && hist_count(&json, "serve_request_latency_ns{op=decode}") == dec
+        {
+            break json;
+        }
+        assert!(
+            stats_calls < 200,
+            "latency histograms never caught up: {json}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    assert_eq!(stat_int(&json, "serve_requests_total{op=encode}"), enc);
+    assert_eq!(stat_int(&json, "serve_requests_total{op=decode}"), dec);
+    assert_eq!(stat_int(&json, "serve_requests_total{op=info}"), info_n);
+    assert_eq!(
+        stat_int(&json, "serve_requests_total{op=list_models}"),
+        list_n
+    );
+    // The stats polls count themselves (each increments before its own
+    // reply is built).
+    assert_eq!(
+        stat_int(&json, "serve_requests_total{op=stats}"),
+        stats_calls
+    );
+    assert_eq!(stat_int(&json, "serve_connections_total"), 17);
+    assert!(stat_int(&json, "serve_frame_bytes_in_total") > 0, "{json}");
+    assert!(stat_int(&json, "serve_frame_bytes_out_total") > 0, "{json}");
+    // Codec stage histograms populated by the mesh-bound requests.
+    assert_eq!(
+        hist_count(&json, "codec_stage_ns{op=encode,stage=mesh}"),
+        enc
+    );
+    assert_eq!(
+        hist_count(&json, "codec_stage_ns{op=decode,stage=parse}"),
+        dec
+    );
+    assert_eq!(
+        hist_count(&json, "codec_stage_ns{op=encode,stage=spectral}"),
+        enc
+    );
+    // Every encode used the default rice coder.
+    assert!(
+        stat_int(&json, "codec_coded_bytes_total{coder=rice}") > 0,
+        "{json}"
+    );
+    // Flush-cause attribution is total: the per-cause counters sum to
+    // the number of executed batches.
+    let flushes = hist_count(&json, "batch_flush_tiles");
+    let by_cause: u64 = ["full", "deadline", "eager", "drain"]
+        .iter()
+        .map(|c| stat_int(&json, &format!("batch_flushes_total{{cause={c}}}")))
+        .sum();
+    assert_eq!(
+        by_cause, flushes,
+        "flush causes must sum to flushes: {json}"
+    );
+    assert!(flushes > 0, "{json}");
+    // Adaptive-flush bookkeeping drained back to zero.
+    assert_eq!(stat_int(&json, "serve_inflight_requests"), 0);
+
+    // The handle exposes the same registry the wire serves.
+    let handle_json = server
+        .metrics()
+        .expect("metrics on by default")
+        .registry()
+        .to_json();
+    assert_eq!(
+        stat_int(&handle_json, "serve_requests_total{op=encode}"),
+        enc
+    );
+}

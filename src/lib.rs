@@ -28,6 +28,9 @@
 //! - [`eval`](qn_eval) — the rate–distortion evaluation subsystem:
 //!   dataset registry, operating-point sweeps, classical baselines at
 //!   matched rates, stable quality reports and CI quality gates.
+//! - [`metrics`](qn_metrics) — zero-dependency telemetry core: atomic
+//!   counters/gauges, log₂ latency histograms with percentile
+//!   estimation, byte-stable JSON and Prometheus-style exposition.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use qn_core as core;
 pub use qn_eval as eval;
 pub use qn_image as image;
 pub use qn_linalg as linalg;
+pub use qn_metrics as metrics;
 pub use qn_photonic as photonic;
 pub use qn_serve as serve;
 pub use qn_sim as sim;
