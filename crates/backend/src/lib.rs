@@ -11,31 +11,44 @@
 //!   `Mesh::forward_real`, serial or thread-parallel;
 //! - [`PanelBackend`] — packs vectors into mode-major
 //!   [`qn_linalg::Panel`]s and sweeps each beam-splitter layer across
-//!   the whole panel, chunked across threads.
+//!   the whole panel, chunked across threads;
+//! - [`SimdBackend`] — panel execution over pruned gate tables with
+//!   explicit lane-blocked rotations.
+//!
+//! All backends share the content-addressed gate-table cache
+//! ([`tables::cached_tables`]): per-gate `sin_cos` is evaluated once
+//! per model, ever, instead of once per gate per panel per batch.
 //!
 //! [`BackendKind`] is the value-level selector (CLI flags, codec
 //! options) that maps onto shared backend instances. On top of the
 //! trait, [`MeshBatcher`] coalesces passes submitted by independent
 //! callers (e.g. concurrent server requests) into single backend
-//! batches — sound precisely because backends are bit-identical per
-//! vector regardless of batch composition.
+//! batches — sound precisely because a backend's per-vector output
+//! never depends on batch composition.
 //!
-//! # Why bit-compatibility is part of the trait contract
+//! # Why numeric compatibility is part of the trait contract
 //!
 //! `.qnc` containers record quantized mesh outputs; a decoder that
 //! produced even 1-ulp-different amplitudes could round a quantizer
 //! level differently and emit different pixels — a silent format
-//! incompatibility. Backends therefore must be bitwise-interchangeable,
-//! and the cross-backend conformance suite plus the golden bitstream
-//! vectors pin that promise in CI.
+//! incompatibility. Backends therefore declare an explicit
+//! [`Equivalence`] contract against the scalar reference — bit-exact
+//! for most, value-equal up to the sign of IEEE zeros for the pruning
+//! `simd` backend (a distinction the quantizer provably cannot
+//! observe) — and the cross-backend conformance suite plus the golden
+//! bitstream vectors pin the resulting byte-compatibility in CI.
 
 mod batch;
 mod panel;
 mod scalar;
+mod simd;
+pub mod tables;
 
 pub use batch::{BatchHandle, BatchKey, BatcherMetrics, FlushCause, MeshBatcher, MeshSource};
 pub use panel::{PanelBackend, DEFAULT_PANEL_WIDTH};
 pub use scalar::ScalarBackend;
+pub use simd::SimdBackend;
+pub use tables::{cached_tables, table_cache_stats, TableCacheStats};
 
 use qn_photonic::Mesh;
 use std::fmt;
@@ -46,22 +59,31 @@ use std::str::FromStr;
 ///
 /// # Equivalence contract
 ///
-/// For every implementation, every mesh `U`, and every batch:
+/// For every implementation, every mesh `U`, and every batch,
+/// `forward_batch(U, batch)[i]` must match `U.forward_real_copy(&batch[i])`
+/// (and `inverse_batch` likewise against `U.inverse_real`) for all `i`,
+/// in input order, regardless of thread count, batch size or internal
+/// blocking — to the precision the backend *declares* via
+/// [`BackendKind::equivalence`]:
 ///
-/// - `forward_batch(U, batch)[i]` is **bit-identical** to
-///   `U.forward_real_copy(&batch[i])`, and
-/// - `inverse_batch(U, batch)[i]` is **bit-identical** to applying
-///   `U.inverse_real` to a copy of `batch[i]`,
+/// - [`Equivalence::BitExact`] (scalar, scalar-parallel, panel): the
+///   same `f64` bit patterns. Implementations keep the per-gate
+///   arithmetic exactly as written in `MeshLayer::apply_real`
+///   (`c·a − s·b`, `s·a + c·b`, `sin_cos`-derived coefficients) — no
+///   reassociation, no FMA contraction, no extended-precision
+///   accumulation.
+/// - [`Equivalence::ZeroSignOnly`] (simd): every output compares equal
+///   under `f64 ==` — the absolute difference is exactly `0.0`, a zero
+///   tolerance budget — but the sign of an IEEE zero may differ
+///   (identity-gate pruning preserves stored `-0.0` bits where the
+///   reference's `0·a + 1·b` rewrites them to `+0.0`).
 ///
-/// for all `i`, in input order, regardless of thread count, batch size
-/// or internal blocking. "Bit-identical" means the same `f64` bit
-/// patterns: implementations must keep the per-gate arithmetic exactly
-/// as written in `MeshLayer::apply_real` (`c·a − s·b`, `s·a + c·b`,
-/// one `sin_cos` per gate angle) — no reassociation, no FMA
-/// contraction, no extended-precision accumulation. This is what makes
-/// `.qnc` containers decode byte-identically under every backend; the
-/// conformance suite (`tests/codec_properties.rs`) and the golden
-/// vectors (`tests/golden_vectors.rs`) enforce it.
+/// Either way `.qnc` containers encode and decode byte-identically
+/// under every backend: quantization and pixel reconstruction cannot
+/// distinguish `-0.0` from `+0.0`. The conformance suite
+/// (`tests/codec_properties.rs`), the golden vectors
+/// (`tests/golden_vectors.rs`) and the epsilon-budget test below
+/// enforce all of this.
 ///
 /// # Panics
 ///
@@ -82,6 +104,17 @@ pub trait MeshBackend: fmt::Debug + Sync {
     fn inverse_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>>;
 }
 
+/// Declared numeric equivalence of a backend against the scalar
+/// reference — the precision class the conformance suite holds it to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Equivalence {
+    /// Outputs are bit-identical `f64`s.
+    BitExact,
+    /// Outputs compare equal under `f64 ==` (absolute difference
+    /// exactly `0.0`); only the sign of IEEE zeros may differ.
+    ZeroSignOnly,
+}
+
 /// Value-level backend selector for CLI flags and codec options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendKind {
@@ -92,19 +125,23 @@ pub enum BackendKind {
     /// Batched mode-major panels, chunked across threads (default).
     #[default]
     Panel,
+    /// Pruned gate tables + explicit lane-blocked rotations.
+    Simd,
 }
 
 /// Shared instances behind [`BackendKind::backend`].
 static SCALAR: ScalarBackend = ScalarBackend::serial();
 static SCALAR_PARALLEL: ScalarBackend = ScalarBackend::parallel();
 static PANEL: PanelBackend = PanelBackend::with_width(DEFAULT_PANEL_WIDTH);
+static SIMD: SimdBackend = SimdBackend::with_width(DEFAULT_PANEL_WIDTH);
 
 impl BackendKind {
     /// Every selectable backend, in documentation order.
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Scalar,
         BackendKind::ScalarParallel,
         BackendKind::Panel,
+        BackendKind::Simd,
     ];
 
     /// The backend instance this selector names.
@@ -113,6 +150,7 @@ impl BackendKind {
             BackendKind::Scalar => &SCALAR,
             BackendKind::ScalarParallel => &SCALAR_PARALLEL,
             BackendKind::Panel => &PANEL,
+            BackendKind::Simd => &SIMD,
         }
     }
 
@@ -122,6 +160,18 @@ impl BackendKind {
             BackendKind::Scalar => "scalar",
             BackendKind::ScalarParallel => "scalar-parallel",
             BackendKind::Panel => "panel",
+            BackendKind::Simd => "simd",
+        }
+    }
+
+    /// The backend's declared equivalence contract against the scalar
+    /// reference (see the [`MeshBackend`] rustdoc).
+    pub fn equivalence(self) -> Equivalence {
+        match self {
+            BackendKind::Scalar | BackendKind::ScalarParallel | BackendKind::Panel => {
+                Equivalence::BitExact
+            }
+            BackendKind::Simd => Equivalence::ZeroSignOnly,
         }
     }
 }
@@ -140,8 +190,9 @@ impl FromStr for BackendKind {
             "scalar" | "serial" => Ok(BackendKind::Scalar),
             "scalar-parallel" | "parallel" => Ok(BackendKind::ScalarParallel),
             "panel" => Ok(BackendKind::Panel),
+            "simd" => Ok(BackendKind::Simd),
             other => Err(format!(
-                "unknown backend {other:?} (expected scalar, scalar-parallel or panel)"
+                "unknown backend {other:?} (expected scalar, scalar-parallel, panel or simd)"
             )),
         }
     }
@@ -183,8 +234,79 @@ mod tests {
             "parallel".parse::<BackendKind>().unwrap(),
             BackendKind::ScalarParallel
         );
-        assert!("simd".parse::<BackendKind>().is_err());
+        assert_eq!("simd".parse::<BackendKind>().unwrap(), BackendKind::Simd);
+        assert!("vector".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::default(), BackendKind::Panel);
+    }
+
+    #[test]
+    fn equivalence_contracts_are_declared_per_backend() {
+        for kind in BackendKind::ALL {
+            let expected = if kind == BackendKind::Simd {
+                Equivalence::ZeroSignOnly
+            } else {
+                Equivalence::BitExact
+            };
+            assert_eq!(kind.equivalence(), expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn zero_width_backends_are_rejected_at_construction() {
+        assert!(std::panic::catch_unwind(|| PanelBackend::with_width(0)).is_err());
+        assert!(std::panic::catch_unwind(|| SimdBackend::with_width(0)).is_err());
+    }
+
+    #[test]
+    fn simd_widths_including_one_agree_with_scalar() {
+        let m = mesh(6, 2);
+        let xs = batch(6, 7);
+        let reference = BackendKind::Scalar.backend().forward_batch(&m, &xs);
+        for width in [1usize, 2, 3, 4, 5, 7, 8, 64] {
+            let backend = SimdBackend::with_width(width);
+            assert_eq!(backend.forward_batch(&m, &xs), reference, "width {width}");
+        }
+    }
+
+    #[test]
+    fn simd_epsilon_budget_is_exactly_zero_and_divergence_is_zero_signs_only() {
+        // The ZeroSignOnly contract, pinned bit-by-bit: on a mesh that
+        // mixes identity (θ = 0) and active gates — the shape
+        // ASAP-packed spectral models have — every simd output must
+        // (a) compare equal to the scalar reference under `==`
+        //     (absolute difference exactly 0.0: a zero epsilon budget),
+        // (b) differ in bits only where both values are IEEE zeros.
+        let mut m = mesh(10, 4);
+        let thetas: Vec<f64> = m
+            .thetas()
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| if i % 2 == 0 { 0.0 } else { t })
+            .collect();
+        m.set_thetas(&thetas);
+        // Zero amplitudes included so zero-sign handling is exercised.
+        let mut xs = batch(10, 23);
+        xs[0] = vec![0.0; 10];
+        xs[1] = vec![-0.0; 10];
+        for m in [m.clone(), m.reversed()] {
+            let reference = BackendKind::Scalar.backend().forward_batch(&m, &xs);
+            let inv_reference = BackendKind::Scalar.backend().inverse_batch(&m, &xs);
+            let simd = BackendKind::Simd.backend();
+            for (got, want) in [
+                (simd.forward_batch(&m, &xs), reference),
+                (simd.inverse_batch(&m, &xs), inv_reference),
+            ] {
+                for (g, w) in got.iter().zip(&want) {
+                    for (a, b) in g.iter().zip(w) {
+                        assert!((a - b).abs() == 0.0, "epsilon budget exceeded: {a} vs {b}");
+                        if a.to_bits() != b.to_bits() {
+                            assert_eq!(*a, 0.0, "non-zero bit divergence: {a} vs {b}");
+                            assert_eq!(*b, 0.0, "non-zero bit divergence: {a} vs {b}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

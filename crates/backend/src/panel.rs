@@ -1,7 +1,8 @@
 //! The batched panel backend: sweep layers across many tiles at once.
 
+use crate::tables::cached_tables;
 use crate::MeshBackend;
-use qn_linalg::parallel::par_map_chunked;
+use qn_linalg::parallel::par_map_chunked_into;
 use qn_linalg::Panel;
 use qn_photonic::Mesh;
 
@@ -11,14 +12,35 @@ use qn_photonic::Mesh;
 /// still splits into 64 chunks for thread-level parallelism.
 pub const DEFAULT_PANEL_WIDTH: usize = 64;
 
+/// Split `batch` into `width`-lane panels, apply a mesh pass to each,
+/// and write the results straight into a preallocated output batch —
+/// one allocation per output column, no per-chunk collection vectors.
+/// Chunk boundaries depend only on the batch length and `width`, so
+/// results are thread-count invariant whenever `apply` is.
+pub(crate) fn run_chunked<F>(width: usize, batch: &[Vec<f64>], apply: F) -> Vec<Vec<f64>>
+where
+    F: Fn(&mut Panel) + Sync,
+{
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<Vec<f64>> = batch.iter().map(|v| vec![0.0; v.len()]).collect();
+    par_map_chunked_into(&mut out, width, |start, block| {
+        let mut panel = Panel::from_columns(&batch[start..start + block.len()]);
+        apply(&mut panel);
+        panel.write_columns_into(block);
+    });
+    out
+}
+
 /// Packs up to `width` vectors into a mode-major [`Panel`] and applies
-/// each beam-splitter layer across the whole panel: one `sin_cos` per
-/// gate instead of one per gate *per tile*, with unit-stride inner
-/// loops over the lanes. Chunks of `width` lanes are processed in
-/// parallel via `qn_linalg::parallel::par_map_chunked`; chunk
-/// boundaries depend only on the batch length, so results are
-/// thread-count invariant — and each lane's arithmetic is exactly the
-/// scalar kernel's, so outputs are bit-identical to [`crate::ScalarBackend`].
+/// each beam-splitter layer across the whole panel through the shared
+/// gate-table cache ([`crate::tables::cached_tables`]): zero `sin_cos`
+/// in the hot loop, with unit-stride inner loops over the lanes. Chunks
+/// of `width` lanes are processed in parallel with thread-count
+/// invariant boundaries, and each lane's arithmetic is exactly the
+/// scalar kernel's, so outputs are bit-identical to
+/// [`crate::ScalarBackend`].
 #[derive(Debug, Clone, Copy)]
 pub struct PanelBackend {
     width: usize,
@@ -26,31 +48,19 @@ pub struct PanelBackend {
 
 impl PanelBackend {
     /// Panel backend with an explicit panel width (lanes per panel).
+    /// [`DEFAULT_PANEL_WIDTH`] suits the codec's tile sizes.
     ///
-    /// Width 0 is rejected at use time (the first batch panics); use
-    /// widths ≥ 1. [`DEFAULT_PANEL_WIDTH`] suits the codec's tile sizes.
+    /// # Panics
+    /// Panics when `width` is zero — rejected here, at construction,
+    /// not on the first batch.
     pub const fn with_width(width: usize) -> Self {
+        assert!(width > 0, "panel width must be positive");
         PanelBackend { width }
     }
 
     /// Lanes per panel.
     pub fn width(&self) -> usize {
         self.width
-    }
-
-    fn run<F>(&self, batch: &[Vec<f64>], apply: F) -> Vec<Vec<f64>>
-    where
-        F: Fn(&mut Panel) + Sync,
-    {
-        if batch.is_empty() {
-            return Vec::new();
-        }
-        let chunks = par_map_chunked(batch.len(), self.width, |start, end| {
-            let mut panel = Panel::from_columns(&batch[start..end]);
-            apply(&mut panel);
-            panel.into_columns()
-        });
-        chunks.into_iter().flatten().collect()
     }
 }
 
@@ -66,10 +76,18 @@ impl MeshBackend for PanelBackend {
     }
 
     fn forward_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        self.run(batch, |panel| mesh.forward_real_panel(panel))
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let tables = cached_tables(mesh);
+        run_chunked(self.width, batch, |panel| tables.forward_panel(panel))
     }
 
     fn inverse_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        self.run(batch, |panel| mesh.inverse_real_panel(panel))
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let tables = cached_tables(mesh);
+        run_chunked(self.width, batch, |panel| tables.inverse_panel(panel))
     }
 }

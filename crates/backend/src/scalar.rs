@@ -1,12 +1,16 @@
 //! The scalar reference backend: one vector at a time.
 
+use crate::tables::cached_tables;
 use crate::MeshBackend;
 use qn_linalg::parallel::par_map_indexed;
 use qn_photonic::Mesh;
 
-/// Per-vector dispatch through `Mesh::forward_real` — exactly the
-/// semantics every other backend must reproduce bit-for-bit. The
-/// parallel flavour fans vectors across threads; each vector's pass is
+/// Per-vector dispatch with the exact semantics of
+/// `Mesh::forward_real` — the reference every other backend must
+/// reproduce. The per-gate pass runs through the shared gate-table
+/// cache (cached `sin_cos` values are bit-identical to recomputation,
+/// so outputs are unchanged down to the last bit). The parallel
+/// flavour fans vectors across threads; each vector's pass is
 /// untouched, so serial and parallel outputs are identical.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalarBackend {
@@ -46,13 +50,25 @@ impl MeshBackend for ScalarBackend {
     }
 
     fn forward_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        self.map(batch.len(), |i| mesh.forward_real_copy(&batch[i]))
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let tables = cached_tables(mesh);
+        self.map(batch.len(), |i| {
+            let mut v = batch[i].clone();
+            tables.forward_amps(&mut v);
+            v
+        })
     }
 
     fn inverse_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let tables = cached_tables(mesh);
         self.map(batch.len(), |i| {
             let mut v = batch[i].clone();
-            mesh.inverse_real(&mut v);
+            tables.inverse_amps(&mut v);
             v
         })
     }

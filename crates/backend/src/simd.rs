@@ -1,0 +1,87 @@
+//! The explicit-SIMD backend: pruned gate tables + lane-blocked
+//! rotations.
+//!
+//! Same panel decomposition as [`crate::PanelBackend`], but the mesh
+//! pass runs [`qn_photonic::MeshTables`]' blocked kernels: identity
+//! gates (`θ = ±0.0`, roughly half the gate slots of an ASAP-packed
+//! spectral model) are skipped outright, and the surviving rotations
+//! sweep the panel lanes in explicit `f64x4`-style blocks
+//! (`qn_linalg::panel::rotate_lanes_blocked`) — four independent
+//! mul/add pairs per block that the compiler keeps in vector
+//! registers, no nightly features.
+//!
+//! # Declared equivalence: [`crate::Equivalence::ZeroSignOnly`]
+//!
+//! Skipping an identity gate preserves an amplitude's stored bits where
+//! the reference computes `1·a − 0·b` / `0·a + 1·b`, which can rewrite
+//! the *sign of an IEEE zero*. Every output therefore compares equal to
+//! the scalar reference under `f64 ==` (absolute difference exactly
+//! `0.0`), but is not guaranteed bit-identical on zero amplitudes.
+//! Downstream this is invisible: quantization, tile scaling and pixel
+//! hashing are all sign-of-zero insensitive, so `.qnc` containers and
+//! decoded pixels stay byte-identical — the conformance and golden
+//! suites run this backend against the same value-equality assertions
+//! as every other, and the epsilon-budget test in `crate` pins the
+//! "only zero signs" claim bit-by-bit.
+
+use crate::panel::{run_chunked, DEFAULT_PANEL_WIDTH};
+use crate::tables::cached_tables;
+use crate::MeshBackend;
+use qn_photonic::Mesh;
+
+/// Lane-blocked, identity-pruned panel execution over cached gate
+/// tables — see the module docs for the kernel and its declared
+/// equivalence contract.
+#[derive(Debug, Clone, Copy)]
+pub struct SimdBackend {
+    width: usize,
+}
+
+impl SimdBackend {
+    /// SIMD backend with an explicit panel width (lanes per panel).
+    ///
+    /// # Panics
+    /// Panics when `width` is zero — rejected at construction, like
+    /// [`crate::PanelBackend::with_width`].
+    pub const fn with_width(width: usize) -> Self {
+        assert!(width > 0, "panel width must be positive");
+        SimdBackend { width }
+    }
+
+    /// Lanes per panel.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl Default for SimdBackend {
+    fn default() -> Self {
+        SimdBackend::with_width(DEFAULT_PANEL_WIDTH)
+    }
+}
+
+impl MeshBackend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn forward_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let tables = cached_tables(mesh);
+        run_chunked(self.width, batch, |panel| {
+            tables.forward_panel_blocked(panel)
+        })
+    }
+
+    fn inverse_batch(&self, mesh: &Mesh, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let tables = cached_tables(mesh);
+        run_chunked(self.width, batch, |panel| {
+            tables.inverse_panel_blocked(panel)
+        })
+    }
+}

@@ -51,10 +51,38 @@ impl BitWriter {
     }
 
     /// Append the `n` low bits of `value`, LSB first (`n ≤ 64`).
+    ///
+    /// Byte-at-a-time: tops up the current partial byte, then emits
+    /// whole bytes — the resulting byte layout is identical to pushing
+    /// the same bits one at a time.
     pub fn write_bits(&mut self, value: u64, n: u32) {
         debug_assert!(n <= 64, "write_bits supports at most 64 bits");
-        for i in 0..n {
-            self.write_bit((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        let mut value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
+        let mut n = n;
+        if self.used != 0 {
+            let free = 8 - self.used;
+            let take = free.min(n);
+            let last = self.bytes.last_mut().expect("partial byte exists");
+            *last |= ((value & ((1u64 << take) - 1)) as u8) << self.used;
+            self.used = (self.used + take) % 8;
+            value >>= take;
+            n -= take;
+        }
+        while n >= 8 {
+            self.bytes.push((value & 0xFF) as u8);
+            value >>= 8;
+            n -= 8;
+        }
+        if n > 0 {
+            self.bytes.push((value & ((1u64 << n) - 1)) as u8);
+            self.used = n;
         }
     }
 
@@ -104,17 +132,107 @@ impl<'a> BitReader<'a> {
 
     /// Read `n ≤ 64` bits, LSB first.
     ///
+    /// Byte-at-a-time: drains the current partial byte, then whole
+    /// bytes — same cursor semantics as reading bit by bit.
+    ///
     /// # Errors
     /// [`CodecError::Truncated`] at end of input.
     pub fn read_bits(&mut self, n: u32) -> Result<u64> {
         debug_assert!(n <= 64, "read_bits supports at most 64 bits");
-        let mut v = 0u64;
-        for i in 0..n {
-            if self.read_bit()? {
-                v |= 1 << i;
+        if n == 0 {
+            return Ok(0);
+        }
+        let end = self.pos + n as usize;
+        if end > self.bytes.len() * 8 {
+            // Consistent with bit-by-bit reading: the cursor advances to
+            // the end of input before the truncation surfaces; nothing
+            // downstream reads on after an error.
+            self.pos = self.bytes.len() * 8;
+            return Err(CodecError::Truncated {
+                context: "bitstream payload",
+            });
+        }
+        if let Some((w, valid)) = self.peek64() {
+            if n <= valid {
+                self.pos = end;
+                return Ok(if n == 64 { w } else { w & ((1u64 << n) - 1) });
             }
         }
+        let mut v = 0u64;
+        let mut got = 0u32;
+        let mut byte = self.pos / 8;
+        let off = (self.pos % 8) as u32;
+        if off != 0 {
+            let take = (8 - off).min(n);
+            v |= (u64::from(self.bytes[byte]) >> off) & ((1u64 << take) - 1);
+            got = take;
+            byte += 1;
+        }
+        while n - got >= 8 {
+            v |= u64::from(self.bytes[byte]) << got;
+            byte += 1;
+            got += 8;
+        }
+        if got < n {
+            let take = n - got;
+            v |= (u64::from(self.bytes[byte]) & ((1u64 << take) - 1)) << got;
+        }
+        self.pos = end;
         Ok(v)
+    }
+
+    /// Count consecutive one bits up to and including the terminating
+    /// zero (which is consumed), scanning a byte at a time.
+    ///
+    /// # Errors
+    /// [`CodecError::Truncated`] at end of input;
+    /// [`CodecError::Invalid`] when the run exceeds `max_run` ones.
+    fn read_unary(&mut self, max_run: u32) -> Result<u32> {
+        let mut q = 0u32;
+        loop {
+            let byte = self.pos / 8;
+            if byte >= self.bytes.len() {
+                return Err(CodecError::Truncated {
+                    context: "bitstream payload",
+                });
+            }
+            let off = (self.pos % 8) as u32;
+            let avail = 8 - off;
+            let remaining = u32::from(self.bytes[byte]) >> off;
+            let inverted = !remaining & ((1u32 << avail) - 1);
+            if inverted != 0 {
+                let ones = inverted.trailing_zeros();
+                q += ones;
+                if q > max_run {
+                    return Err(CodecError::Invalid(
+                        "rice unary run exceeds maximum symbol".to_string(),
+                    ));
+                }
+                self.pos += (ones + 1) as usize;
+                return Ok(q);
+            }
+            q += avail;
+            self.pos += avail as usize;
+            if q > max_run {
+                return Err(CodecError::Invalid(
+                    "rice unary run exceeds maximum symbol".to_string(),
+                ));
+            }
+        }
+    }
+
+    /// Peek a 64-bit little-endian window at the cursor: the next
+    /// `64 − bit_offset ≥ 56` bits of the stream, LSB-first, without
+    /// advancing. `None` when fewer than eight whole bytes remain at
+    /// the cursor's byte — callers fall back to the exact
+    /// byte-at-a-time readers near the end of input.
+    #[inline]
+    fn peek64(&self) -> Option<(u64, u32)> {
+        let byte = self.pos / 8;
+        let off = (self.pos % 8) as u32;
+        let window = self.bytes.get(byte..byte + 8)?;
+        let w = u64::from_le_bytes(window.try_into().expect("8 bytes")) >> off;
+        Some((w, 64 - off))
     }
 }
 
@@ -144,12 +262,21 @@ pub fn best_rice_k(values: &[u32], max_k: u32) -> u32 {
 /// Write `value` with Rice parameter `k`: unary quotient (q ones, one
 /// zero), then the k low remainder bits.
 pub fn write_rice(w: &mut BitWriter, value: u32, k: u32) {
-    let q = value >> k;
-    for _ in 0..q {
-        w.write_bit(true);
+    let mut q = value >> k;
+    while q >= 32 {
+        w.write_bits(u64::from(u32::MAX), 32);
+        q -= 32;
     }
-    w.write_bit(false);
-    w.write_bits(u64::from(value) & ((1u64 << k) - 1), k);
+    let rem = u64::from(value) & ((1u64 << k) - 1);
+    if q + 1 + k <= 64 {
+        // Whole symbol in one word: q ones, the terminating zero, then
+        // the k remainder bits — the same stream two separate writes
+        // produce.
+        w.write_bits((rem << (q + 1)) | ((1u64 << q) - 1), q + 1 + k);
+    } else {
+        w.write_bits((1u64 << q) - 1, q + 1);
+        w.write_bits(rem, k);
+    }
 }
 
 /// Read one Rice(k) value.
@@ -159,15 +286,28 @@ pub fn write_rice(w: &mut BitWriter, value: u32, k: u32) {
 /// when the unary run exceeds any symbol a supported quantizer emits
 /// (corrupt stream).
 pub fn read_rice(r: &mut BitReader<'_>, k: u32) -> Result<u32> {
-    let mut q: u32 = 0;
-    while r.read_bit()? {
-        q += 1;
-        if q > MAX_UNARY_RUN {
-            return Err(CodecError::Invalid(
-                "rice unary run exceeds maximum symbol".to_string(),
-            ));
+    // Fast path: when the whole symbol — unary run, terminator and k
+    // remainder bits — fits inside one peeked 64-bit window, decode it
+    // with two shifts instead of per-byte cursor arithmetic. Bits
+    // beyond the window's valid count are zeros shifted in, so a run
+    // reaching them fails the bounds check and falls through to the
+    // exact byte-at-a-time path (identical bits, identical cursor).
+    if let Some((w, valid)) = r.peek64() {
+        let q = (!w).trailing_zeros();
+        if q + 1 + k <= valid {
+            r.pos += (q + 1 + k) as usize;
+            let rem = if k == 0 {
+                0
+            } else {
+                (w >> (q + 1)) & ((1u64 << k) - 1)
+            };
+            let value = (u64::from(q) << k) | rem;
+            return u32::try_from(value).map_err(|_| {
+                CodecError::Invalid("rice symbol exceeds the 32-bit symbol range".to_string())
+            });
         }
     }
+    let q = r.read_unary(MAX_UNARY_RUN)?;
     let rem = r.read_bits(k)? as u32;
     // Assemble in u64: with k near its maximum a corrupt unary run can
     // push q << k past 32 bits, and a wrapping result would alias a huge
@@ -454,6 +594,72 @@ mod tests {
         let mut r = BitReader::new(&[0xFF]);
         assert_eq!(r.read_bits(8).unwrap(), 0xFF);
         assert!(matches!(r.read_bit(), Err(CodecError::Truncated { .. })));
+        // Word-level reads spanning the end truncate too.
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(3).unwrap(), 0b111);
+        assert!(matches!(r.read_bits(6), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn word_level_writer_matches_a_bit_by_bit_reference() {
+        // The word-level write_bits/write_rice fast paths must emit the
+        // exact byte layout of pushing every bit individually — the
+        // invariant all existing .qnc payloads (and the golden vectors)
+        // depend on.
+        let mut fast = BitWriter::new();
+        let mut slow = BitWriter::new();
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let value = next();
+            let n = (next() % 65) as u32;
+            fast.write_bits(value, n);
+            for i in 0..n {
+                slow.write_bit((value >> i) & 1 == 1);
+            }
+            let rice_value = (next() % 3000) as u32;
+            let k = (next() % 12) as u32;
+            write_rice(&mut fast, rice_value, k);
+            let q = rice_value >> k;
+            for _ in 0..q {
+                slow.write_bit(true);
+            }
+            slow.write_bit(false);
+            for i in 0..k {
+                slow.write_bit((rice_value >> i) & 1 == 1);
+            }
+            assert_eq!(fast.bit_len(), slow.bit_len());
+        }
+        let fast = fast.finish();
+        let slow = slow.finish();
+        assert_eq!(fast, slow, "byte layout must be identical");
+        // And the word-level reader round-trips the same stream
+        // bit-for-bit against single-bit reads.
+        let mut word = BitReader::new(&fast);
+        let mut bit = BitReader::new(&slow);
+        let mut state2 = 0x0FED_CBA9_8765_4321u64;
+        let mut next2 = move || {
+            state2 ^= state2 << 13;
+            state2 ^= state2 >> 7;
+            state2 ^= state2 << 17;
+            state2
+        };
+        loop {
+            let n = (next2() % 23) as u32;
+            let via_word = word.read_bits(n);
+            let via_bits: Result<u64> =
+                (0..n).try_fold(0u64, |acc, i| Ok(acc | (u64::from(bit.read_bit()?) << i)));
+            match (via_word, via_bits) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(_), Err(_)) => break,
+                (a, b) => panic!("reader divergence: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

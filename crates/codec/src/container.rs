@@ -464,53 +464,53 @@ impl Container {
     }
 
     /// Validate every tile against the header and zigzag-map its
-    /// levels — the symbol view all three payload writers share.
-    fn tile_symbols(&self, quantizer: &Quantizer) -> Result<Vec<Option<Vec<u32>>>> {
+    /// levels — the symbol view all three payload writers share: the
+    /// occupied tiles' symbols concatenated in tile order, `latent_dim`
+    /// per tile (one flat buffer, not a vector per tile).
+    fn tile_symbols(&self, quantizer: &Quantizer) -> Result<Vec<u32>> {
         let levels = quantizer.levels();
         let zero_level = quantizer.zero_level();
-        self.tiles
-            .iter()
-            .map(|tile| match tile {
-                None => Ok(None),
-                Some(payload) => {
-                    if payload.levels.len() != self.header.latent_dim as usize {
-                        return Err(CodecError::Invalid(format!(
-                            "tile has {} latents, header says {}",
-                            payload.levels.len(),
-                            self.header.latent_dim
-                        )));
-                    }
-                    if payload.scale.is_some() != self.header.per_tile_scale() {
-                        return Err(CodecError::Invalid(
-                            "tile scale presence disagrees with container flags".into(),
-                        ));
-                    }
-                    let mut symbols = Vec::with_capacity(payload.levels.len());
-                    for &level in &payload.levels {
-                        if level >= levels {
-                            return Err(CodecError::Invalid(format!(
-                                "level {level} out of range for {}-bit quantizer",
-                                self.header.bits
-                            )));
-                        }
-                        symbols.push(crate::quantize::zigzag(level, zero_level));
-                    }
-                    Ok(Some(symbols))
+        let d = self.header.latent_dim as usize;
+        let occupied = self.tiles.iter().flatten().count();
+        let mut symbols = Vec::with_capacity(occupied * d);
+        for payload in self.tiles.iter().flatten() {
+            if payload.levels.len() != d {
+                return Err(CodecError::Invalid(format!(
+                    "tile has {} latents, header says {}",
+                    payload.levels.len(),
+                    self.header.latent_dim
+                )));
+            }
+            if payload.scale.is_some() != self.header.per_tile_scale() {
+                return Err(CodecError::Invalid(
+                    "tile scale presence disagrees with container flags".into(),
+                ));
+            }
+            for &level in &payload.levels {
+                if level >= levels {
+                    return Err(CodecError::Invalid(format!(
+                        "level {level} out of range for {}-bit quantizer",
+                        self.header.bits
+                    )));
                 }
-            })
-            .collect()
+                symbols.push(crate::quantize::zigzag(level, zero_level));
+            }
+        }
+        Ok(symbols)
     }
 
     /// The v1 payload: per-tile Rice parameter, raw 16-bit norms.
     /// Bit-exact with every pre-v2 build.
-    fn payload_rice(&self, symbols: &[Option<Vec<u32>>]) -> Vec<u8> {
+    fn payload_rice(&self, symbols: &[u32]) -> Vec<u8> {
         let max_k = u32::from(self.header.bits) + 1;
         let mut bits = BitWriter::new();
-        for (tile, syms) in self.tiles.iter().zip(symbols) {
-            let (Some(payload), Some(syms)) = (tile, syms) else {
+        let mut chunks = symbols.chunks_exact(self.header.latent_dim as usize);
+        for tile in &self.tiles {
+            let Some(payload) = tile else {
                 bits.write_bit(false);
                 continue;
             };
+            let syms = chunks.next().expect("one symbol chunk per occupied tile");
             bits.write_bit(true);
             bits.write_bits(u64::from(payload.norm_q), 16);
             if let Some(scale) = payload.scale {
@@ -527,7 +527,7 @@ impl Container {
 
     /// The v2 `rice-pos` payload: delta-coded per-position k-table and
     /// norm-delta stream up front, then the tiles.
-    fn payload_rice_pos(&self, symbols: &[Option<Vec<u32>>]) -> Vec<u8> {
+    fn payload_rice_pos(&self, symbols: &[u32]) -> Vec<u8> {
         let d = self.header.latent_dim as usize;
         let max_k = u32::from(self.header.bits) + 1;
 
@@ -536,7 +536,7 @@ impl Container {
         let mut column = Vec::new();
         for (j, k) in k_table.iter_mut().enumerate() {
             column.clear();
-            column.extend(symbols.iter().flatten().map(|syms| syms[j]));
+            column.extend(symbols.chunks_exact(d).map(|syms| syms[j]));
             *k = best_rice_k(&column, max_k);
         }
 
@@ -560,11 +560,13 @@ impl Container {
         bits.write_bits(u64::from(norm_k), RICE_K_BITS);
 
         let mut delta_iter = deltas.into_iter();
-        for (tile, syms) in self.tiles.iter().zip(symbols) {
-            let (Some(payload), Some(syms)) = (tile, syms) else {
+        let mut chunks = symbols.chunks_exact(d);
+        for tile in &self.tiles {
+            let Some(payload) = tile else {
                 bits.write_bit(false);
                 continue;
             };
+            let syms = chunks.next().expect("one symbol chunk per occupied tile");
             bits.write_bit(true);
             write_rice(
                 &mut bits,
@@ -583,7 +585,7 @@ impl Container {
 
     /// The v2 `range` payload: one adaptive binary range-coded stream,
     /// per-position contexts, no side tables.
-    fn payload_range(&self, symbols: &[Option<Vec<u32>>]) -> Vec<u8> {
+    fn payload_range(&self, symbols: &[u32]) -> Vec<u8> {
         let d = self.header.latent_dim as usize;
         let ctx_sets = d.clamp(1, MAX_CTX_POSITIONS);
         let mut enc = RangeEncoder::new();
@@ -591,11 +593,13 @@ impl Container {
         let mut norm_ctx = [PROB_INIT; NORM_CTX_BINS];
         let mut sym_ctx = vec![[PROB_INIT; SYM_CTX_BINS]; ctx_sets];
         let mut pred = NORM_PRED_INIT;
-        for (tile, syms) in self.tiles.iter().zip(symbols) {
-            let (Some(payload), Some(syms)) = (tile, syms) else {
+        let mut chunks = symbols.chunks_exact(d);
+        for tile in &self.tiles {
+            let Some(payload) = tile else {
                 enc.encode_bit(&mut occ_ctx, false);
                 continue;
             };
+            let syms = chunks.next().expect("one symbol chunk per occupied tile");
             enc.encode_bit(&mut occ_ctx, true);
             let norm_q = u32::from(payload.norm_q);
             let delta = zigzag_signed(i64::from(norm_q) - i64::from(pred)) as u32;

@@ -322,25 +322,52 @@ impl Codec {
             )));
         }
         Quantizer::new(opts.bits)?; // validate the bit depth up front
-        let tiling = tiles::tile(img, opts.tile_size);
-        let mut states: Vec<Vec<f64>> = Vec::with_capacity(tiling.tiles.len());
-        let mut norms: Vec<f64> = Vec::with_capacity(tiling.tiles.len());
-        let mut slots: Vec<Option<usize>> = Vec::with_capacity(tiling.tiles.len());
-        for patch in &tiling.tiles {
-            match encoding::encode(patch.pixels(), dim) {
-                Ok(enc) => {
-                    slots.push(Some(states.len()));
-                    norms.push(enc.norm);
-                    states.push(enc.amplitudes);
+        let ts = opts.tile_size;
+        let tiles_x = img.width().div_ceil(ts).max(1);
+        let tiles_y = img.height().div_ceil(ts).max(1);
+        let tile_px = ts * ts;
+        let src = img.pixels();
+        let n_tiles = tiles_x * tiles_y;
+        let mut states: Vec<Vec<f64>> = Vec::with_capacity(n_tiles);
+        let mut norms: Vec<f64> = Vec::with_capacity(n_tiles);
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(n_tiles);
+        // Fused tiling + amplitude encoding (Eq. 1): gather each tile's
+        // row spans straight into its padded state vector and normalise
+        // in place, with no intermediate patch images. Values appear in
+        // the exact order `tiles::tile` + `encoding::encode` would
+        // produce them (row-major with trailing zero padding), so norms
+        // and amplitudes are bit-identical to the unfused path.
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let x0 = tx * ts;
+                let y0 = ty * ts;
+                let span_w = ts.min(img.width().saturating_sub(x0));
+                let span_h = ts.min(img.height().saturating_sub(y0));
+                let mut state = vec![0.0; dim];
+                for py in 0..span_h {
+                    let s = (y0 + py) * img.width() + x0;
+                    let d = py * ts;
+                    state[d..d + span_w].copy_from_slice(&src[s..s + span_w]);
                 }
-                Err(_) => slots.push(None),
+                let norm = qn_linalg::vector::norm2(&state[..tile_px]);
+                if norm <= 0.0 {
+                    // All-zero tile: no quantum state can encode it.
+                    slots.push(None);
+                    continue;
+                }
+                for a in &mut state[..tile_px] {
+                    *a /= norm;
+                }
+                slots.push(Some(states.len()));
+                norms.push(norm);
+                states.push(state);
             }
         }
         let plan = EncodePlan {
             slots,
             norms,
-            tiles_x: tiling.tiles_x,
-            tiles_y: tiling.tiles_y,
+            tiles_x,
+            tiles_y,
             width: img.width() as u32,
             height: img.height() as u32,
             raw_bytes: img.len(),
@@ -416,6 +443,9 @@ impl Codec {
 
         let t = Instant::now();
         let mut empty_tiles = 0usize;
+        // One reused gather buffer: per tile only the `levels` vector
+        // the payload keeps is allocated.
+        let mut kept = vec![0.0f64; latent_dim];
         let tile_payloads: Vec<Option<TilePayload>> = plan
             .slots
             .iter()
@@ -425,17 +455,20 @@ impl Codec {
                     None
                 }
                 Some(i) => {
-                    let kept: Vec<f64> = kept_indices.iter().map(|&j| mesh_out[*i][j]).collect();
-                    let (scale, scaled): (Option<f32>, Vec<f64>) = if opts.per_tile_scale {
+                    for (dst, &j) in kept.iter_mut().zip(kept_indices.iter()) {
+                        *dst = mesh_out[*i][j];
+                    }
+                    let scale = opts.per_tile_scale.then(|| {
                         let s = tile_scale(&kept);
-                        (Some(s), kept.iter().map(|a| a / f64::from(s)).collect())
-                    } else {
-                        (None, kept)
-                    };
+                        for a in &mut kept {
+                            *a /= f64::from(s);
+                        }
+                        s
+                    });
                     Some(TilePayload {
                         norm_q: quantize_norm(plan.norms[*i], max_norm),
                         scale,
-                        levels: quantizer.quantize_block(&scaled),
+                        levels: quantizer.quantize_block(&kept),
                     })
                 }
             })
@@ -598,15 +631,22 @@ impl Codec {
             match tile {
                 None => slots.push(None),
                 Some(payload) => {
-                    let mut amps = quantizer.dequantize_block(&payload.levels);
-                    if let Some(scale) = payload.scale {
-                        for a in &mut amps {
-                            *a *= f64::from(scale);
-                        }
-                    }
+                    // Dequantize straight into the re-embedded state —
+                    // same values as dequantizing to a staging buffer,
+                    // scaling, then scattering, with no per-tile
+                    // intermediate allocation.
                     let mut state = vec![0.0; dim];
-                    for (&j, &a) in kept_indices.iter().zip(&amps) {
-                        state[j] = a;
+                    match payload.scale {
+                        Some(scale) => {
+                            for (&j, &level) in kept_indices.iter().zip(&payload.levels) {
+                                state[j] = quantizer.dequantize(level) * f64::from(scale);
+                            }
+                        }
+                        None => {
+                            for (&j, &level) in kept_indices.iter().zip(&payload.levels) {
+                                state[j] = quantizer.dequantize(level);
+                            }
+                        }
                     }
                     slots.push(Some(states.len()));
                     norms.push(dequantize_norm(payload.norm_q, header.max_norm));
@@ -618,11 +658,9 @@ impl Codec {
             slots,
             norms,
             tile_size: header.tile_size as usize,
-            tile_px,
             width: header.width as usize,
             height: header.height as usize,
             tiles_x: header.tiles_x(),
-            tiles_y: header.tiles_y(),
         };
         Ok((plan, states))
     }
@@ -643,27 +681,32 @@ impl Codec {
                 plan.norms.len()
             )));
         }
-        let patches: Vec<GrayImage> = plan
-            .slots
-            .iter()
-            .map(|slot| match slot {
-                Some(i) => {
-                    let pixels = encoding::decode(&mesh_out[*i], plan.norms[*i], plan.tile_px);
-                    GrayImage::from_pixels(plan.tile_size, plan.tile_size, pixels)
-                        .expect("tile geometry fixed by construction")
+        // Stitch decoded amplitudes straight into the output image:
+        // per-row spans clipped at the right/bottom edges, Eq. 2
+        // (`x̂ = √(B²)·‖x‖`, exactly `encoding::decode`) applied in
+        // place. Skipped (all-zero) tiles keep the canvas zeros, and
+        // padding amplitudes beyond each clipped span are dropped — the
+        // same crop `tiles::untile` performed on materialised patches.
+        let ts = plan.tile_size;
+        let mut out = GrayImage::zeros(plan.width, plan.height);
+        let dst = out.pixels_mut();
+        for (idx, slot) in plan.slots.iter().enumerate() {
+            let Some(i) = slot else { continue };
+            let amps = &mesh_out[*i];
+            let norm = plan.norms[*i];
+            let x0 = (idx % plan.tiles_x) * ts;
+            let y0 = (idx / plan.tiles_x) * ts;
+            let span_w = ts.min(plan.width.saturating_sub(x0));
+            let span_h = ts.min(plan.height.saturating_sub(y0));
+            for py in 0..span_h {
+                let d = (y0 + py) * plan.width + x0;
+                let s = py * ts;
+                for (o, &b) in dst[d..d + span_w].iter_mut().zip(&amps[s..s + span_w]) {
+                    *o = (b * b).sqrt() * norm;
                 }
-                None => GrayImage::zeros(plan.tile_size, plan.tile_size),
-            })
-            .collect();
-        let tiling = tiles::Tiling {
-            tiles: Vec::new(),
-            tile_size: plan.tile_size,
-            width: plan.width,
-            height: plan.height,
-            tiles_x: plan.tiles_x,
-            tiles_y: plan.tiles_y,
-        };
-        Ok(tiles::untile(&tiling, &patches))
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -738,11 +781,9 @@ pub struct DecodePlan {
     /// Dequantized tile norm per occupied state.
     norms: Vec<f64>,
     tile_size: usize,
-    tile_px: usize,
     width: usize,
     height: usize,
     tiles_x: usize,
-    tiles_y: usize,
 }
 
 #[cfg(test)]

@@ -34,6 +34,23 @@ fn current_threads() -> usize {
     })
 }
 
+/// The calling thread's [`ThreadPool::install`] override, for handing to
+/// spawned workers. `POOL_THREADS` is a `thread_local!`, so a worker
+/// spawned via `std::thread::scope` starts with no override — a nested
+/// parallel call inside it would silently fall back to
+/// `available_parallelism` and oversubscribe the installed pool. Every
+/// spawn site captures the parent's override and re-installs it in the
+/// worker.
+fn ambient_override() -> Option<usize> {
+    POOL_THREADS.with(|t| t.get())
+}
+
+/// Run `f` on a worker thread with the parent's pool override active.
+fn with_override<R>(ambient: Option<usize>, f: impl FnOnce() -> R) -> R {
+    POOL_THREADS.with(|t| t.set(ambient));
+    f()
+}
+
 /// Run `f` over every item of `items` (mutable blocks) in parallel.
 fn parallel_for_each_indexed<T, F>(items: Vec<T>, f: F)
 where
@@ -60,13 +77,16 @@ where
     if !current.is_empty() {
         blocks.push(current);
     }
+    let ambient = ambient_override();
     std::thread::scope(|scope| {
         for block in blocks {
             let f = &f;
             scope.spawn(move || {
-                for (i, item) in block {
-                    f(i, item);
-                }
+                with_override(ambient, || {
+                    for (i, item) in block {
+                        f(i, item);
+                    }
+                });
             });
         }
     });
@@ -133,10 +153,15 @@ where
             blocks.push(std::mem::replace(&mut items, rest));
         }
         blocks.push(items);
+        let ambient = ambient_override();
         let results: Vec<Vec<U>> = std::thread::scope(|scope| {
             let handles: Vec<_> = blocks
                 .into_iter()
-                .map(|block| scope.spawn(move || block.into_iter().map(f).collect::<Vec<U>>()))
+                .map(|block| {
+                    scope.spawn(move || {
+                        with_override(ambient, || block.into_iter().map(f).collect::<Vec<U>>())
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -365,6 +390,32 @@ mod tests {
             v.iter().sum()
         });
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn workers_inherit_the_installed_thread_count() {
+        // A nested parallel call inside an installed pool's worker must
+        // see the pool's thread count, not available_parallelism: the
+        // thread_local override is re-installed in every spawned worker.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let max_inner = AtomicUsize::new(0);
+        pool.install(|| {
+            // Outer fan-out: >1 item per worker block so workers spawn.
+            (0..8usize).into_par_iter().for_each(|_| {
+                // Nested call: current_threads() inside the worker.
+                let seen = super::current_threads();
+                max_inner.fetch_max(seen, Ordering::Relaxed);
+                // The nested parallel call itself must also work.
+                let v: Vec<usize> = (0..4usize).into_par_iter().map(|i| i).collect();
+                assert_eq!(v, vec![0, 1, 2, 3]);
+            });
+        });
+        assert_eq!(
+            max_inner.load(Ordering::Relaxed),
+            2,
+            "nested calls must inherit the installed 2-thread override"
+        );
     }
 
     #[test]

@@ -37,18 +37,23 @@ pub fn tile(img: &GrayImage, tile_size: usize) -> Tiling {
     assert!(tile_size > 0, "tile size must be positive");
     let tiles_x = img.width().div_ceil(tile_size).max(1);
     let tiles_y = img.height().div_ceil(tile_size).max(1);
+    let src = img.pixels();
     let mut tiles = Vec::with_capacity(tiles_x * tiles_y);
     for ty in 0..tiles_y {
         for tx in 0..tiles_x {
             let mut patch = GrayImage::zeros(tile_size, tile_size);
-            for py in 0..tile_size {
-                for px in 0..tile_size {
-                    let x = tx * tile_size + px;
-                    let y = ty * tile_size + py;
-                    if x < img.width() && y < img.height() {
-                        patch.set(px, py, img.get(x, y));
-                    }
-                }
+            let x0 = tx * tile_size;
+            let y0 = ty * tile_size;
+            // Rows are contiguous in both the image and the patch, so
+            // interior tiles copy whole spans; edge tiles copy the
+            // clipped prefix and leave the zero padding untouched.
+            let span_w = tile_size.min(img.width().saturating_sub(x0));
+            let span_h = tile_size.min(img.height().saturating_sub(y0));
+            let dst = patch.pixels_mut();
+            for py in 0..span_h {
+                let s = (y0 + py) * img.width() + x0;
+                let d = py * tile_size;
+                dst[d..d + span_w].copy_from_slice(&src[s..s + span_w]);
             }
             tiles.push(patch);
         }
@@ -75,23 +80,26 @@ pub fn untile(tiling: &Tiling, patches: &[GrayImage]) -> GrayImage {
         tiling.tiles_x * tiling.tiles_y,
         "patch count mismatch"
     );
+    let ts = tiling.tile_size;
     let mut out = GrayImage::zeros(tiling.width, tiling.height);
+    let dst = out.pixels_mut();
     for (idx, patch) in patches.iter().enumerate() {
         assert_eq!(
             (patch.width(), patch.height()),
-            (tiling.tile_size, tiling.tile_size),
+            (ts, ts),
             "patch {idx} has wrong dimensions"
         );
-        let tx = idx % tiling.tiles_x;
-        let ty = idx / tiling.tiles_x;
-        for py in 0..tiling.tile_size {
-            for px in 0..tiling.tile_size {
-                let x = tx * tiling.tile_size + px;
-                let y = ty * tiling.tile_size + py;
-                if x < tiling.width && y < tiling.height {
-                    out.set(x, y, patch.get(px, py));
-                }
-            }
+        let x0 = (idx % tiling.tiles_x) * ts;
+        let y0 = (idx / tiling.tiles_x) * ts;
+        // Mirror of `tile`: whole-row spans for interior tiles, clipped
+        // spans at the right/bottom edges (padding is cropped away).
+        let span_w = ts.min(tiling.width.saturating_sub(x0));
+        let span_h = ts.min(tiling.height.saturating_sub(y0));
+        let src = patch.pixels();
+        for py in 0..span_h {
+            let d = (y0 + py) * tiling.width + x0;
+            let s = py * ts;
+            dst[d..d + span_w].copy_from_slice(&src[s..s + span_w]);
         }
     }
     out

@@ -120,6 +120,98 @@ impl Panel {
     pub fn into_columns(self) -> Vec<Vec<f64>> {
         (0..self.width).map(|lane| self.column(lane)).collect()
     }
+
+    /// Copy every lane into the caller's preallocated vectors
+    /// (`out[lane]` receives lane `lane`) — the allocation-free
+    /// counterpart of [`Panel::into_columns`].
+    ///
+    /// # Panics
+    /// Panics when `out` has fewer than `width` vectors or any target
+    /// vector's length differs from `dim`.
+    pub fn write_columns_into(&self, out: &mut [Vec<f64>]) {
+        assert!(out.len() >= self.width, "panel output batch too short");
+        for (lane, col) in out.iter_mut().take(self.width).enumerate() {
+            assert_eq!(col.len(), self.dim, "panel column length mismatch");
+            for (m, v) in col.iter_mut().enumerate() {
+                *v = self.data[m * self.width + lane];
+            }
+        }
+    }
+}
+
+/// Width of the explicit lane blocks used by the blocked rotation
+/// kernels — eight `f64`s, one 512-bit vector register (or a pair of
+/// 256-bit ones; narrower ISAs split the block for free).
+pub const LANE_BLOCK: usize = 8;
+
+/// Forward beam-splitter rotation over two mode rows in explicit
+/// [`LANE_BLOCK`]-wide blocks: `a' = c·a − s·b`, `b' = s·a + c·b` per
+/// lane, written as four independent mul/add pairs per block so the
+/// compiler can keep whole blocks in vector registers. The remainder
+/// lanes use the identical expressions, so every lane is bit-identical
+/// to the scalar rotation.
+///
+/// # Panics
+/// Panics when the rows disagree on length.
+#[inline]
+pub fn rotate_lanes_blocked(row_a: &mut [f64], row_b: &mut [f64], s: f64, c: f64) {
+    assert_eq!(row_a.len(), row_b.len(), "row length mismatch");
+    let mut chunks_a = row_a.chunks_exact_mut(LANE_BLOCK);
+    let mut chunks_b = row_b.chunks_exact_mut(LANE_BLOCK);
+    for (blk_a, blk_b) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        let mut xs = [0.0f64; LANE_BLOCK];
+        let mut ys = [0.0f64; LANE_BLOCK];
+        xs.copy_from_slice(blk_a);
+        ys.copy_from_slice(blk_b);
+        for l in 0..LANE_BLOCK {
+            blk_a[l] = c * xs[l] - s * ys[l];
+            blk_b[l] = s * xs[l] + c * ys[l];
+        }
+    }
+    for (a, b) in chunks_a
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_b.into_remainder().iter_mut())
+    {
+        let x = *a;
+        let y = *b;
+        *a = c * x - s * y;
+        *b = s * x + c * y;
+    }
+}
+
+/// Inverse beam-splitter rotation in [`LANE_BLOCK`]-wide blocks:
+/// `a' = c·a + s·b`, `b' = c·b − s·a` per lane — the blocked
+/// counterpart of the scalar inverse gate; see
+/// [`rotate_lanes_blocked`].
+///
+/// # Panics
+/// Panics when the rows disagree on length.
+#[inline]
+pub fn rotate_lanes_blocked_inverse(row_a: &mut [f64], row_b: &mut [f64], s: f64, c: f64) {
+    assert_eq!(row_a.len(), row_b.len(), "row length mismatch");
+    let mut chunks_a = row_a.chunks_exact_mut(LANE_BLOCK);
+    let mut chunks_b = row_b.chunks_exact_mut(LANE_BLOCK);
+    for (blk_a, blk_b) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        let mut xs = [0.0f64; LANE_BLOCK];
+        let mut ys = [0.0f64; LANE_BLOCK];
+        xs.copy_from_slice(blk_a);
+        ys.copy_from_slice(blk_b);
+        for l in 0..LANE_BLOCK {
+            blk_a[l] = c * xs[l] + s * ys[l];
+            blk_b[l] = c * ys[l] - s * xs[l];
+        }
+    }
+    for (a, b) in chunks_a
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_b.into_remainder().iter_mut())
+    {
+        let x = *a;
+        let y = *b;
+        *a = c * x + s * y;
+        *b = c * y - s * x;
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,30 @@ where
         .collect()
 }
 
+/// Like [`par_map_chunked`], but the per-chunk results are written
+/// straight into the caller's preallocated `out` slice instead of being
+/// collected through per-chunk `Vec`s: `f(start, block)` receives the
+/// half-open chunk's start index and the mutable sub-slice
+/// `out[start..end]` to fill. Chunk boundaries depend only on
+/// `out.len()` and `chunk`, so the result is thread-count invariant
+/// whenever `f` is deterministic.
+///
+/// # Panics
+/// Panics when `chunk` is zero.
+pub fn par_map_chunked_into<T, F>(out: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync + Send,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if out.is_empty() {
+        return;
+    }
+    out.par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(i, block)| f(i * chunk, block));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +221,31 @@ mod tests {
     #[test]
     fn par_map_chunked_empty_is_empty() {
         assert!(par_map_chunked(0, 8, |s, e| (s, e)).is_empty());
+    }
+
+    #[test]
+    fn par_map_chunked_into_matches_the_collecting_variant() {
+        for (n, chunk) in [(137usize, 16usize), (10, 3), (1, 5), (64, 64), (65, 64)] {
+            let collected: Vec<usize> =
+                par_map_chunked(n, chunk, |s, e| (s..e).collect::<Vec<_>>())
+                    .into_iter()
+                    .flatten()
+                    .map(|i| i * 3)
+                    .collect();
+            let mut wrote = vec![0usize; n];
+            par_map_chunked_into(&mut wrote, chunk, |start, block| {
+                for (off, v) in block.iter_mut().enumerate() {
+                    *v = (start + off) * 3;
+                }
+            });
+            assert_eq!(wrote, collected, "n={n} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_into_empty_is_a_noop() {
+        let mut out: Vec<usize> = Vec::new();
+        par_map_chunked_into(&mut out, 8, |_, _| panic!("not called"));
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod lossy;
 pub mod mesh;
 pub mod reck;
 pub mod sequence;
+pub mod tables;
 
 pub use beamsplitter::BeamSplitter;
 pub use mesh::{GateOrder, Mesh, MeshLayer};
 pub use sequence::GateSequence;
+pub use tables::{GateTable, LayerTable, MeshTables};

@@ -111,10 +111,20 @@ impl MeshLayer {
     }
 
     /// Mode indices in application order.
-    fn positions(&self) -> Box<dyn Iterator<Item = usize>> {
+    pub(crate) fn positions(&self) -> Box<dyn Iterator<Item = usize>> {
         match self.order {
             GateOrder::Ascending => Box::new(0..self.dim - 1),
             GateOrder::Descending => Box::new((0..self.dim - 1).rev()),
+        }
+    }
+
+    /// Mode indices in *reverse* application order (the inverse-pass
+    /// visit order) — avoids collecting [`MeshLayer::positions`] into a
+    /// scratch `Vec` on every inverse apply.
+    pub(crate) fn positions_rev(&self) -> Box<dyn Iterator<Item = usize>> {
+        match self.order {
+            GateOrder::Ascending => Box::new((0..self.dim - 1).rev()),
+            GateOrder::Descending => Box::new(0..self.dim - 1),
         }
     }
 
@@ -146,8 +156,7 @@ impl MeshLayer {
     pub fn apply_real_inverse(&self, amps: &mut [f64]) {
         assert_eq!(amps.len(), self.dim, "layer dimension mismatch");
         assert!(self.is_real(), "complex layer applied to real amplitudes");
-        let rev: Vec<usize> = self.positions().collect();
-        for &k in rev.iter().rev() {
+        for k in self.positions_rev() {
             let (s, c) = self.thetas[k].sin_cos();
             let a = amps[k];
             let b = amps[k + 1];
@@ -190,8 +199,7 @@ impl MeshLayer {
     pub fn apply_real_inverse_panel(&self, panel: &mut Panel) {
         assert_eq!(panel.dim(), self.dim, "layer dimension mismatch");
         assert!(self.is_real(), "complex layer applied to real amplitudes");
-        let rev: Vec<usize> = self.positions().collect();
-        for &k in rev.iter().rev() {
+        for k in self.positions_rev() {
             let (s, c) = self.thetas[k].sin_cos();
             let (row_a, row_b) = panel.row_pair_mut(k);
             for (a, b) in row_a.iter_mut().zip(row_b.iter_mut()) {

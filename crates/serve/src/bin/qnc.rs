@@ -59,7 +59,7 @@ USAGE:
                    [--timings]
 
 Defaults: tile 4, latent 8, bits 8, rice entropy coding, inline model,
-panel backend. Backends (--backend scalar|scalar-parallel|panel;
+panel backend. Backends (--backend scalar|scalar-parallel|panel|simd;
 --serial is shorthand for --backend scalar) change throughput only:
 every backend produces byte-identical containers and pixel-identical
 decodes. --entropy picks the latent bitstream coder: rice writes

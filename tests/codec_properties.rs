@@ -235,3 +235,47 @@ proptest! {
         ));
     }
 }
+
+/// The full codec path is thread-count invariant: encoding and decoding
+/// a golden image inside forced 1/2/4/8-thread pools produces the same
+/// `.qnc` container byte-for-byte and the same pixels bit-for-bit. The
+/// chunked panel schedule partitions tiles identically regardless of
+/// worker count, so parallelism moves only wall-clock, never bytes.
+#[test]
+fn codec_output_is_thread_count_invariant() {
+    let img = qn::image::datasets::grayscale_blobs(1, 64, 64, 42).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).expect("spectral model");
+
+    let mut reference: Option<(Vec<u8>, GrayImage)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("bench pool");
+        for backend in BackendKind::ALL {
+            let (bytes, decoded) = pool.install(|| {
+                let opts = CodecOptions {
+                    backend,
+                    inline_model: false,
+                    ..CodecOptions::default()
+                };
+                let bytes = codec.encode_image(&img, &opts).expect("encode");
+                let decoded = codec.decode_bytes_with(&bytes, backend).expect("decode");
+                (bytes, decoded)
+            });
+            match &reference {
+                None => reference = Some((bytes, decoded)),
+                Some((ref_bytes, ref_img)) => {
+                    assert_eq!(
+                        &bytes, ref_bytes,
+                        "{backend} container diverged under {threads} threads"
+                    );
+                    assert_eq!(
+                        &decoded, ref_img,
+                        "{backend} pixels diverged under {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
