@@ -58,6 +58,24 @@ impl FlushCause {
     }
 }
 
+/// Per-submission flush attribution, delivered with the results via
+/// [`BatchHandle::wait_info`]: why the group executed, how big the
+/// merged batch was, and how the submitter's latency split between
+/// queueing and the shared backend pass. Pure observability — the
+/// values never influence flush decisions or outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// Why the group containing this submission flushed.
+    pub cause: FlushCause,
+    /// Total tiles in the executed batch (across all submitters).
+    pub batch_tiles: usize,
+    /// Nanoseconds this submission waited in the queue before its
+    /// group's flush began.
+    pub queued_ns: u64,
+    /// Nanoseconds the shared backend pass took.
+    pub run_ns: u64,
+}
+
 /// Telemetry handles a [`MeshBatcher`] updates on every flush: a
 /// histogram of flushed batch sizes (in tiles) and one counter per
 /// [`FlushCause`]. All handles live in the [`Registry`] the metrics
@@ -131,7 +149,7 @@ pub struct BatchKey {
 /// exactly the vectors that were submitted, in submission order.
 #[derive(Debug)]
 pub struct BatchHandle {
-    rx: Receiver<Vec<Vec<f64>>>,
+    rx: Receiver<(Vec<Vec<f64>>, BatchInfo)>,
 }
 
 impl BatchHandle {
@@ -139,6 +157,12 @@ impl BatchHandle {
     /// Returns `None` only if the batcher was torn down (or a flush
     /// panicked) before delivering results.
     pub fn wait(self) -> Option<Vec<Vec<f64>>> {
+        self.rx.recv().ok().map(|(outs, _)| outs)
+    }
+
+    /// [`BatchHandle::wait`] plus the flush attribution for this
+    /// submission (cause, merged batch size, queue/run split).
+    pub fn wait_info(self) -> Option<(Vec<Vec<f64>>, BatchInfo)> {
         self.rx.recv().ok()
     }
 }
@@ -146,7 +170,8 @@ impl BatchHandle {
 /// One caller's pending vectors plus the channel its results go back on.
 struct Entry {
     vecs: Vec<Vec<f64>>,
-    tx: SyncSender<Vec<Vec<f64>>>,
+    tx: SyncSender<(Vec<Vec<f64>>, BatchInfo)>,
+    queued_at: Instant,
 }
 
 /// All pending submissions for one (model, lane) pair.
@@ -181,18 +206,29 @@ impl Shared {
         let counts: Vec<usize> = group.entries.iter().map(|e| e.vecs.len()).collect();
         let mut all: Vec<Vec<f64>> = Vec::with_capacity(group.tiles);
         let mut txs = Vec::with_capacity(group.entries.len());
+        let flush_started = Instant::now();
         for entry in group.entries {
             all.extend(entry.vecs);
-            txs.push(entry.tx);
+            let queued_ns = flush_started
+                .saturating_duration_since(entry.queued_at)
+                .as_nanos() as u64;
+            txs.push((entry.tx, queued_ns));
         }
         let mut outs = self
             .backend
             .backend()
             .forward_batch(group.source.mesh(), &all);
-        for (count, tx) in counts.into_iter().zip(txs) {
+        let run_ns = flush_started.elapsed().as_nanos() as u64;
+        for (count, (tx, queued_ns)) in counts.into_iter().zip(txs) {
             let rest = outs.split_off(count);
+            let info = BatchInfo {
+                cause,
+                batch_tiles: group.tiles,
+                queued_ns,
+                run_ns,
+            };
             // A submitter that gave up waiting is not an error.
-            let _ = tx.send(std::mem::replace(&mut outs, rest));
+            let _ = tx.send((std::mem::replace(&mut outs, rest), info));
         }
     }
 }
@@ -300,7 +336,13 @@ impl MeshBatcher {
     ) -> BatchHandle {
         let (tx, rx) = mpsc::sync_channel(1);
         if vecs.is_empty() {
-            let _ = tx.send(Vec::new());
+            let info = BatchInfo {
+                cause: FlushCause::Eager,
+                batch_tiles: 0,
+                queued_ns: 0,
+                run_ns: 0,
+            };
+            let _ = tx.send((Vec::new(), info));
             return BatchHandle { rx };
         }
         let tiles = vecs.len();
@@ -312,7 +354,11 @@ impl MeshBatcher {
                 tiles: 0,
                 deadline_at: Instant::now() + self.shared.deadline,
             });
-            group.entries.push(Entry { vecs, tx });
+            group.entries.push(Entry {
+                vecs,
+                tx,
+                queued_at: Instant::now(),
+            });
             group.tiles += tiles;
             if eager || group.tiles >= self.shared.max_tiles || !self.coalesces() {
                 // Batch-full takes attribution precedence: an eager
@@ -586,6 +632,40 @@ mod tests {
         assert_eq!(total, 4);
         assert_eq!(metrics.flush_tiles.count(), 4);
         assert_eq!(metrics.flush_tiles.sum(), 4 + 2 + 1 + 3);
+    }
+
+    #[test]
+    fn wait_info_reports_cause_and_merged_batch_size() {
+        let src = mesh(6, 2, 61);
+        let key = BatchKey { model: 30, lane: 0 };
+        let batcher = MeshBatcher::new(BackendKind::Panel, 6, Duration::from_secs(3600));
+        // Two submissions merge; the second fills the batch, so both
+        // see cause=Full and the merged 6-tile size.
+        let ha = batcher.submit(key, src.clone(), batch(6, 2, 0.0));
+        let hb = batcher.submit(key, src.clone(), batch(6, 4, 0.5));
+        let (outs_a, info_a) = ha.wait_info().unwrap();
+        let (outs_b, info_b) = hb.wait_info().unwrap();
+        assert_eq!(outs_a.len(), 2);
+        assert_eq!(outs_b.len(), 4);
+        for info in [info_a, info_b] {
+            assert_eq!(info.cause, FlushCause::Full);
+            assert_eq!(info.batch_tiles, 6);
+        }
+        // The first submitter queued at least as long as the second.
+        assert!(info_a.queued_ns >= info_b.queued_ns);
+        assert_eq!(info_a.run_ns, info_b.run_ns, "one shared backend pass");
+
+        // An eager solo submission is attributed as Eager; an empty
+        // one resolves with a zeroed info.
+        let (_, info) = batcher
+            .submit_with(key, src.clone(), batch(6, 1, 0.9), true)
+            .wait_info()
+            .unwrap();
+        assert_eq!(info.cause, FlushCause::Eager);
+        assert_eq!(info.batch_tiles, 1);
+        let (outs, info) = batcher.submit(key, src, Vec::new()).wait_info().unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(info.batch_tiles, 0);
     }
 
     #[test]

@@ -44,7 +44,9 @@ mod scalar;
 mod simd;
 pub mod tables;
 
-pub use batch::{BatchHandle, BatchKey, BatcherMetrics, FlushCause, MeshBatcher, MeshSource};
+pub use batch::{
+    BatchHandle, BatchInfo, BatchKey, BatcherMetrics, FlushCause, MeshBatcher, MeshSource,
+};
 pub use panel::{PanelBackend, DEFAULT_PANEL_WIDTH};
 pub use scalar::ScalarBackend;
 pub use simd::SimdBackend;

@@ -3,8 +3,10 @@
 //! and client-observed p50/p99 request latency at 1/4/16 concurrent
 //! clients, comparing per-request scalar dispatch (batching off)
 //! against cross-request panel batching — the number the ROADMAP's
-//! serving claims point at. A final row measures the cost of the
-//! telemetry layer itself (instrumented server vs `metrics: false`).
+//! serving claims point at. Final rows measure the cost of the
+//! telemetry layer itself (instrumented server vs `metrics: false`)
+//! and of span tracing (untraced requests on a tracing-armed server,
+//! fully sampled requests, and a `tracing: false` server).
 //! Results land in `BENCH_serve.json` at the workspace root.
 //!
 //! Every configuration first asserts that the remote container is
@@ -22,7 +24,7 @@ use qn_codec::{Codec, CodecOptions};
 use qn_image::datasets;
 use qn_metrics::Histogram;
 use qn_serve::client::model_encode_request;
-use qn_serve::{spawn, Client, ServerConfig};
+use qn_serve::{spawn, Client, ServerConfig, TraceContext};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -91,30 +93,46 @@ fn main() {
 
     // One timed sweep against a running server: wall-clock seconds plus
     // a client-side latency histogram across all requests.
-    let timed_run =
-        |addr: std::net::SocketAddr, clients: usize, decode: bool| -> (f64, Histogram) {
-            let hist = Histogram::new();
-            let start = Instant::now();
-            std::thread::scope(|scope| {
-                for _ in 0..clients {
-                    scope.spawn(|| {
-                        let mut client = Client::connect(addr).expect("connect");
-                        for _ in 0..per_client {
-                            let t = Instant::now();
-                            if decode {
-                                client.decode(&offline).expect("decode");
-                            } else {
-                                client
-                                    .encode(&model_encode_request(&img, &opts, codec.model_id()))
-                                    .expect("encode");
-                            }
-                            hist.observe_duration(t.elapsed());
+    let timed_run = |addr: std::net::SocketAddr,
+                     clients: usize,
+                     decode: bool,
+                     traced: bool|
+     -> (f64, Histogram) {
+        let hist = Histogram::new();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                scope.spawn(|| {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for round in 0..per_client {
+                        let t = Instant::now();
+                        if decode {
+                            client.decode(&offline).expect("decode");
+                        } else if traced {
+                            // Ids only need to be non-zero; collisions
+                            // across clients are harmless here.
+                            let ctx = TraceContext {
+                                id: (round + 1) as u64,
+                                sampled: true,
+                            };
+                            client
+                                .encode_traced(
+                                    &model_encode_request(&img, &opts, codec.model_id()),
+                                    ctx,
+                                )
+                                .expect("traced encode");
+                        } else {
+                            client
+                                .encode(&model_encode_request(&img, &opts, codec.model_id()))
+                                .expect("encode");
                         }
-                    });
-                }
-            });
-            (start.elapsed().as_secs_f64(), hist)
-        };
+                        hist.observe_duration(t.elapsed());
+                    }
+                });
+            }
+        });
+        (start.elapsed().as_secs_f64(), hist)
+    };
     let warm = |addr: std::net::SocketAddr, name: &str| {
         let mut warm = Client::connect(addr).expect("connect");
         let id = warm.load_model(&model_bytes).expect("load model");
@@ -141,8 +159,8 @@ fn main() {
             warm(addr, mode.name);
 
             let requests = (clients * per_client) as f64;
-            let (enc_s, enc_hist) = timed_run(addr, clients, false);
-            let (dec_s, _) = timed_run(addr, clients, true);
+            let (enc_s, enc_hist) = timed_run(addr, clients, false, false);
+            let (dec_s, _) = timed_run(addr, clients, true, false);
             let (enc_rps, dec_rps) = (requests / enc_s, requests / dec_s);
             let (enc_tps, dec_tps) = (enc_rps * tiles as f64, dec_rps * tiles as f64);
             let (p50_ms, p99_ms) = percentiles_ms(&enc_hist);
@@ -183,7 +201,7 @@ fn main() {
         })
         .expect("spawn server");
         warm(server.addr(), "metrics-overhead");
-        let (secs, _) = timed_run(server.addr(), 4, false);
+        let (secs, _) = timed_run(server.addr(), 4, false, false);
         let rps = (4 * per_client) as f64 / secs;
         server.shutdown();
         rps
@@ -196,13 +214,47 @@ fn main() {
          no-metrics {rps_bare:.1} req/s ({overhead_pct:+.2}%)"
     );
 
+    // The cost of span tracing: untraced requests against a
+    // tracing-armed server pay one branch per span site; sampled
+    // requests pay full span recording; a `tracing: false` server is
+    // the floor. Recorded, not asserted, like the metrics row.
+    let measure_tracing = |tracing: bool, sampled: bool| -> f64 {
+        let server = spawn(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            tracing,
+            ..ServerConfig::default()
+        })
+        .expect("spawn server");
+        warm(server.addr(), "tracing-overhead");
+        let (secs, _) = timed_run(server.addr(), 4, false, sampled);
+        let rps = (4 * per_client) as f64 / secs;
+        server.shutdown();
+        rps
+    };
+    let rps_no_tracing = measure_tracing(false, false);
+    let rps_untraced = measure_tracing(true, false);
+    let rps_sampled = measure_tracing(true, true);
+    let untraced_pct = (rps_no_tracing - rps_untraced) / rps_no_tracing * 100.0;
+    let sampled_pct = (rps_no_tracing - rps_sampled) / rps_no_tracing * 100.0;
+    println!(
+        "tracing overhead (4 clients, encode): no-tracing {rps_no_tracing:.1} req/s, \
+         untraced {rps_untraced:.1} req/s ({untraced_pct:+.2}%), \
+         sampled {rps_sampled:.1} req/s ({sampled_pct:+.2}%)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"serve_throughput\",\n  \"image\": \"{IMAGE_SIZE}x{IMAGE_SIZE}\",\n  \
          \"tiles_per_request\": {tiles},\n  \"requests_per_client\": {per_client},\n  \
          \"threads\": {},\n  \"metrics_overhead\": {{\"clients\": 4, \
          \"encode_rps_instrumented\": {rps_instrumented:.1}, \
          \"encode_rps_no_metrics\": {rps_bare:.1}, \
-         \"overhead_pct\": {overhead_pct:.2}}},\n  \"results\": [\n{entries}\n  ]\n}}\n",
+         \"overhead_pct\": {overhead_pct:.2}}},\n  \
+         \"tracing_overhead\": {{\"clients\": 4, \
+         \"encode_rps_no_tracing\": {rps_no_tracing:.1}, \
+         \"encode_rps_untraced\": {rps_untraced:.1}, \
+         \"encode_rps_sampled\": {rps_sampled:.1}, \
+         \"untraced_overhead_pct\": {untraced_pct:.2}, \
+         \"sampled_overhead_pct\": {sampled_pct:.2}}},\n  \"results\": [\n{entries}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
     let path = results_dir()

@@ -16,6 +16,7 @@ use qn_backend::{BackendKind, BatchKey, BatcherMetrics, MeshBatcher, MeshSource}
 use qn_codec::{Codec, CodecOptions, Container, DecodeTimings, EncodeStats, EncodeTimings};
 use qn_image::GrayImage;
 use qn_photonic::Mesh;
+use qn_trace::{SpanId, TraceBuilder};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -133,9 +134,39 @@ impl TileBatcher {
         opts: &CodecOptions,
         eager: bool,
     ) -> Result<(Vec<u8>, EncodeStats, EncodeTimings)> {
+        self.encode_hinted_traced(codec, img, opts, eager, &mut None)
+    }
+
+    /// [`TileBatcher::encode_hinted_timed`] that additionally records
+    /// the request's span tree into `tb` when tracing is on:
+    /// `prepare`, a `batch_wait` span carrying `cause` and
+    /// `batch_tiles` attributes (the flush attribution from
+    /// [`qn_backend::BatchInfo`]), a `mesh_pass` child covering the
+    /// shared backend pass, then retroactive `quantize`/`entropy`
+    /// spans from the codec's stage timings. `tb = None` costs one
+    /// branch per span site; the encoded bytes are identical either
+    /// way (tracing reads clocks, never data).
+    ///
+    /// # Errors
+    /// See [`TileBatcher::encode`].
+    pub fn encode_hinted_traced(
+        &self,
+        codec: &Arc<Codec>,
+        img: &GrayImage,
+        opts: &CodecOptions,
+        eager: bool,
+        tb: &mut Option<TraceBuilder>,
+    ) -> Result<(Vec<u8>, EncodeStats, EncodeTimings)> {
+        let prep_span = tb.as_mut().map(|tb| tb.begin(SpanId::ROOT, "prepare"));
         let t = Instant::now();
         let (plan, states) = codec.prepare_encode(img, opts)?;
         let prepare_ns = elapsed_ns(t);
+        if let (Some(tb), Some(s)) = (tb.as_mut(), prep_span) {
+            tb.end(s);
+        }
+        let wait_span = tb
+            .as_mut()
+            .map(|tb| (tb.begin(SpanId::ROOT, "batch_wait"), tb.elapsed_ns()));
         let t = Instant::now();
         let handle = self.inner.submit_with(
             BatchKey {
@@ -146,13 +177,29 @@ impl TileBatcher {
             states,
             eager,
         );
-        let outs = handle
-            .wait()
+        let (outs, info) = handle
+            .wait_info()
             .ok_or_else(|| ServeError::Internal("batcher torn down mid-encode".into()))?;
         let mesh_ns = elapsed_ns(t);
+        if let (Some(tb), Some((s, submit_off))) = (tb.as_mut(), wait_span) {
+            tb.end(s);
+            tb.attr(s, "cause", info.cause.label());
+            tb.attr(s, "batch_tiles", info.batch_tiles);
+            let mesh_start = submit_off + info.queued_ns;
+            let mesh = tb.record(s, "mesh_pass", mesh_start, mesh_start + info.run_ns);
+            tb.attr(mesh, "backend", self.backend());
+        }
+        let complete_off = tb.as_ref().map(qn_trace::TraceBuilder::elapsed_ns);
         let (bytes, stats, mut timings) = codec.complete_encode_timed(plan, outs)?;
         timings.prepare_ns = prepare_ns;
         timings.mesh_ns = mesh_ns;
+        if let (Some(tb), Some(c0)) = (tb.as_mut(), complete_off) {
+            let q_end = c0 + timings.quantize_ns;
+            tb.record(SpanId::ROOT, "quantize", c0, q_end);
+            let e = tb.record(SpanId::ROOT, "entropy", q_end, q_end + timings.entropy_ns);
+            tb.attr(e, "coder", opts.entropy);
+            tb.attr(SpanId::ROOT, "tiles", stats.tiles);
+        }
         Ok((bytes, stats, timings))
     }
 
@@ -193,9 +240,33 @@ impl TileBatcher {
         container: &Container,
         eager: bool,
     ) -> Result<(GrayImage, DecodeTimings)> {
+        self.decode_hinted_traced(codec, container, eager, &mut None)
+    }
+
+    /// [`TileBatcher::decode_hinted_timed`] with span recording — the
+    /// decode analogue of [`TileBatcher::encode_hinted_traced`]:
+    /// `prepare`, `batch_wait` (+`mesh_pass` child), `stitch`. Pixels
+    /// are identical with tracing on or off.
+    ///
+    /// # Errors
+    /// See [`TileBatcher::decode`].
+    pub fn decode_hinted_traced(
+        &self,
+        codec: &Arc<Codec>,
+        container: &Container,
+        eager: bool,
+        tb: &mut Option<TraceBuilder>,
+    ) -> Result<(GrayImage, DecodeTimings)> {
+        let prep_span = tb.as_mut().map(|tb| tb.begin(SpanId::ROOT, "prepare"));
         let t = Instant::now();
         let (plan, states) = codec.prepare_decode(container)?;
         let prepare_ns = elapsed_ns(t);
+        if let (Some(tb), Some(s)) = (tb.as_mut(), prep_span) {
+            tb.end(s);
+        }
+        let wait_span = tb
+            .as_mut()
+            .map(|tb| (tb.begin(SpanId::ROOT, "batch_wait"), tb.elapsed_ns()));
         let t = Instant::now();
         let handle = self.inner.submit_with(
             BatchKey {
@@ -206,13 +277,26 @@ impl TileBatcher {
             states,
             eager,
         );
-        let outs = handle
-            .wait()
+        let (outs, info) = handle
+            .wait_info()
             .ok_or_else(|| ServeError::Internal("batcher torn down mid-decode".into()))?;
         let mesh_ns = elapsed_ns(t);
+        if let (Some(tb), Some((s, submit_off))) = (tb.as_mut(), wait_span) {
+            tb.end(s);
+            tb.attr(s, "cause", info.cause.label());
+            tb.attr(s, "batch_tiles", info.batch_tiles);
+            let mesh_start = submit_off + info.queued_ns;
+            let mesh = tb.record(s, "mesh_pass", mesh_start, mesh_start + info.run_ns);
+            tb.attr(mesh, "backend", self.backend());
+        }
+        let stitch_span = tb.as_mut().map(|tb| tb.begin(SpanId::ROOT, "stitch"));
         let t = Instant::now();
         let img = codec.complete_decode(plan, outs)?;
         let stitch_ns = elapsed_ns(t);
+        if let (Some(tb), Some(s)) = (tb.as_mut(), stitch_span) {
+            tb.end(s);
+            tb.attr(SpanId::ROOT, "tiles", container.tiles.len());
+        }
         Ok((
             img,
             DecodeTimings {

@@ -36,23 +36,27 @@ USAGE:
     qnc compress   <input.pgm> -o <out.qnc> [--model <m.qnm>] [--tile N]
                    [--latent D] [--bits B] [--entropy rice|rice-pos|range]
                    [--per-tile-scale] [--no-inline-model] [--backend B]
-                   [--serial] [--no-verify] [--timings]
+                   [--serial] [--no-verify] [--timings] [--trace]
     qnc decompress <input.qnc> -o <out.pgm> [--model <m.qnm>]
-                   [--backend B] [--serial] [--timings]
+                   [--backend B] [--serial] [--timings] [--trace]
     qnc train      <input.pgm> -o <model.qnm> [--tile N] [--latent D]
                    [--layers-c N] [--layers-r N] [--iters N] [--seed S]
     qnc info       <file.qnc | file.qnm> [--json]
     qnc serve      [--addr HOST:PORT] [--store DIR] [--backend B]
                    [--batch-tiles N] [--batch-deadline-ms T] [--cache-models N]
-                   [--read-timeout-ms T] [--log-level off|info|debug]
+                   [--read-timeout-ms T] [--log-level off|warn|info|debug]
                    [--quiet] [--no-metrics] [--metrics-dump-secs N]
+                   [--no-tracing] [--slow-ms MS]
     qnc remote compress   <input.pgm> -o <out.qnc> --addr HOST:PORT
                    [--model <m.qnm>] [--tile N] [--latent D] [--bits B]
                    [--entropy C] [--per-tile-scale] [--no-inline-model]
+                   [--trace]
     qnc remote decompress <input.qnc> -o <out.pgm> --addr HOST:PORT
+                   [--trace]
     qnc remote info       [file.qnc | file.qnm] --addr HOST:PORT
     qnc remote models     --addr HOST:PORT
     qnc remote stats      --addr HOST:PORT [--watch SECS]
+    qnc remote trace      --addr HOST:PORT [--slow] [--id HEX] [--json]
     qnc eval       [--datasets a,b,c] [--dir PGM_DIR] [--grid SPEC]
                    [--baselines svd,pca,csc|all|none] [--backend B]
                    [-o report.json] [--json] [--seed S] [--check]
@@ -82,7 +86,17 @@ compress --model` uploads the model to the server's zoo first.
 `remote stats` prints the server's telemetry JSON (counters, gauges,
 latency percentiles); --watch repeats it every SECS seconds.
 `compress`/`decompress` --timings print a per-stage wall-clock report
-(identical bytes — the timed path only reads clocks). `eval`
+(identical bytes — the timed path only reads clocks). --trace renders
+the request's span tree: offline it is rebuilt from the stage clocks;
+on `remote` commands the request carries a trace context, the server
+records the full tree (frame read, batcher wait with flush cause,
+mesh pass, codec stages, reply write) and the client fetches it back
+— bytes are identical with tracing on or off. `remote trace` lists
+the server's captured traces (recent ring, or the always-keep slow
+buffer with --slow; --id filters to one hex trace id). `serve
+--slow-ms` arms slow capture: requests at or over MS milliseconds are
+kept in the slow buffer and logged as WARN lines with their stage
+breakdown; --no-tracing disables tracing entirely. `eval`
 runs the rate-distortion sweep (datasets from the registry and/or a
 --dir of PGMs, grid spec like 'tile=4;d=2,4,8;bits=4,8' or
 smoke/default) with classical baselines at matched rates, prints the
@@ -137,6 +151,8 @@ impl Args {
             "--read-timeout-ms",
             "--metrics-dump-secs",
             "--log-level",
+            "--slow-ms",
+            "--id",
             "--watch",
             "--entropy",
             "--datasets",
@@ -154,6 +170,9 @@ impl Args {
             "--timings",
             "--quiet",
             "--no-metrics",
+            "--no-tracing",
+            "--trace",
+            "--slow",
             "--help",
             "-h",
         ];
@@ -259,18 +278,43 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
 
     let img = read_image(Path::new(input))?;
     let (codec, model_source) = codec_for_compress(args, &img, tile, latent)?;
-    let (bytes, stats) = if args.has("--timings") {
+    let (bytes, stats) = if args.has("--timings") || args.has("--trace") {
         // The timed path produces identical bytes; it only reads clocks.
+        let trace_start = std::time::Instant::now();
         let (bytes, stats, t) = codec
             .encode_image_timed(&img, &opts)
             .map_err(|e| format!("encoding: {e}"))?;
-        println!(
-            "timings: prepare {:.3} ms, mesh {:.3} ms, quantize {:.3} ms, entropy {:.3} ms",
-            ms(t.prepare_ns),
-            ms(t.mesh_ns),
-            ms(t.quantize_ns),
-            ms(t.entropy_ns)
-        );
+        if args.has("--timings") {
+            println!(
+                "timings: prepare {:.3} ms, mesh {:.3} ms, quantize {:.3} ms, entropy {:.3} ms",
+                ms(t.prepare_ns),
+                ms(t.mesh_ns),
+                ms(t.quantize_ns),
+                ms(t.entropy_ns)
+            );
+        }
+        if args.has("--trace") {
+            // The same tree a traced `qnc remote compress` renders,
+            // rebuilt from the offline stage clocks (stages laid end to
+            // end; no batcher, so no batch_wait span).
+            let mut b =
+                qn_trace::TraceBuilder::with_anchor(fresh_trace_id(), "compress", trace_start);
+            let mut off = 0u64;
+            for (name, ns) in [
+                ("prepare", t.prepare_ns),
+                ("mesh_pass", t.mesh_ns),
+                ("quantize", t.quantize_ns),
+                ("entropy", t.entropy_ns),
+            ] {
+                let s = b.record(qn_trace::SpanId::ROOT, name, off, off + ns);
+                if name == "entropy" {
+                    b.attr(s, "coder", opts.entropy);
+                }
+                off += ns;
+            }
+            b.attr(qn_trace::SpanId::ROOT, "tiles", stats.tiles);
+            print!("{}", qn_trace::render_tree(&b.finish()));
+        }
         (bytes, stats)
     } else {
         codec
@@ -322,7 +366,7 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
         ),
         None => None,
     };
-    let img = if args.has("--timings") {
+    let img = if args.has("--timings") || args.has("--trace") {
         // Same decode, clocked per stage; a standalone container first
         // rebuilds its codec from the inline model.
         let codec = match codec {
@@ -333,16 +377,34 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
                 qn_codec::codec_from_inline(&container).map_err(|e| format!("decoding: {e}"))?
             }
         };
+        let trace_start = std::time::Instant::now();
         let (img, t) = codec
             .decode_bytes_timed(&bytes, backend)
             .map_err(|e| format!("decoding: {e}"))?;
-        println!(
-            "timings: parse {:.3} ms, prepare {:.3} ms, mesh {:.3} ms, stitch {:.3} ms",
-            ms(t.parse_ns),
-            ms(t.prepare_ns),
-            ms(t.mesh_ns),
-            ms(t.stitch_ns)
-        );
+        if args.has("--timings") {
+            println!(
+                "timings: parse {:.3} ms, prepare {:.3} ms, mesh {:.3} ms, stitch {:.3} ms",
+                ms(t.parse_ns),
+                ms(t.prepare_ns),
+                ms(t.mesh_ns),
+                ms(t.stitch_ns)
+            );
+        }
+        if args.has("--trace") {
+            let mut b =
+                qn_trace::TraceBuilder::with_anchor(fresh_trace_id(), "decompress", trace_start);
+            let mut off = 0u64;
+            for (name, ns) in [
+                ("parse", t.parse_ns),
+                ("prepare", t.prepare_ns),
+                ("mesh_pass", t.mesh_ns),
+                ("stitch", t.stitch_ns),
+            ] {
+                b.record(qn_trace::SpanId::ROOT, name, off, off + ns);
+                off += ns;
+            }
+            print!("{}", qn_trace::render_tree(&b.finish()));
+        }
         img
     } else {
         match codec {
@@ -520,7 +582,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         // stays silent for embedded servers.
         None => qn_serve::LogLevel::Info,
         Some(s) => qn_serve::LogLevel::parse(s)
-            .ok_or_else(|| format!("--log-level takes off|info|debug, got {s:?}"))?,
+            .ok_or_else(|| format!("--log-level takes off|warn|info|debug, got {s:?}"))?,
     };
     let dump_secs: u64 = args.numeric(&["--metrics-dump-secs"], 0u64)?;
     let config = ServerConfig {
@@ -533,7 +595,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         read_timeout: Duration::from_millis(args.numeric(&["--read-timeout-ms"], 30_000u64)?),
         metrics: !args.has("--no-metrics"),
         log_level,
+        tracing: !args.has("--no-tracing"),
+        slow_threshold: Duration::from_millis(args.numeric(&["--slow-ms"], 0u64)?),
     };
+    if config.slow_threshold > Duration::ZERO && !config.tracing {
+        return Err("--slow-ms needs tracing; drop --no-tracing".into());
+    }
     if dump_secs > 0 && !config.metrics {
         return Err("--metrics-dump-secs needs metrics; drop --no-metrics".into());
     }
@@ -554,12 +621,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if !args.has("--quiet") {
         let _ = writeln!(
             stdout,
-            "qn-serve listening on {}\n  backend {}, batch {} tiles / {} ms deadline, model store: {store}\n  metrics {}, log level {}",
+            "qn-serve listening on {}\n  backend {}, batch {} tiles / {} ms deadline, model store: {store}\n  metrics {}, tracing {}, log level {}",
             handle.addr(),
             config.backend,
             config.batch_tiles,
             config.batch_deadline.as_millis(),
             if config.metrics { "on" } else { "off" },
+            match (config.tracing, config.slow_threshold.as_millis()) {
+                (false, _) => "off".to_string(),
+                (true, 0) => "on".to_string(),
+                (true, ms) => format!("on (slow >= {ms} ms)"),
+            },
             config.log_level,
         );
         let _ = stdout.flush();
@@ -599,6 +671,7 @@ fn cmd_remote(args: &Args) -> Result<(), String> {
         "info" => remote_info(args, rest),
         "models" => remote_models(args, rest),
         "stats" => remote_stats(args, rest),
+        "trace" => remote_trace(args, rest),
         other => Err(format!("unknown remote subcommand {other:?}")),
     }
 }
@@ -611,14 +684,97 @@ fn remote_stats(args: &Args, positional: &[String]) -> Result<(), String> {
     }
     let mut client = remote_client(args)?;
     let watch: u64 = args.numeric(&["--watch"], 0u64)?;
+    // Written fallibly: `--watch` output is made for piping (`| head`,
+    // a pager that quits), and a closed stdout must end the loop
+    // cleanly, not panic the process mid-print.
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout();
     loop {
         let json = client.stats().map_err(|e| format!("remote stats: {e}"))?;
-        println!("{json}");
+        if writeln!(stdout, "{json}")
+            .and_then(|()| stdout.flush())
+            .is_err()
+        {
+            return Ok(());
+        }
         if watch == 0 {
             return Ok(());
         }
         std::thread::sleep(Duration::from_secs(watch));
     }
+}
+
+/// A fresh (non-zero) trace id for `--trace` round-trips: wall-clock
+/// nanoseconds mixed with the pid, so concurrent invocations against
+/// one server get distinct ids without a PRNG dependency.
+fn fresh_trace_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(u64::MAX)
+        });
+    let id = nanos ^ (u64::from(std::process::id()) << 32);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Fetch and render the span tree the server recorded under `id` (a
+/// `--trace` round-trip just completed on `client`'s connection, so
+/// the trace is guaranteed captured).
+fn print_remote_trace(client: &mut Client, id: u64) -> Result<(), String> {
+    let json = client
+        .trace(false, Some(id))
+        .map_err(|e| format!("fetching trace: {e}"))?;
+    let traces = qn_trace::parse_traces(&json).map_err(|e| format!("parsing trace reply: {e}"))?;
+    match traces.last() {
+        Some(t) => print!("{}", qn_trace::render_tree(t)),
+        None => println!("trace {id:016x}: evicted from the server's recent ring before fetch"),
+    }
+    Ok(())
+}
+
+fn remote_trace(args: &Args, positional: &[String]) -> Result<(), String> {
+    if !positional.is_empty() {
+        return Err(format!(
+            "remote trace takes no positionals, got {positional:?}"
+        ));
+    }
+    let id = match args.value(&["--id"]) {
+        Some(hex) => {
+            let hex = hex.strip_prefix("0x").unwrap_or(hex);
+            Some(
+                u64::from_str_radix(hex, 16)
+                    .map_err(|_| format!("--id takes a hex trace id, got {hex:?}"))?,
+            )
+        }
+        None => None,
+    };
+    let slow = args.has("--slow");
+    let mut client = remote_client(args)?;
+    let json = client
+        .trace(slow, id)
+        .map_err(|e| format!("remote trace: {e}"))?;
+    if args.has("--json") {
+        println!("{json}");
+        return Ok(());
+    }
+    let traces = qn_trace::parse_traces(&json).map_err(|e| format!("parsing trace reply: {e}"))?;
+    if traces.is_empty() {
+        println!(
+            "no {} traces captured{}",
+            if slow { "slow" } else { "recent" },
+            id.map_or(String::new(), |id| format!(" under id {id:016x}")),
+        );
+        return Ok(());
+    }
+    for t in &traces {
+        print!("{}", qn_trace::render_tree(t));
+    }
+    println!("{} trace(s)", traces.len());
+    Ok(())
 }
 
 fn remote_models(args: &Args, positional: &[String]) -> Result<(), String> {
@@ -686,9 +842,15 @@ fn remote_compress(args: &Args, positional: &[String]) -> Result<(), String> {
         }
         None => spectral_encode_request(&img, &opts, latent),
     };
-    let bytes = client
-        .encode(&request)
-        .map_err(|e| format!("remote encode: {e}"))?;
+    let trace_ctx = args.has("--trace").then(|| qn_serve::TraceContext {
+        id: fresh_trace_id(),
+        sampled: true,
+    });
+    let bytes = match trace_ctx {
+        Some(ctx) => client.encode_traced(&request, ctx),
+        None => client.encode(&request),
+    }
+    .map_err(|e| format!("remote encode: {e}"))?;
     std::fs::write(&output, &bytes).map_err(|e| format!("writing {}: {e}", output.display()))?;
     println!(
         "compressed {}x{} ({} px) -> {} bytes  [remote, model: {}]",
@@ -702,6 +864,9 @@ fn remote_compress(args: &Args, positional: &[String]) -> Result<(), String> {
             "spectral"
         },
     );
+    if let Some(ctx) = trace_ctx {
+        print_remote_trace(&mut client, ctx.id)?;
+    }
     Ok(())
 }
 
@@ -715,9 +880,15 @@ fn remote_decompress(args: &Args, positional: &[String]) -> Result<(), String> {
     );
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let mut client = remote_client(args)?;
-    let img = client
-        .decode(&bytes)
-        .map_err(|e| format!("remote decode: {e}"))?;
+    let trace_ctx = args.has("--trace").then(|| qn_serve::TraceContext {
+        id: fresh_trace_id(),
+        sampled: true,
+    });
+    let img = match trace_ctx {
+        Some(ctx) => client.decode_traced(&bytes, ctx),
+        None => client.decode(&bytes),
+    }
+    .map_err(|e| format!("remote decode: {e}"))?;
     pgm::write_pgm(&img.clamped(), &output)
         .map_err(|e| format!("writing {}: {e}", output.display()))?;
     println!(
@@ -726,6 +897,9 @@ fn remote_decompress(args: &Args, positional: &[String]) -> Result<(), String> {
         img.width(),
         img.height()
     );
+    if let Some(ctx) = trace_ctx {
+        print_remote_trace(&mut client, ctx.id)?;
+    }
     Ok(())
 }
 

@@ -3,8 +3,9 @@
 
 use crate::error::{Result, ServeError};
 use crate::protocol::{
-    model_list_from_payload, read_image_payload, EncodeRequest, Frame, ModelEntry, Opcode,
-    ENC_FLAG_INLINE_MODEL, ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID,
+    model_list_from_payload, read_image_payload, trace_request_payload, traced_request,
+    EncodeRequest, Frame, ModelEntry, Opcode, TraceContext, ENC_FLAG_INLINE_MODEL,
+    ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID,
 };
 use qn_codec::CodecOptions;
 use qn_image::GrayImage;
@@ -41,9 +42,39 @@ impl Client {
     /// # Errors
     /// Frame/IO errors and remote error replies.
     pub fn roundtrip(&mut self, op: Opcode, payload: Vec<u8>) -> Result<Frame> {
+        self.exchange(op, None, payload)
+    }
+
+    /// [`Client::roundtrip`] with a trace context riding the request
+    /// (see the protocol docs on `REQ_STATUS_TRACED`): the server
+    /// records a span trace for this exact request under `ctx.id`,
+    /// retrievable afterwards via [`Client::trace`]. The reply bytes
+    /// are identical to an untraced exchange.
+    ///
+    /// # Errors
+    /// Frame/IO errors and remote error replies.
+    pub fn roundtrip_traced(
+        &mut self,
+        op: Opcode,
+        ctx: TraceContext,
+        payload: Vec<u8>,
+    ) -> Result<Frame> {
+        self.exchange(op, Some(ctx), payload)
+    }
+
+    fn exchange(
+        &mut self,
+        op: Opcode,
+        ctx: Option<TraceContext>,
+        payload: Vec<u8>,
+    ) -> Result<Frame> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        Frame::request(op, id, payload).write_to(&mut self.stream)?;
+        let frame = match ctx {
+            Some(ctx) => traced_request(op, id, ctx, &payload),
+            None => Frame::request(op, id, payload),
+        };
+        frame.write_to(&mut self.stream)?;
         let reply = Frame::read_from(&mut self.stream)?;
         // Status first: stream-level server errors carry request id 0
         // (the offending frame's id may not have been parseable), and
@@ -79,6 +110,17 @@ impl Client {
         Ok(self.roundtrip(Opcode::Encode, req.to_payload())?.payload)
     }
 
+    /// [`Client::encode`] with a trace context riding the request; the
+    /// returned `.qnc` bytes are identical to an untraced encode.
+    ///
+    /// # Errors
+    /// Transport and remote errors.
+    pub fn encode_traced(&mut self, req: &EncodeRequest, ctx: TraceContext) -> Result<Vec<u8>> {
+        Ok(self
+            .roundtrip_traced(Opcode::Encode, ctx, req.to_payload())?
+            .payload)
+    }
+
     /// Decompress `.qnc` bytes remotely (inline model, or a model the
     /// server's zoo knows).
     ///
@@ -86,14 +128,17 @@ impl Client {
     /// Transport and remote errors; malformed reply payloads.
     pub fn decode(&mut self, container: &[u8]) -> Result<GrayImage> {
         let reply = self.roundtrip(Opcode::Decode, container.to_vec())?;
-        let (img, rest) = read_image_payload(&reply.payload)?;
-        if !rest.is_empty() {
-            return Err(ServeError::Internal(format!(
-                "{} trailing bytes after the decode reply image",
-                rest.len()
-            )));
-        }
-        Ok(img)
+        image_from_reply(&reply)
+    }
+
+    /// [`Client::decode`] with a trace context riding the request; the
+    /// returned pixels are identical to an untraced decode.
+    ///
+    /// # Errors
+    /// Transport and remote errors; malformed reply payloads.
+    pub fn decode_traced(&mut self, container: &[u8], ctx: TraceContext) -> Result<GrayImage> {
+        let reply = self.roundtrip_traced(Opcode::Decode, ctx, container.to_vec())?;
+        image_from_reply(&reply)
     }
 
     /// Add a `.qnm` model to the server's zoo; returns its id.
@@ -144,6 +189,33 @@ impl Client {
         String::from_utf8(reply.payload)
             .map_err(|_| ServeError::Internal("stats reply is not UTF-8".into()))
     }
+
+    /// Captured span traces as single-line JSON (parse with
+    /// [`qn_trace::parse_traces`]): the recent ring, or the always-keep
+    /// slow buffer with `slow`, optionally filtered to one trace id.
+    /// Servers running with tracing disabled answer a typed
+    /// `BadRequest`; feature-detect via the `tracing` field of
+    /// [`Client::info`].
+    ///
+    /// # Errors
+    /// Transport and remote errors.
+    pub fn trace(&mut self, slow: bool, id: Option<u64>) -> Result<String> {
+        let reply = self.roundtrip(Opcode::Trace, trace_request_payload(slow, id))?;
+        String::from_utf8(reply.payload)
+            .map_err(|_| ServeError::Internal("trace reply is not UTF-8".into()))
+    }
+}
+
+/// The decoded image carried by a `DECODE` reply frame.
+fn image_from_reply(reply: &Frame) -> Result<GrayImage> {
+    let (img, rest) = read_image_payload(&reply.payload)?;
+    if !rest.is_empty() {
+        return Err(ServeError::Internal(format!(
+            "{} trailing bytes after the decode reply image",
+            rest.len()
+        )));
+    }
+    Ok(img)
 }
 
 /// Build the `ENCODE` request matching an offline

@@ -29,6 +29,14 @@
 //! - [`log`] — leveled, timestamped single-line stderr logging for the
 //!   `qnc serve` process.
 //!
+//! Per-request **span tracing** ([`qn_trace`]) rides the same wire: a
+//! client sets `REQ_STATUS_TRACED` and prefixes its payload with a
+//! 9-byte trace context (id + sampled flag), the server records the
+//! request's span tree (frame read, batcher wait with flush cause,
+//! mesh pass, codec stages, reply write) and serves it back over the
+//! `TRACE` RPC. Tracing never changes reply bytes, and untraced
+//! requests pay one branch per span site.
+//!
 //! Responses are **byte-identical** to offline `qnc` runs with the
 //! same model and options: the serve path reuses the codec's
 //! `prepare_*`/`complete_*` pipeline halves around the shared mesh
@@ -48,6 +56,8 @@ pub use client::Client;
 pub use error::ServeError;
 pub use log::{LogLevel, Logger};
 pub use metrics::ServeMetrics;
-pub use protocol::{ErrorCode, Frame, Opcode, PROTOCOL_VERSION};
+pub use protocol::{
+    ErrorCode, Frame, Opcode, TraceContext, PROTOCOL_VERSION, REQ_STATUS_TRACED, TRACE_FLAG_SAMPLED,
+};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use store::{ModelStore, StoreMetrics};

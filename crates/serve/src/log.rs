@@ -15,12 +15,14 @@
 use std::fmt;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-/// Server log verbosity. Ordered: `Off < Info < Debug`.
+/// Server log verbosity. Ordered: `Off < Warn < Info < Debug`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LogLevel {
     /// No log output (the library default).
     Off,
-    /// Connection lifecycle: reaps and request errors, plus
+    /// Only warnings (e.g. slow-request lines from `--slow-ms`).
+    Warn,
+    /// Warnings plus connection lifecycle: reaps and request errors,
     /// connect/disconnect.
     Info,
     /// Everything above plus per-request completion lines.
@@ -28,10 +30,11 @@ pub enum LogLevel {
 }
 
 impl LogLevel {
-    /// Parse a CLI flag value (`off`/`info`/`debug`).
+    /// Parse a CLI flag value (`off`/`warn`/`info`/`debug`).
     pub fn parse(s: &str) -> Option<LogLevel> {
         match s {
             "off" => Some(LogLevel::Off),
+            "warn" => Some(LogLevel::Warn),
             "info" => Some(LogLevel::Info),
             "debug" => Some(LogLevel::Debug),
             _ => None,
@@ -43,6 +46,7 @@ impl fmt::Display for LogLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             LogLevel::Off => "off",
+            LogLevel::Warn => "warn",
             LogLevel::Info => "info",
             LogLevel::Debug => "debug",
         })
@@ -69,6 +73,12 @@ impl Logger {
     /// Whether events at `level` are emitted.
     pub fn enabled(&self, level: LogLevel) -> bool {
         level != LogLevel::Off && level <= self.level
+    }
+
+    /// Emit a warn-level event line (visible at every level but
+    /// `off`).
+    pub fn warn(&self, event: &str, detail: fmt::Arguments<'_>) {
+        self.emit(LogLevel::Warn, event, detail);
     }
 
     /// Emit an info-level event line.
@@ -135,6 +145,7 @@ mod tests {
     fn levels_parse_display_and_gate() {
         for (s, l) in [
             ("off", LogLevel::Off),
+            ("warn", LogLevel::Warn),
             ("info", LogLevel::Info),
             ("debug", LogLevel::Debug),
         ] {
@@ -144,9 +155,14 @@ mod tests {
         assert_eq!(LogLevel::parse("verbose"), None);
         let off = Logger::new(LogLevel::Off);
         assert!(!off.enabled(LogLevel::Info));
+        assert!(!off.enabled(LogLevel::Warn));
         assert!(!off.enabled(LogLevel::Off), "Off events never emit");
+        let warn = Logger::new(LogLevel::Warn);
+        assert!(warn.enabled(LogLevel::Warn));
+        assert!(!warn.enabled(LogLevel::Info));
         let info = Logger::new(LogLevel::Info);
         assert!(info.enabled(LogLevel::Info));
+        assert!(info.enabled(LogLevel::Warn), "warnings show at info");
         assert!(!info.enabled(LogLevel::Debug));
         let debug = Logger::new(LogLevel::Debug);
         assert!(debug.enabled(LogLevel::Info));

@@ -7,7 +7,7 @@
 //!
 //! | metric | type | labels |
 //! |---|---|---|
-//! | `serve_requests_total` | counter | `op` = `encode`/`decode`/`load_model`/`info`/`list_models`/`stats`/`unknown` |
+//! | `serve_requests_total` | counter | `op` = `encode`/`decode`/`load_model`/`info`/`list_models`/`stats`/`trace`/`unknown` |
 //! | `serve_errors_total` | counter | `code` = [`ErrorCode::label`] |
 //! | `serve_request_latency_ns` | histogram | `op` (whole request: frame fully read → reply written) |
 //! | `serve_frame_bytes_in_total` / `serve_frame_bytes_out_total` | counter | — |
@@ -21,6 +21,7 @@
 //! | `batch_flushes_total` | counter | `cause` = `full`/`deadline`/`eager`/`drain` |
 //! | `zoo_hits_total` / `zoo_misses_total` / `zoo_inserts_total` | counter | — |
 //! | `zoo_cached_models` | gauge | — |
+//! | `gate_table_cache_hits` / `gate_table_cache_misses` / `gate_table_cache_entries` | gauge | — (process-wide [`qn_backend::table_cache_stats`], synced at exposition) |
 //!
 //! Hot-path handles (per-opcode counters/histograms, per-coder byte
 //! counters) are pre-resolved into arrays at construction, so request
@@ -41,13 +42,14 @@ use std::time::Instant;
 
 /// The request opcodes, in wire order — the index into the per-opcode
 /// metric arrays.
-pub const REQUEST_OPS: [Opcode; 6] = [
+pub const REQUEST_OPS: [Opcode; 7] = [
     Opcode::Encode,
     Opcode::Decode,
     Opcode::LoadModel,
     Opcode::Info,
     Opcode::ListModels,
     Opcode::Stats,
+    Opcode::Trace,
 ];
 
 /// All metric handles a running server updates, plus the registry that
@@ -56,9 +58,9 @@ pub const REQUEST_OPS: [Opcode; 6] = [
 pub struct ServeMetrics {
     registry: Registry,
     started: Instant,
-    requests: [Arc<Counter>; 6],
+    requests: [Arc<Counter>; 7],
     requests_unknown: Arc<Counter>,
-    latency: [Arc<Histogram>; 6],
+    latency: [Arc<Histogram>; 7],
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
     connections: Arc<Counter>,
@@ -71,6 +73,12 @@ pub struct ServeMetrics {
     decoded_bytes: [Arc<Counter>; 3],
     batcher: BatcherMetrics,
     store: StoreMetrics,
+    /// Point-in-time mirrors of the process-wide gate-table cache
+    /// counters ([`qn_backend::table_cache_stats`]), synced on every
+    /// exposition so they sit next to the zoo hit/miss series.
+    table_hits: Arc<Gauge>,
+    table_misses: Arc<Gauge>,
+    table_entries: Arc<Gauge>,
 }
 
 impl Default for ServeMetrics {
@@ -117,6 +125,9 @@ impl ServeMetrics {
             decoded_bytes: per_coder("codec_decoded_bytes_total"),
             batcher,
             store,
+            table_hits: registry.gauge("gate_table_cache_hits"),
+            table_misses: registry.gauge("gate_table_cache_misses"),
+            table_entries: registry.gauge("gate_table_cache_entries"),
             registry,
         }
     }
@@ -234,16 +245,43 @@ impl ServeMetrics {
         self.decoded_bytes[coder.wire_id() as usize].add(bytes);
     }
 
+    /// Mirror explicit gate-table cache readings into the registry's
+    /// gauges. Split from [`ServeMetrics::sync_gate_table_cache`] so
+    /// tests can pin exposition bytes without depending on the
+    /// process-wide cache state.
+    pub fn set_gate_table_stats(&self, hits: u64, misses: u64, entries: u64) {
+        self.table_hits.set(hits as i64);
+        self.table_misses.set(misses as i64);
+        self.table_entries.set(entries as i64);
+    }
+
+    /// Refresh the gate-table cache gauges from the live process-wide
+    /// counters. Called on every exposition — the cache has no
+    /// registry hooks of its own (it predates `qn-metrics`), so its
+    /// counters are sampled rather than streamed.
+    pub fn sync_gate_table_cache(&self) {
+        let s = qn_backend::table_cache_stats();
+        self.set_gate_table_stats(s.hits, s.misses, s.entries as u64);
+    }
+
     /// The `STATS` reply payload: `uptime_secs` spliced ahead of the
     /// registry's byte-stable `counters`/`gauges`/`histograms`
     /// sections, single line.
     pub fn stats_json(&self) -> String {
+        self.sync_gate_table_cache();
         let registry_json = self.registry.to_json();
         format!(
             "{{\"uptime_secs\":{},{}",
             self.uptime_secs(),
             &registry_json[1..]
         )
+    }
+
+    /// The registry as Prometheus-style text, with the gate-table
+    /// cache gauges freshly synced.
+    pub fn prometheus(&self) -> String {
+        self.sync_gate_table_cache();
+        self.registry.to_prometheus()
     }
 }
 
@@ -264,7 +302,14 @@ mod tests {
             json.contains("\"serve_requests_total{op=encode}\":2"),
             "{json}"
         );
-        for label in ["decode", "load_model", "info", "list_models", "stats"] {
+        for label in [
+            "decode",
+            "load_model",
+            "info",
+            "list_models",
+            "stats",
+            "trace",
+        ] {
             assert!(
                 json.contains(&format!("\"serve_requests_total{{op={label}}}\":1")),
                 "{json}"
@@ -335,6 +380,24 @@ mod tests {
         assert!(json.contains("\"counters\":{"), "{json}");
         assert!(json.contains("\"gauges\":{"), "{json}");
         assert!(json.contains("\"histograms\":{"), "{json}");
+    }
+
+    #[test]
+    fn gate_table_gauges_sync_on_exposition() {
+        let m = ServeMetrics::new();
+        m.set_gate_table_stats(10, 3, 2);
+        let json = m.registry().to_json();
+        assert!(json.contains("\"gate_table_cache_hits\":10"), "{json}");
+        assert!(json.contains("\"gate_table_cache_misses\":3"), "{json}");
+        assert!(json.contains("\"gate_table_cache_entries\":2"), "{json}");
+        // The exposition entry points re-sample the live cache (the
+        // exact values race with concurrent tests exercising backends,
+        // so only presence is asserted here — serve_integration pins
+        // the live behaviour).
+        let json = m.stats_json();
+        assert!(json.contains("\"gate_table_cache_hits\":"), "{json}");
+        let text = m.prometheus();
+        assert!(text.contains("gate_table_cache_entries"), "{text}");
     }
 
     #[test]

@@ -8,14 +8,15 @@
 //! 0       4     magic "QNF1"
 //! 4       1     protocol version (1)
 //! 5       1     opcode
-//! 6       2     status: 0 = OK; else an error code (replies only)
+//! 6       2     status: replies: 0 = OK, else an error code;
+//!               requests: 0, or trace-context bits (see below)
 //! 8       4     request id (echoed verbatim in the reply)
 //! 12      4     payload length (bytes, ≤ MAX_PAYLOAD)
 //! 16      …     payload
 //! end     4     CRC-32 (IEEE) of header + payload
 //! ```
 //!
-//! Requests use opcodes `0x01..=0x06`; a success reply echoes the
+//! Requests use opcodes `0x01..=0x07`; a success reply echoes the
 //! request opcode with bit 7 set (`op | 0x80`) and status 0; an error
 //! reply uses opcode `0xFF` with a non-zero status code and a UTF-8
 //! message payload. Stream-level violations (bad magic, oversized
@@ -62,6 +63,27 @@
 //! `qn_metrics::Registry::to_json`). Servers running with metrics
 //! disabled answer a typed `BadRequest` — clients feature-detect via
 //! the `metrics` field of the empty-payload `INFO` reply.
+//! `TRACE`: an empty payload returns the recent-trace ring; a 9-byte
+//! payload (`mode u8` — 0 recent, 1 slow — then `trace id u64`, 0 =
+//! unfiltered) selects a buffer and optionally one id. The reply is
+//! `qn_trace::traces_json` bytes. Servers running with tracing off
+//! answer a typed `BadRequest`, feature-detected via the `tracing`
+//! field of the `INFO` reply.
+//!
+//! # Trace context (request status bits)
+//!
+//! The status field was reserved-zero in requests before PR 9 —
+//! replies used it for error codes, requests never carried meaning.
+//! A client that wants its request traced sets
+//! [`REQ_STATUS_TRACED`] (bit 0) and prefixes the payload with a
+//! 9-byte trace context: `trace id u64` (non-zero, client-chosen) and
+//! a flags byte (bit 0 = sampled: record the trace server-side). The
+//! server strips the prefix before normal payload parsing, so every
+//! operation's payload format is unchanged on the wire for untraced
+//! clients — a zero status byte-for-byte matches what pre-PR-9
+//! clients send. Unknown status bits and malformed contexts are
+//! rejected with a typed `BadRequest` (strict-validation discipline:
+//! relaxed *only* for the bits defined here).
 
 use crate::error::ServeError;
 use qn_codec::bitstream::{crc32, crc32_of_parts};
@@ -79,7 +101,7 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 /// Fixed frame-header length.
 pub const HEADER_LEN: usize = 16;
 
-/// Frame opcodes. Requests are `0x01..=0x06`; success replies set bit 7;
+/// Frame opcodes. Requests are `0x01..=0x07`; success replies set bit 7;
 /// `0xFF` is the typed error reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -98,6 +120,9 @@ pub enum Opcode {
     /// Report the server's telemetry registry as JSON (empty request
     /// payload; `BadRequest` when the server runs with metrics off).
     Stats = 0x06,
+    /// Fetch recent or slow request traces as JSON (optionally
+    /// filtered by trace id; `BadRequest` when tracing is off).
+    Trace = 0x07,
     /// Success reply to [`Opcode::Encode`].
     EncodeReply = 0x81,
     /// Success reply to [`Opcode::Decode`].
@@ -110,6 +135,8 @@ pub enum Opcode {
     ListModelsReply = 0x85,
     /// Success reply to [`Opcode::Stats`].
     StatsReply = 0x86,
+    /// Success reply to [`Opcode::Trace`].
+    TraceReply = 0x87,
     /// Typed error reply (status carries the [`ErrorCode`]).
     ErrorReply = 0xFF,
 }
@@ -124,12 +151,14 @@ impl Opcode {
             0x04 => Opcode::Info,
             0x05 => Opcode::ListModels,
             0x06 => Opcode::Stats,
+            0x07 => Opcode::Trace,
             0x81 => Opcode::EncodeReply,
             0x82 => Opcode::DecodeReply,
             0x83 => Opcode::LoadModelReply,
             0x84 => Opcode::InfoReply,
             0x85 => Opcode::ListModelsReply,
             0x86 => Opcode::StatsReply,
+            0x87 => Opcode::TraceReply,
             0xFF => Opcode::ErrorReply,
             _ => return None,
         })
@@ -144,6 +173,7 @@ impl Opcode {
             Opcode::Info => Opcode::InfoReply,
             Opcode::ListModels => Opcode::ListModelsReply,
             Opcode::Stats => Opcode::StatsReply,
+            Opcode::Trace => Opcode::TraceReply,
             other => other,
         }
     }
@@ -159,6 +189,7 @@ impl Opcode {
             Opcode::Info | Opcode::InfoReply => "info",
             Opcode::ListModels | Opcode::ListModelsReply => "list_models",
             Opcode::Stats | Opcode::StatsReply => "stats",
+            Opcode::Trace | Opcode::TraceReply => "trace",
             Opcode::ErrorReply => "error",
         }
     }
@@ -423,6 +454,136 @@ impl Frame {
             request_id,
             payload,
         })
+    }
+}
+
+/// Request-status bit: the payload starts with a
+/// [`TraceContext`] prefix. All other request-status bits stay
+/// reserved-zero.
+pub const REQ_STATUS_TRACED: u16 = 1 << 0;
+/// Trace-context flag: record the trace server-side (unset, the id is
+/// merely propagated).
+pub const TRACE_FLAG_SAMPLED: u8 = 1 << 0;
+/// Serialized trace-context length: `id u64` + `flags u8`.
+pub const TRACE_CONTEXT_LEN: usize = 9;
+
+/// Client-supplied trace context for one request, carried as a
+/// 9-byte payload prefix flagged by [`REQ_STATUS_TRACED`] in the
+/// request's status field (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Client-chosen 64-bit trace id; zero is reserved (= untraced)
+    /// and rejected on the wire.
+    pub id: u64,
+    /// Whether the server should record (sample) the trace.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Serialise as the wire prefix.
+    pub fn to_prefix(self) -> [u8; TRACE_CONTEXT_LEN] {
+        let mut p = [0u8; TRACE_CONTEXT_LEN];
+        p[..8].copy_from_slice(&self.id.to_le_bytes());
+        p[8] = if self.sampled { TRACE_FLAG_SAMPLED } else { 0 };
+        p
+    }
+
+    /// Validate a request's status field and strip the trace-context
+    /// prefix from its payload. Returns the context (if any) and the
+    /// operation payload proper.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for unknown status bits, a truncated
+    /// prefix, a zero trace id, or unknown context flags — the strict
+    /// reserved-byte discipline, relaxed only for the bits defined
+    /// here.
+    pub fn strip(status: u16, payload: &[u8]) -> Result<(Option<TraceContext>, &[u8]), ServeError> {
+        if status & !REQ_STATUS_TRACED != 0 {
+            return Err(ServeError::BadRequest(format!(
+                "unknown request status bits {:#06x}",
+                status & !REQ_STATUS_TRACED
+            )));
+        }
+        if status & REQ_STATUS_TRACED == 0 {
+            return Ok((None, payload));
+        }
+        if payload.len() < TRACE_CONTEXT_LEN {
+            return Err(ServeError::BadRequest(format!(
+                "traced request needs a {TRACE_CONTEXT_LEN}-byte trace context, got {} bytes",
+                payload.len()
+            )));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        if id == 0 {
+            return Err(ServeError::BadRequest(
+                "trace id 0 is reserved (means untraced)".into(),
+            ));
+        }
+        let flags = payload[8];
+        if flags & !TRACE_FLAG_SAMPLED != 0 {
+            return Err(ServeError::BadRequest(format!(
+                "unknown trace-context flags {:#04x}",
+                flags & !TRACE_FLAG_SAMPLED
+            )));
+        }
+        Ok((
+            Some(TraceContext {
+                id,
+                sampled: flags & TRACE_FLAG_SAMPLED != 0,
+            }),
+            &payload[TRACE_CONTEXT_LEN..],
+        ))
+    }
+}
+
+/// Build a traced request frame: status bit set, payload prefixed with
+/// the serialized context.
+pub fn traced_request(op: Opcode, request_id: u32, ctx: TraceContext, payload: &[u8]) -> Frame {
+    let mut p = Vec::with_capacity(TRACE_CONTEXT_LEN + payload.len());
+    p.extend_from_slice(&ctx.to_prefix());
+    p.extend_from_slice(payload);
+    Frame {
+        opcode: op as u8,
+        status: REQ_STATUS_TRACED,
+        request_id,
+        payload: p,
+    }
+}
+
+/// Serialise a `TRACE` request payload: which buffer to read (`slow`)
+/// and an optional single-id filter.
+pub fn trace_request_payload(slow: bool, id: Option<u64>) -> Vec<u8> {
+    let mut p = Vec::with_capacity(9);
+    p.push(u8::from(slow));
+    p.extend_from_slice(&id.unwrap_or(0).to_le_bytes());
+    p
+}
+
+/// Parse a `TRACE` request payload (empty = recent, unfiltered).
+///
+/// # Errors
+/// [`ServeError::BadRequest`] for a length other than 0/9 or an
+/// unknown mode byte.
+pub fn parse_trace_request(payload: &[u8]) -> Result<(bool, Option<u64>), ServeError> {
+    match payload {
+        [] => Ok((false, None)),
+        p if p.len() == 9 => {
+            let slow = match p[0] {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ServeError::BadRequest(format!(
+                        "trace request mode must be 0 (recent) or 1 (slow), got {other}"
+                    )))
+                }
+            };
+            let id = u64::from_le_bytes(p[1..9].try_into().expect("8 bytes"));
+            Ok((slow, (id != 0).then_some(id)))
+        }
+        p => Err(ServeError::BadRequest(format!(
+            "trace request payload must be empty or 9 bytes, got {}",
+            p.len()
+        ))),
     }
 }
 
@@ -901,6 +1062,75 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 10, "error-code labels must be unique");
+    }
+
+    #[test]
+    fn trace_opcode_has_a_reply_and_label() {
+        assert_eq!(Opcode::from_u8(0x07), Some(Opcode::Trace));
+        assert_eq!(Opcode::from_u8(0x87), Some(Opcode::TraceReply));
+        assert_eq!(Opcode::Trace.reply(), Opcode::TraceReply);
+        assert_eq!(Opcode::Trace.label(), "trace");
+        assert_eq!(Opcode::TraceReply.label(), "trace");
+    }
+
+    #[test]
+    fn trace_context_strips_cleanly_and_rejects_malformed_prefixes() {
+        // Untraced requests (status 0) pass through untouched — the
+        // pre-PR-9 wire shape.
+        let (ctx, rest) = TraceContext::strip(0, b"payload").unwrap();
+        assert!(ctx.is_none());
+        assert_eq!(rest, b"payload");
+
+        // A traced request strips its 9-byte prefix.
+        let ctx = TraceContext {
+            id: 0xdead_beef_cafe_f00d,
+            sampled: true,
+        };
+        let frame = traced_request(Opcode::Encode, 5, ctx, b"body");
+        assert_eq!(frame.status, REQ_STATUS_TRACED);
+        let (got, rest) = TraceContext::strip(frame.status, &frame.payload).unwrap();
+        assert_eq!(got, Some(ctx));
+        assert_eq!(rest, b"body");
+        // ...and survives the byte stream like any other frame.
+        let back = Frame::read_from(&mut frame.to_bytes().as_slice()).unwrap();
+        assert_eq!(back, frame);
+
+        // Propagate-only context: flags byte zero.
+        let quiet = TraceContext {
+            id: 7,
+            sampled: false,
+        };
+        let (got, _) = TraceContext::strip(REQ_STATUS_TRACED, &quiet.to_prefix()).unwrap();
+        assert_eq!(got, Some(quiet));
+
+        // Strict validation for everything else: unknown status bits,
+        // truncated prefix, the reserved zero id, unknown flags.
+        assert!(TraceContext::strip(0x0002, b"").is_err());
+        assert!(TraceContext::strip(REQ_STATUS_TRACED, &[1u8; 8]).is_err());
+        let mut zero_id = ctx.to_prefix();
+        zero_id[..8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(TraceContext::strip(REQ_STATUS_TRACED, &zero_id).is_err());
+        let mut bad_flags = ctx.to_prefix();
+        bad_flags[8] = 0x82;
+        assert!(TraceContext::strip(REQ_STATUS_TRACED, &bad_flags).is_err());
+    }
+
+    #[test]
+    fn trace_request_payloads_roundtrip_and_reject_malformed() {
+        assert_eq!(parse_trace_request(&[]).unwrap(), (false, None));
+        for (slow, id) in [
+            (false, None),
+            (true, None),
+            (false, Some(42)),
+            (true, Some(7)),
+        ] {
+            let p = trace_request_payload(slow, id);
+            assert_eq!(p.len(), 9);
+            assert_eq!(parse_trace_request(&p).unwrap(), (slow, id));
+        }
+        assert!(parse_trace_request(&[2u8; 9]).is_err(), "unknown mode");
+        assert!(parse_trace_request(&[0u8; 5]).is_err(), "bad length");
+        assert!(parse_trace_request(&[0u8; 10]).is_err(), "bad length");
     }
 
     #[test]

@@ -15,14 +15,16 @@ use crate::error::{Result, ServeError};
 use crate::log::{LogLevel, Logger};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
-    image_to_payload, EncodeRequest, ErrorCode, Frame, FrameError, Opcode, ENC_FLAG_INLINE_MODEL,
-    ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID, HEADER_LEN, PROTOCOL_VERSION,
+    image_to_payload, parse_trace_request, EncodeRequest, ErrorCode, Frame, FrameError, Opcode,
+    TraceContext, ENC_FLAG_INLINE_MODEL, ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID,
+    HEADER_LEN, PROTOCOL_VERSION,
 };
 use crate::store::ModelStore;
 use qn_backend::BackendKind;
 use qn_codec::pipeline::codec_from_inline;
 use qn_codec::{info, Codec, CodecOptions, Container};
 use qn_metrics::Gauge;
+use qn_trace::{fmt_ns, SpanId, TraceBuilder, Tracer};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -40,6 +42,15 @@ fn frame_wire_bytes(payload_len: usize) -> u64 {
 fn elapsed_ns(t: Instant) -> u64 {
     u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
+
+/// Completed traces kept in the recent ring.
+const TRACE_RECENT_CAP: usize = 64;
+/// Slow traces kept in the always-keep buffer.
+const TRACE_SLOW_CAP: usize = 32;
+/// High bits marking server-generated (slow-capture) trace ids, so
+/// they never collide with sane client-chosen ids and are recognisable
+/// in logs.
+const SELF_TRACE_ID_BASE: u64 = 0x5e1f_0000_0000_0000;
 
 /// Tunables for [`spawn`].
 #[derive(Debug, Clone)]
@@ -77,6 +88,17 @@ pub struct ServerConfig {
     /// [`LogLevel::Off`] so embedded servers (tests, benches) stay
     /// silent; the `qnc serve` CLI defaults to `info`.
     pub log_level: LogLevel,
+    /// Record request span traces (the `TRACE` opcode, client `--trace`
+    /// round-trips). On by default; untraced requests pay one branch
+    /// per span site, and a request is only *recorded* when its trace
+    /// context asks for sampling (or slow capture is armed below).
+    /// `false` makes `TRACE` answer a typed `BadRequest`.
+    pub tracing: bool,
+    /// Slow-request threshold (`--slow-ms`; zero = off, the default).
+    /// When set, every mesh-bound request is self-traced server-side;
+    /// traces at or over the threshold land in the always-keep slow
+    /// buffer and emit a WARN log line with the stage breakdown.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +113,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             metrics: true,
             log_level: LogLevel::Off,
+            tracing: true,
+            slow_threshold: Duration::ZERO,
         }
     }
 }
@@ -117,6 +141,13 @@ struct Shared {
     /// `inflight` atomic above stays the source of truth for flush
     /// decisions; the registry's gauge only mirrors it for exposition.
     metrics: Option<Arc<ServeMetrics>>,
+    /// Trace sink, present unless [`ServerConfig::tracing`] is off.
+    /// Holding `Some` alone records nothing: a request's spans are
+    /// built only when its context asks for sampling or slow capture
+    /// is armed.
+    tracer: Option<Arc<Tracer>>,
+    /// Ids for server-originated (slow-capture) traces.
+    self_trace_seq: AtomicU64,
     log: Logger,
     started: Instant,
 }
@@ -146,6 +177,13 @@ impl ServerHandle {
     /// lets embedding tests assert on counters directly.
     pub fn metrics(&self) -> Option<&Arc<ServeMetrics>> {
         self.shared.metrics.as_ref()
+    }
+
+    /// The server's trace sink, unless spawned with
+    /// [`ServerConfig::tracing`] off. Lets embedding tests assert on
+    /// recorded span trees directly.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.shared.tracer.as_ref()
     }
 
     /// Stop accepting connections and join the accept thread.
@@ -187,6 +225,13 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     if let Some(m) = &metrics {
         store = store.with_metrics(m.store_metrics());
     }
+    let tracer = config.tracing.then(|| {
+        let t = Tracer::new(TRACE_RECENT_CAP, TRACE_SLOW_CAP);
+        if config.slow_threshold > Duration::ZERO {
+            t.set_slow_threshold(Some(config.slow_threshold));
+        }
+        Arc::new(t)
+    });
     let shared = Arc::new(Shared {
         store,
         batcher: TileBatcher::with_metrics(
@@ -202,6 +247,8 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         inflight: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
         metrics,
+        tracer,
+        self_trace_seq: AtomicU64::new(1),
     });
     let accept = {
         let shared = Arc::clone(&shared);
@@ -347,11 +394,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         deadline.set(None);
         let _ = stream.set_read_timeout(None);
         let mut counted = None;
+        let mut header_at = None;
         let mut reader = DeadlineReader {
             stream: &stream,
             deadline: &deadline,
         };
         let frame = match Frame::read_from_tracked(&mut reader, |opcode| {
+            header_at = Some(Instant::now());
             if timeout > Duration::ZERO {
                 deadline.set(Some(std::time::Instant::now() + timeout));
             }
@@ -408,7 +457,50 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             m.record_frame_in(frame_wire_bytes(frame.payload.len()));
         }
         let request_id = frame.request_id;
-        let reply = match dispatch(shared, &frame, counted) {
+        // Split off the trace-context prefix (if any) before the
+        // payload reaches any handler; a malformed prefix is a
+        // request-level error (typed reply, connection kept).
+        let stripped = TraceContext::strip(frame.status, &frame.payload);
+        let (trace_ctx, body) = match &stripped {
+            Ok((ctx, body)) => (*ctx, *body),
+            Err(_) => (None, &frame.payload[..]),
+        };
+        // Span recording is armed when the client asked for sampling,
+        // or for mesh-bound requests whenever slow capture is on (a
+        // slow request can only land in the slow buffer if its spans
+        // were built). Untraced requests skip every span site on a
+        // `None` check.
+        let mesh_bound = matches!(op, Some(Opcode::Encode | Opcode::Decode));
+        let mut tb = match &shared.tracer {
+            Some(_)
+                if trace_ctx.is_some_and(|c| c.sampled)
+                    || (mesh_bound && shared.config.slow_threshold > Duration::ZERO) =>
+            {
+                let (id, origin) = match trace_ctx {
+                    Some(c) => (c.id, "client"),
+                    None => (
+                        SELF_TRACE_ID_BASE | shared.self_trace_seq.fetch_add(1, Ordering::Relaxed),
+                        "slow",
+                    ),
+                };
+                let anchor = header_at.unwrap_or(started);
+                let mut b =
+                    TraceBuilder::with_anchor(id, op.map_or("unknown", Opcode::label), anchor);
+                b.attr(SpanId::ROOT, "origin", origin);
+                let read = b.record(SpanId::ROOT, "frame_read", 0, b.elapsed_ns());
+                b.attr(read, "bytes", frame_wire_bytes(frame.payload.len()));
+                Some(b)
+            }
+            _ => None,
+        };
+        let outcome = match stripped {
+            Ok(_) => dispatch(shared, op, frame.opcode, body, counted, &mut tb),
+            Err(e) => {
+                drop(counted);
+                Err(e)
+            }
+        };
+        let reply = match outcome {
             Ok((op, payload)) => Frame::reply(op, request_id, payload),
             Err(e) => {
                 if let Some(m) = &shared.metrics {
@@ -421,6 +513,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 Frame::error(request_id, e.code(), &e.to_string())
             }
         };
+        let write_span = tb.as_mut().map(|b| b.begin(SpanId::ROOT, "reply_write"));
         let mut reply_payload_len = reply.payload.len();
         match reply.write_to(&mut stream) {
             Ok(()) => {}
@@ -436,6 +529,39 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 }
             }
             Err(_) => return,
+        }
+        if let (Some(b), Some(s)) = (tb.as_mut(), write_span) {
+            b.end(s);
+            b.attr(s, "bytes", frame_wire_bytes(reply_payload_len));
+        }
+        // Finish and record the trace *before* reading the next frame:
+        // a client that sends TRACE right after receiving this reply on
+        // the same connection is guaranteed to find its trace.
+        if let Some(b) = tb.take() {
+            let trace = b.finish();
+            let slow = shared.config.slow_threshold;
+            if slow > Duration::ZERO
+                && trace.duration_ns() >= u64::try_from(slow.as_nanos()).unwrap_or(u64::MAX)
+            {
+                use std::fmt::Write as _;
+                let mut stages = String::new();
+                for i in trace.children(0) {
+                    let s = &trace.spans[i];
+                    let _ = write!(stages, " {}={}", s.name, fmt_ns(s.duration_ns()));
+                }
+                shared.log.warn(
+                    "slow",
+                    format_args!(
+                        "peer={peer} id={} op={} total={}{stages}",
+                        trace.id_hex(),
+                        trace.name(),
+                        fmt_ns(trace.duration_ns()),
+                    ),
+                );
+            }
+            if let Some(tracer) = &shared.tracer {
+                tracer.record(trace);
+            }
         }
         let latency_ns = elapsed_ns(started);
         if let Some(m) = &shared.metrics {
@@ -455,25 +581,30 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 /// Route one well-framed request; every failure comes back typed.
 /// `inflight` is the request's in-flight count guard (held only by
 /// mesh-bound opcodes) — the encode/decode handlers release it at
-/// submission time, everything else drops it on entry.
+/// submission time, everything else drops it on entry. `payload` is
+/// the request body with any trace-context prefix already stripped;
+/// `tb` is the request's span builder (`None` unless sampled).
 fn dispatch(
     shared: &Shared,
-    frame: &Frame,
+    op: Option<Opcode>,
+    opcode_byte: u8,
+    payload: &[u8],
     inflight: Option<InflightGuard<'_>>,
+    tb: &mut Option<TraceBuilder>,
 ) -> Result<(Opcode, Vec<u8>)> {
-    match Opcode::from_u8(frame.opcode) {
-        Some(Opcode::Encode) => handle_encode(shared, &frame.payload, inflight),
-        Some(Opcode::Decode) => handle_decode(shared, &frame.payload, inflight),
+    match op {
+        Some(Opcode::Encode) => handle_encode(shared, payload, inflight, tb),
+        Some(Opcode::Decode) => handle_decode(shared, payload, inflight, tb),
         Some(Opcode::LoadModel) => {
-            let id = shared.store.insert_bytes(&frame.payload)?;
+            let id = shared.store.insert_bytes(payload)?;
             Ok((Opcode::LoadModel, id.to_le_bytes().to_vec()))
         }
-        Some(Opcode::Info) => handle_info(shared, &frame.payload),
+        Some(Opcode::Info) => handle_info(shared, payload),
         Some(Opcode::ListModels) => {
-            if !frame.payload.is_empty() {
+            if !payload.is_empty() {
                 return Err(ServeError::BadRequest(format!(
                     "LIST_MODELS takes no payload, got {} bytes",
-                    frame.payload.len()
+                    payload.len()
                 )));
             }
             let entries = shared.store.list()?;
@@ -483,10 +614,10 @@ fn dispatch(
             ))
         }
         Some(Opcode::Stats) => {
-            if !frame.payload.is_empty() {
+            if !payload.is_empty() {
                 return Err(ServeError::BadRequest(format!(
                     "STATS takes no payload, got {} bytes",
-                    frame.payload.len()
+                    payload.len()
                 )));
             }
             let m = shared.metrics.as_ref().ok_or_else(|| {
@@ -496,22 +627,44 @@ fn dispatch(
             })?;
             Ok((Opcode::Stats, m.stats_json().into_bytes()))
         }
+        Some(Opcode::Trace) => handle_trace(shared, payload),
         _ => Err(ServeError::BadRequest(format!(
-            "opcode {:#04x} names no request this build understands",
-            frame.opcode
+            "opcode {opcode_byte:#04x} names no request this build understands"
         ))),
     }
+}
+
+/// The `TRACE` RPC: recent or slow captured traces as JSON, optionally
+/// filtered to one id.
+fn handle_trace(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
+    let tracer = shared.tracer.as_ref().ok_or_else(|| {
+        ServeError::BadRequest(
+            "tracing is disabled on this server (started with --no-tracing)".into(),
+        )
+    })?;
+    let (slow, id) = parse_trace_request(payload)?;
+    let mut traces = if slow { tracer.slow() } else { tracer.recent() };
+    if let Some(id) = id {
+        traces.retain(|t| t.id == id);
+    }
+    Ok((Opcode::Trace, qn_trace::traces_json(&traces).into_bytes()))
 }
 
 fn handle_encode(
     shared: &Shared,
     payload: &[u8],
     inflight: Option<InflightGuard<'_>>,
+    tb: &mut Option<TraceBuilder>,
 ) -> Result<(Opcode, Vec<u8>)> {
+    let parse_span = tb.as_mut().map(|b| b.begin(SpanId::ROOT, "parse"));
     let req = EncodeRequest::from_payload(payload)?;
+    if let (Some(b), Some(s)) = (tb.as_mut(), parse_span) {
+        b.end(s);
+    }
     let codec: Arc<Codec> = if req.flags & ENC_FLAG_USE_MODEL_ID != 0 {
         shared.store.get(req.model_id)?
     } else {
+        let spectral_span = tb.as_mut().map(|b| b.begin(SpanId::ROOT, "spectral"));
         let t = Instant::now();
         let codec = Arc::new(Codec::spectral_for_image(
             &req.image,
@@ -520,6 +673,9 @@ fn handle_encode(
         )?);
         if let Some(m) = &shared.metrics {
             m.record_spectral_ns(elapsed_ns(t));
+        }
+        if let (Some(b), Some(s)) = (tb.as_mut(), spectral_span) {
+            b.end(s);
         }
         codec
     };
@@ -534,7 +690,7 @@ fn handle_encode(
     let eager = submitting_alone(shared, inflight);
     let (bytes, _, timings) = shared
         .batcher
-        .encode_hinted_timed(&codec, &req.image, &opts, eager)?;
+        .encode_hinted_traced(&codec, &req.image, &opts, eager, tb)?;
     if let Some(m) = &shared.metrics {
         m.record_encode_timings(&timings);
         m.record_coded_bytes(req.entropy, bytes.len() as u64);
@@ -601,11 +757,16 @@ fn handle_decode(
     shared: &Shared,
     payload: &[u8],
     inflight: Option<InflightGuard<'_>>,
+    tb: &mut Option<TraceBuilder>,
 ) -> Result<(Opcode, Vec<u8>)> {
     check_container_dims(payload)?;
+    let parse_span = tb.as_mut().map(|b| b.begin(SpanId::ROOT, "parse"));
     let t = Instant::now();
     let container = Container::from_bytes(payload)?;
     let parse_ns = elapsed_ns(t);
+    if let (Some(b), Some(s)) = (tb.as_mut(), parse_span) {
+        b.end(s);
+    }
     let codec: Arc<Codec> = if container.header.inline_model() {
         Arc::new(codec_from_inline(&container)?)
     } else {
@@ -615,7 +776,7 @@ fn handle_decode(
     let eager = submitting_alone(shared, inflight);
     let (img, mut timings) = shared
         .batcher
-        .decode_hinted_timed(&codec, &container, eager)?;
+        .decode_hinted_traced(&codec, &container, eager, tb)?;
     if let Some(m) = &shared.metrics {
         timings.parse_ns = parse_ns;
         m.record_decode_timings(&timings);
@@ -654,6 +815,7 @@ fn server_info_json(shared: &Shared) -> String {
     format!(
         "{{\"format\":\"qn-serve\",\"protocol_version\":{PROTOCOL_VERSION},\
          \"server_version\":\"{}\",\"uptime_secs\":{},\"metrics\":{},\
+         \"tracing\":{},\"slow_ms\":{},\
          \"backend\":\"{}\",\"batch_tiles\":{},\"batch_deadline_ms\":{},\
          \"coalescing\":{},\"adaptive_flush\":true,\"read_timeout_ms\":{},\
          \"models_cached\":{},\"store_dir\":{store_dir},\
@@ -661,6 +823,8 @@ fn server_info_json(shared: &Shared) -> String {
         env!("CARGO_PKG_VERSION"),
         shared.started.elapsed().as_secs(),
         shared.metrics.is_some(),
+        shared.tracer.is_some(),
+        shared.config.slow_threshold.as_millis(),
         shared.config.backend,
         shared.config.batch_tiles,
         shared.config.batch_deadline.as_millis(),

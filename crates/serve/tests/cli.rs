@@ -594,6 +594,69 @@ fn remote_models_lists_the_zoo() {
     assert!(listing.contains(&model_bytes.to_string()), "{listing}");
 }
 
+/// `--trace` end to end: a remote compress prints the server's span
+/// tree for that exact request, `qnc remote trace` lists it again
+/// afterwards, and the offline `compress --trace` renders the same
+/// stage names locally.
+#[test]
+fn trace_flag_prints_span_trees_locally_and_remotely() {
+    let dir = work_dir("trace_cli");
+    let input = dir.join("img.pgm");
+    write_dataset_image(&input, 32, 24, 9);
+
+    let server = ServeProcess::start(&["--store", dir.join("zoo").to_str().unwrap()]);
+    let out = run_ok(
+        qnc()
+            .arg("remote")
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(dir.join("out.qnc"))
+            .arg("--trace")
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    let tree = String::from_utf8_lossy(&out.stdout).to_string();
+    for stage in [
+        "encode",
+        "batch_wait",
+        "mesh_pass",
+        "entropy",
+        "reply_write",
+    ] {
+        assert!(tree.contains(stage), "stage {stage} missing from: {tree}");
+    }
+    assert!(tree.contains("cause="), "flush-cause attr: {tree}");
+
+    // The ring keeps it: `remote trace` lists at least that one trace.
+    let out = run_ok(
+        qnc()
+            .arg("remote")
+            .arg("trace")
+            .arg("--addr")
+            .arg(&server.addr),
+    );
+    let listing = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(listing.contains("encode"), "{listing}");
+    assert!(listing.contains("trace(s)"), "{listing}");
+
+    // Offline `compress --trace` renders the same stage vocabulary
+    // without a server.
+    let out = run_ok(
+        qnc()
+            .arg("compress")
+            .arg(&input)
+            .arg("-o")
+            .arg(dir.join("offline.qnc"))
+            .arg("--trace")
+            .arg("--no-verify"),
+    );
+    let tree = String::from_utf8_lossy(&out.stdout).to_string();
+    for stage in ["compress", "prepare", "mesh_pass", "quantize", "entropy"] {
+        assert!(tree.contains(stage), "stage {stage} missing from: {tree}");
+    }
+}
+
 /// `qnc eval` — the smoke sweep passes its pinned quality gates and
 /// two runs write byte-identical JSON (the CI byte-stability check in
 /// miniature).

@@ -1,0 +1,305 @@
+//! Tracing suite: wire-propagated trace context, the TRACE RPC, slow
+//! capture, and the two invariants the subsystem stands on —
+//! **tracing never perturbs encoded bytes**, and telemetry polls
+//! (STATS/TRACE) never interfere with in-flight encodes.
+
+use qn_codec::{Codec, CodecOptions};
+use qn_image::datasets;
+use qn_serve::client::spectral_encode_request;
+use qn_serve::{spawn, Client, ServerConfig, ServerHandle, TraceContext};
+use qn_trace::parse_traces;
+use std::time::Duration;
+
+fn boot(config: ServerConfig) -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_deadline: Duration::from_millis(2),
+        ..config
+    })
+    .expect("spawn server")
+}
+
+#[test]
+fn traced_encode_round_trip_returns_a_well_formed_span_tree() {
+    let server = boot(ServerConfig::default());
+    let img = datasets::grayscale_blobs(1, 32, 24, 42).remove(0);
+    let opts = CodecOptions::default();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let ctx = TraceContext {
+        id: 0xABCD_EF01,
+        sampled: true,
+    };
+    let bytes = client
+        .encode_traced(&spectral_encode_request(&img, &opts, 8), ctx)
+        .unwrap();
+    assert!(!bytes.is_empty());
+
+    // The trace is recorded before the reply reaches the client, so a
+    // same-connection fetch right after always finds it.
+    let json = client.trace(false, Some(ctx.id)).unwrap();
+    let traces = parse_traces(&json).unwrap();
+    assert_eq!(traces.len(), 1, "{json}");
+    let t = &traces[0];
+    assert_eq!(t.id, ctx.id);
+    assert_eq!(t.name(), "encode");
+    for name in [
+        "frame_read",
+        "parse",
+        "spectral",
+        "prepare",
+        "batch_wait",
+        "mesh_pass",
+        "quantize",
+        "entropy",
+        "reply_write",
+    ] {
+        assert!(t.span(name).is_some(), "span {name} missing: {json}");
+    }
+
+    // Attribution: the batcher tells the request why its batch flushed
+    // and how many tiles rode the shared pass; 32x24 / 4x4 = 48 tiles.
+    assert_eq!(t.spans[0].attr("tiles"), Some("48"));
+    assert_eq!(t.spans[0].attr("origin"), Some("client"));
+    let bw = t.span("batch_wait").unwrap();
+    assert!(
+        matches!(
+            bw.attr("cause"),
+            Some("full" | "deadline" | "eager" | "drain")
+        ),
+        "flush cause attr: {:?}",
+        bw.attr("cause")
+    );
+    let batch_tiles: usize = bw.attr("batch_tiles").unwrap().parse().unwrap();
+    assert!(batch_tiles >= 48, "merged batch holds at least our tiles");
+    assert!(t.span("mesh_pass").unwrap().attr("backend").is_some());
+    assert_eq!(t.span("entropy").unwrap().attr("coder"), Some("rice"));
+
+    // Structure: mesh_pass nests under batch_wait; every span sits
+    // inside the root, and the top-level stages sum to within the root
+    // duration (they are sequential).
+    let bw_idx = t.spans.iter().position(|s| s.name == "batch_wait").unwrap();
+    let mesh = t.span("mesh_pass").unwrap();
+    assert_eq!(mesh.parent, Some(bw_idx));
+    for s in &t.spans {
+        assert!(s.start_ns <= s.end_ns, "span {} runs backwards", s.name);
+        assert!(
+            s.end_ns <= t.duration_ns(),
+            "span {} ends after the root",
+            s.name
+        );
+    }
+    let stage_sum: u64 = t
+        .children(0)
+        .into_iter()
+        .map(|i| t.spans[i].duration_ns())
+        .sum();
+    assert!(
+        stage_sum <= t.duration_ns(),
+        "top-level stages ({stage_sum} ns) exceed the root ({} ns)",
+        t.duration_ns()
+    );
+}
+
+#[test]
+fn tracing_never_perturbs_encoded_bytes() {
+    let img = datasets::grayscale_blobs(1, 32, 32, 7).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+    let req = spectral_encode_request(&img, &opts, 8);
+    let ctx = TraceContext {
+        id: 0x1dea,
+        sampled: true,
+    };
+
+    let server = boot(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let untraced = client.encode(&req).unwrap();
+    let traced = client.encode_traced(&req, ctx).unwrap();
+    assert_eq!(untraced, offline, "untraced remote matches offline");
+    assert_eq!(traced, offline, "tracing must not change a single byte");
+
+    // Same request against a tracing-disabled server: the context is
+    // stripped and ignored, bytes still identical.
+    let quiet = boot(ServerConfig {
+        tracing: false,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(quiet.addr()).unwrap();
+    assert_eq!(client.encode_traced(&req, ctx).unwrap(), offline);
+
+    // Traced decodes return the same pixels as untraced ones.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let plain = client.decode(&offline).unwrap();
+    let traced = client.decode_traced(&offline, ctx).unwrap();
+    assert_eq!(plain, traced);
+}
+
+#[test]
+fn slow_capture_self_traces_untraced_requests() {
+    // A 1 ns threshold makes every request slow; clients send no trace
+    // context at all, so every captured trace is server-originated.
+    let server = boot(ServerConfig {
+        slow_threshold: Duration::from_nanos(1),
+        ..ServerConfig::default()
+    });
+    let img = datasets::grayscale_blobs(1, 24, 24, 3).remove(0);
+    let opts = CodecOptions::default();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let _ = client
+        .encode(&spectral_encode_request(&img, &opts, 8))
+        .unwrap();
+
+    let slow = parse_traces(&client.trace(true, None).unwrap()).unwrap();
+    assert!(!slow.is_empty(), "the encode lands in the slow buffer");
+    let t = slow.last().unwrap();
+    assert_eq!(t.name(), "encode");
+    assert_eq!(t.spans[0].attr("origin"), Some("slow"));
+    assert!(t.span("batch_wait").is_some());
+
+    // The same trace sits in the recent ring, and the id filter finds
+    // exactly it in both modes.
+    let recent = parse_traces(&client.trace(false, None).unwrap()).unwrap();
+    assert!(recent.iter().any(|r| r.id == t.id));
+    let by_id = parse_traces(&client.trace(true, Some(t.id)).unwrap()).unwrap();
+    assert_eq!(by_id.len(), 1);
+    assert_eq!(by_id[0].id, t.id);
+    let none = parse_traces(&client.trace(false, Some(0xdead_beef)).unwrap()).unwrap();
+    assert!(none.is_empty(), "unknown ids filter to an empty set");
+}
+
+#[test]
+fn disabled_tracing_answers_typed_errors_and_info_advertises_it() {
+    let quiet = boot(ServerConfig {
+        tracing: false,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(quiet.addr()).unwrap();
+    let err = client.trace(false, None).unwrap_err();
+    assert!(
+        err.to_string().contains("tracing is disabled"),
+        "got: {err}"
+    );
+    assert!(client.info(None).unwrap().contains("\"tracing\":false"));
+
+    let live = boot(ServerConfig::default());
+    let mut client = Client::connect(live.addr()).unwrap();
+    let info = client.info(None).unwrap();
+    assert!(info.contains("\"tracing\":true"), "{info}");
+    assert!(info.contains("\"slow_ms\":0"), "{info}");
+    // An empty recent ring is a well-formed empty reply, not an error.
+    assert!(parse_traces(&client.trace(false, None).unwrap())
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn concurrent_stats_and_trace_polls_never_skew_inflight_or_deadlock() {
+    let server = boot(ServerConfig {
+        slow_threshold: Duration::from_nanos(1),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let img = datasets::grayscale_blobs(1, 24, 24, 11).remove(0);
+    let opts = CodecOptions::default();
+    let codec = Codec::spectral_for_image(&img, opts.tile_size, 8).unwrap();
+    let offline = codec.encode_image(&img, &opts).unwrap();
+
+    let encoders: Vec<_> = (0..6u64)
+        .map(|worker| {
+            let img = img.clone();
+            let opts = opts.clone();
+            let offline = offline.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..3u64 {
+                    let ctx = TraceContext {
+                        id: 0x1000 + worker * 10 + round,
+                        sampled: true,
+                    };
+                    let bytes = client
+                        .encode_traced(&spectral_encode_request(&img, &opts, 8), ctx)
+                        .unwrap_or_else(|e| panic!("worker {worker} round {round}: {e}"));
+                    assert_eq!(bytes, offline, "worker {worker} round {round}");
+                }
+            })
+        })
+        .collect();
+    // Pollers hammer STATS and TRACE while the encodes are in flight —
+    // neither touches the batcher, so they must never stall behind (or
+    // stall) a batch, and the in-flight gauge must stay consistent.
+    let pollers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..20 {
+                    let stats = client.stats().expect("stats poll");
+                    assert!(stats.contains("\"serve_inflight_requests\":"));
+                    let json = client.trace(false, None).expect("trace poll");
+                    parse_traces(&json).expect("trace JSON parses");
+                }
+            })
+        })
+        .collect();
+    for h in encoders {
+        h.join().expect("encoder thread");
+    }
+    for h in pollers {
+        h.join().expect("poller thread");
+    }
+
+    // Every request drained: the in-flight gauge is back to zero and
+    // all 18 encodes were captured (recent ring holds 64).
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.contains("\"serve_inflight_requests\":0"),
+        "in-flight gauge skewed: {stats}"
+    );
+    let recent = parse_traces(&client.trace(false, None).unwrap()).unwrap();
+    assert!(recent.len() >= 18, "all traced encodes captured");
+}
+
+/// Golden test: the Prometheus exposition of a deterministic metrics
+/// state, byte for byte. Regenerate with `QN_BLESS=1 cargo test -p
+/// qn-serve --test serve_tracing prometheus` after intentional
+/// catalogue changes.
+#[test]
+fn prometheus_exposition_matches_golden_bytes() {
+    use qn_codec::{EncodeTimings, EntropyCoder};
+    use qn_serve::{Opcode, ServeMetrics};
+
+    let m = ServeMetrics::new();
+    for op in qn_serve::metrics::REQUEST_OPS {
+        m.record_request(Some(op));
+    }
+    m.record_frame_in(100);
+    m.record_frame_out(200);
+    m.connection_opened();
+    m.record_coded_bytes(EntropyCoder::Rice, 1234);
+    m.record_encode_timings(&EncodeTimings {
+        prepare_ns: 1_000,
+        mesh_ns: 2_000,
+        quantize_ns: 3_000,
+        entropy_ns: 4_000,
+    });
+    m.record_latency(Some(Opcode::Encode), 50_000);
+    m.set_gate_table_stats(7, 2, 1);
+    // registry().to_prometheus() skips the live gate-table re-sync the
+    // prometheus() entry point performs, keeping the bytes pinnable.
+    let actual = m.registry().to_prometheus();
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/prometheus_exposition.txt"
+    );
+    if std::env::var_os("QN_BLESS").is_some() {
+        std::fs::write(path, &actual).expect("bless golden");
+    }
+    let expected = std::fs::read_to_string(path).expect("golden file (bless with QN_BLESS=1)");
+    assert_eq!(
+        actual, expected,
+        "Prometheus exposition drifted from the golden bytes; \
+         bless with QN_BLESS=1 if the change is intentional"
+    );
+}

@@ -31,6 +31,9 @@
 //! - [`metrics`](qn_metrics) — zero-dependency telemetry core: atomic
 //!   counters/gauges, log₂ latency histograms with percentile
 //!   estimation, byte-stable JSON and Prometheus-style exposition.
+//! - [`trace`](qn_trace) — zero-dependency span tracing: per-request
+//!   trees of named, timed spans with attributes, recent/slow capture
+//!   buffers, byte-stable JSON and ASCII tree rendering.
 //!
 //! ## Quickstart
 //!
@@ -60,3 +63,4 @@ pub use qn_metrics as metrics;
 pub use qn_photonic as photonic;
 pub use qn_serve as serve;
 pub use qn_sim as sim;
+pub use qn_trace as trace;
