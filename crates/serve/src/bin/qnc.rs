@@ -45,6 +45,8 @@ USAGE:
     qnc serve      [--addr HOST:PORT] [--store DIR] [--backend B]
                    [--batch-tiles N] [--batch-deadline-ms T] [--cache-models N]
                    [--read-timeout-ms T] [--log-level off|warn|info|debug]
+                   [--workers N] [--max-inflight N] [--conn-inflight N]
+                   [--max-conns N] [--shutdown-grace-ms T]
                    [--quiet] [--no-metrics] [--metrics-dump-secs N]
                    [--no-tracing] [--slow-ms MS]
     qnc remote compress   <input.pgm> -o <out.qnc> --addr HOST:PORT
@@ -149,6 +151,11 @@ impl Args {
             "--batch-deadline-ms",
             "--cache-models",
             "--read-timeout-ms",
+            "--workers",
+            "--max-inflight",
+            "--conn-inflight",
+            "--max-conns",
+            "--shutdown-grace-ms",
             "--metrics-dump-secs",
             "--log-level",
             "--slow-ms",
@@ -593,6 +600,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         batch_tiles: args.numeric(&["--batch-tiles"], 4096usize)?,
         batch_deadline: Duration::from_millis(args.numeric(&["--batch-deadline-ms"], 2u64)?),
         read_timeout: Duration::from_millis(args.numeric(&["--read-timeout-ms"], 30_000u64)?),
+        workers: args.numeric(&["--workers"], 0usize)?,
+        max_inflight: args.numeric(&["--max-inflight"], 256usize)?,
+        conn_inflight: args.numeric(&["--conn-inflight"], 8usize)?,
+        max_conns: args.numeric(&["--max-conns"], 0usize)?,
+        shutdown_grace: Duration::from_millis(args.numeric(&["--shutdown-grace-ms"], 5_000u64)?),
         metrics: !args.has("--no-metrics"),
         log_level,
         tracing: !args.has("--no-tracing"),

@@ -20,6 +20,10 @@ pub enum ServeError {
     UnknownModel(u64),
     /// A request payload was structurally malformed.
     BadRequest(String),
+    /// The server is at an admission limit and shed the request
+    /// (typed `BUSY` reply; the connection stays usable and the
+    /// client may retry).
+    Busy(String),
     /// The peer answered with a typed error reply.
     Remote {
         /// Wire error code (0 if the peer sent an unknown code).
@@ -42,6 +46,7 @@ impl fmt::Display for ServeError {
                 write!(f, "no model {id:#018x} in the zoo (LOAD_MODEL it first)")
             }
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Busy(msg) => write!(f, "server busy: {msg}"),
             ServeError::Remote { code, message } => {
                 write!(f, "server error {code}: {message}")
             }
@@ -88,7 +93,19 @@ impl ServeError {
             ServeError::Codec(_) => ErrorCode::Codec,
             ServeError::UnknownModel(_) => ErrorCode::UnknownModel,
             ServeError::BadRequest(_) => ErrorCode::BadRequest,
+            ServeError::Busy(_) => ErrorCode::Busy,
             ServeError::Remote { .. } => ErrorCode::Internal, // client-side only
+        }
+    }
+
+    /// Whether this is a typed `BUSY` shed from the server — the one
+    /// error class where a client should back off and retry rather
+    /// than treat the request as failed.
+    pub fn is_busy(&self) -> bool {
+        match self {
+            ServeError::Busy(_) => true,
+            ServeError::Remote { code, .. } => *code == ErrorCode::Busy as u16,
+            _ => false,
         }
     }
 }
@@ -99,6 +116,20 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn busy_is_recognised_on_both_sides_of_the_wire() {
+        let shed = ServeError::Busy("admission limit".into());
+        assert_eq!(shed.code(), ErrorCode::Busy);
+        assert!(shed.is_busy());
+        assert!(shed.to_string().contains("busy"));
+        let remote = ServeError::Remote {
+            code: ErrorCode::Busy as u16,
+            message: "server busy".into(),
+        };
+        assert!(remote.is_busy());
+        assert!(!ServeError::BadRequest("x".into()).is_busy());
+    }
 
     #[test]
     fn codes_map_by_failure_class() {

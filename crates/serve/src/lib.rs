@@ -19,8 +19,15 @@
 //!   [`PanelBackend`](qn_backend::PanelBackend) passes (flush on
 //!   batch-full or a small deadline), sound because backends are
 //!   bit-identical per vector regardless of batch composition;
-//! - [`server`] — the `std::net` TCP loop (thread per connection, no
-//!   async runtime in this offline environment);
+//! - [`reactor`] — the event-driven connection plumbing: a `poll(2)`
+//!   wrapper (two-symbol FFI, no async runtime in this offline
+//!   environment), a wakeup pipe, the per-connection incremental frame
+//!   state machine and the sequence-ordered reply outbox;
+//! - [`server`] — the connection core: one reactor thread owns every
+//!   socket (10k+ idle connections cost no threads), complete frames
+//!   are admission-checked (global and per-connection in-flight caps
+//!   answer typed `BUSY` instead of queueing unboundedly) and handed
+//!   to a bounded worker pool;
 //! - [`client`] — the blocking client used by `qnc remote` and tests;
 //! - [`metrics`] — the server's telemetry catalogue over
 //!   [`qn_metrics`]: per-opcode request/error counters, latency and
@@ -48,6 +55,7 @@ pub mod error;
 pub mod log;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod store;
 

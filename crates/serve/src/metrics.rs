@@ -15,6 +15,7 @@
 //! | `serve_open_connections` | gauge | — |
 //! | `serve_inflight_requests` | gauge | mirror of the adaptive-flush in-flight count |
 //! | `serve_read_deadline_reaps_total` | counter | — |
+//! | `serve_busy_total` | counter | — (requests shed with a typed `BUSY` reply by the admission limits) |
 //! | `codec_stage_ns` | histogram | `op`+`stage`: encode `spectral`/`prepare`/`mesh`/`quantize`/`entropy`; decode `parse`/`prepare`/`mesh`/`stitch` |
 //! | `codec_coded_bytes_total` / `codec_decoded_bytes_total` | counter | `coder` = `rice`/`rice-pos`/`range` |
 //! | `batch_flush_tiles` | histogram | — (tiles per executed batch) |
@@ -67,6 +68,7 @@ pub struct ServeMetrics {
     open_connections: Arc<Gauge>,
     inflight: Arc<Gauge>,
     reaps: Arc<Counter>,
+    busy: Arc<Counter>,
     enc_stage: [Arc<Histogram>; 5],
     dec_stage: [Arc<Histogram>; 4],
     coded_bytes: [Arc<Counter>; 3],
@@ -119,6 +121,7 @@ impl ServeMetrics {
             open_connections: registry.gauge("serve_open_connections"),
             inflight: registry.gauge("serve_inflight_requests"),
             reaps: registry.counter("serve_read_deadline_reaps_total"),
+            busy: registry.counter("serve_busy_total"),
             enc_stage: ["spectral", "prepare", "mesh", "quantize", "entropy"].map(enc),
             dec_stage: ["parse", "prepare", "mesh", "stitch"].map(dec),
             coded_bytes: per_coder("codec_coded_bytes_total"),
@@ -205,6 +208,12 @@ impl ServeMetrics {
     /// A connection was reaped by the frame read deadline.
     pub fn record_reap(&self) {
         self.reaps.inc();
+    }
+
+    /// A request was shed with a typed `BUSY` reply (global admission
+    /// limit or per-connection in-flight cap).
+    pub fn record_busy(&self) {
+        self.busy.inc();
     }
 
     /// The mirror of the adaptive-flush in-flight count. The atomic in
@@ -408,7 +417,9 @@ mod tests {
         m.connection_closed();
         m.inflight().add(1);
         m.record_reap();
+        m.record_busy();
         let json = m.registry().to_json();
+        assert!(json.contains("\"serve_busy_total\":1"), "{json}");
         assert!(json.contains("\"serve_connections_total\":2"), "{json}");
         assert!(json.contains("\"serve_open_connections\":1"), "{json}");
         assert!(json.contains("\"serve_inflight_requests\":1"), "{json}");

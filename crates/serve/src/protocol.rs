@@ -219,6 +219,11 @@ pub enum ErrorCode {
     ModelMismatch = 19,
     /// Server-side invariant failure.
     Internal = 20,
+    /// The server is at its admission limit (global `--max-inflight`
+    /// or the per-connection in-flight cap) and sheds this request
+    /// instead of queueing it unboundedly. Request-level: the
+    /// connection stays open and the client may retry.
+    Busy = 21,
 }
 
 impl ErrorCode {
@@ -235,6 +240,7 @@ impl ErrorCode {
             18 => ErrorCode::Codec,
             19 => ErrorCode::ModelMismatch,
             20 => ErrorCode::Internal,
+            21 => ErrorCode::Busy,
             _ => return None,
         })
     }
@@ -253,6 +259,7 @@ impl ErrorCode {
             ErrorCode::Codec => "codec",
             ErrorCode::ModelMismatch => "model_mismatch",
             ErrorCode::Internal => "internal",
+            ErrorCode::Busy => "busy",
         }
     }
 }
@@ -421,37 +428,99 @@ impl Frame {
         r: &mut R,
         on_header: impl FnOnce(u8),
     ) -> Result<Frame, FrameError> {
-        let mut header = [0u8; HEADER_LEN];
-        r.read_exact(&mut header).map_err(FrameError::Io)?;
-        if header[..4] != FRAME_MAGIC {
-            return Err(FrameError::BadMagic(
-                header[..4].try_into().expect("4 bytes"),
-            ));
-        }
-        if header[4] > PROTOCOL_VERSION || header[4] == 0 {
-            return Err(FrameError::UnsupportedVersion(header[4]));
-        }
-        let opcode = header[5];
-        let status = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
-        let request_id = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
-        if len as usize > MAX_PAYLOAD {
-            return Err(FrameError::TooLarge(len));
-        }
-        on_header(opcode);
-        let mut payload = vec![0u8; len as usize];
+        let mut raw = [0u8; HEADER_LEN];
+        r.read_exact(&mut raw).map_err(FrameError::Io)?;
+        let header = FrameHeader::parse(&raw)?;
+        on_header(header.opcode);
+        let mut payload = vec![0u8; header.payload_len];
         r.read_exact(&mut payload).map_err(FrameError::Io)?;
         let mut crc_bytes = [0u8; 4];
         r.read_exact(&mut crc_bytes).map_err(FrameError::Io)?;
         let stored = u32::from_le_bytes(crc_bytes);
-        let computed = crc32_of_parts(&[&header, &payload]);
-        if stored != computed {
-            return Err(FrameError::BadCrc { stored, computed });
+        header.finish(payload, stored)
+    }
+}
+
+/// A validated frame header — the fixed 16-byte prefix with its magic,
+/// version and length checks already applied. This is the unit the
+/// server's nonblocking connection state machine accumulates toward:
+/// once a header parses, the frame's full wire size is known
+/// ([`FrameHeader::frame_len`]), the opcode is known (so mesh-bound
+/// requests can be counted in flight before their payload lands), and
+/// the read deadline is armed.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameHeader {
+    /// Wire opcode byte (see [`Opcode`]).
+    pub opcode: u8,
+    /// Request status bits / reply error code.
+    pub status: u16,
+    /// Correlates replies with requests.
+    pub request_id: u32,
+    /// Declared payload length (validated ≤ [`MAX_PAYLOAD`]).
+    pub payload_len: usize,
+    /// The raw header bytes, kept for the trailing-CRC check (the CRC
+    /// covers header + payload).
+    pub raw: [u8; HEADER_LEN],
+}
+
+impl FrameHeader {
+    /// Validate the fixed 16-byte header: magic, version, length bound.
+    ///
+    /// # Errors
+    /// The same stream-level [`FrameError`]s `read_from` raises —
+    /// blocking and nonblocking readers share one validation path.
+    pub fn parse(raw: &[u8; HEADER_LEN]) -> Result<FrameHeader, FrameError> {
+        if raw[..4] != FRAME_MAGIC {
+            return Err(FrameError::BadMagic(raw[..4].try_into().expect("4 bytes")));
+        }
+        if raw[4] > PROTOCOL_VERSION || raw[4] == 0 {
+            return Err(FrameError::UnsupportedVersion(raw[4]));
+        }
+        let len = u32::from_le_bytes(raw[12..16].try_into().expect("4 bytes"));
+        if len as usize > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge(len));
+        }
+        Ok(FrameHeader {
+            opcode: raw[5],
+            status: u16::from_le_bytes(raw[6..8].try_into().expect("2 bytes")),
+            request_id: u32::from_le_bytes(raw[8..12].try_into().expect("4 bytes")),
+            payload_len: len as usize,
+            raw: *raw,
+        })
+    }
+
+    /// Total wire bytes of the frame this header announces
+    /// (header + payload + CRC trailer).
+    pub fn frame_len(&self) -> usize {
+        HEADER_LEN + self.payload_len + 4
+    }
+
+    /// Whether the opcode submits tiles to the mesh batcher (drives
+    /// the adaptive-flush in-flight count).
+    pub fn mesh_bound(&self) -> bool {
+        matches!(
+            Opcode::from_u8(self.opcode),
+            Some(Opcode::Encode | Opcode::Decode)
+        )
+    }
+
+    /// Check the trailing CRC against header + payload and assemble the
+    /// frame.
+    ///
+    /// # Errors
+    /// [`FrameError::BadCrc`] on checksum mismatch.
+    pub fn finish(&self, payload: Vec<u8>, stored_crc: u32) -> Result<Frame, FrameError> {
+        let computed = crc32_of_parts(&[&self.raw, &payload]);
+        if stored_crc != computed {
+            return Err(FrameError::BadCrc {
+                stored: stored_crc,
+                computed,
+            });
         }
         Ok(Frame {
-            opcode,
-            status,
-            request_id,
+            opcode: self.opcode,
+            status: self.status,
+            request_id: self.request_id,
             payload,
         })
     }
@@ -1054,14 +1123,14 @@ mod tests {
         ] {
             assert_eq!(op.label(), op.reply().label());
         }
-        let mut labels: Vec<&str> = (1..=20)
+        let mut labels: Vec<&str> = (1..=21)
             .filter_map(ErrorCode::from_u16)
             .map(ErrorCode::label)
             .collect();
-        assert_eq!(labels.len(), 10);
+        assert_eq!(labels.len(), 11);
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), 10, "error-code labels must be unique");
+        assert_eq!(labels.len(), 11, "error-code labels must be unique");
     }
 
     #[test]

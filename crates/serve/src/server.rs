@@ -1,35 +1,46 @@
-//! The TCP server loop: `std::net` listener, one thread per
-//! connection, all requests funneled into the shared [`TileBatcher`]
-//! and [`ModelStore`].
+//! The connection core: one reactor thread owns every socket through
+//! `poll(2)` (see [`crate::reactor`]), complete frames are
+//! admission-checked and handed to a bounded worker pool, and replies
+//! come back through per-connection sequence-ordered outboxes. Idle
+//! connections cost no threads; a slow-reading peer stalls only its
+//! own connection.
 //!
 //! Error discipline: request-level failures (corrupt containers,
 //! unknown models, malformed payloads) answer a typed error frame and
 //! keep the connection; stream-level failures (bad magic, oversized
 //! frames, CRC mismatches, unknown protocol versions) answer a typed
 //! error where the socket still permits and then close — once framing
-//! is lost there is no safe way to resynchronise. Nothing a peer sends
-//! can panic a connection thread.
+//! is lost there is no safe way to resynchronise. Admission failures
+//! (the global [`ServerConfig::max_inflight`] or per-connection
+//! [`ServerConfig::conn_inflight`] cap) answer a typed `BUSY` error
+//! and keep the connection: backpressure is explicit, never an
+//! unbounded queue into the batcher. Nothing a peer sends can panic a
+//! server thread.
 
 use crate::batcher::TileBatcher;
 use crate::error::{Result, ServeError};
 use crate::log::{LogLevel, Logger};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
-    image_to_payload, parse_trace_request, EncodeRequest, ErrorCode, Frame, FrameError, Opcode,
+    image_to_payload, parse_trace_request, EncodeRequest, ErrorCode, Frame, FrameHeader, Opcode,
     TraceContext, ENC_FLAG_INLINE_MODEL, ENC_FLAG_PER_TILE_SCALE, ENC_FLAG_USE_MODEL_ID,
     HEADER_LEN, PROTOCOL_VERSION,
+};
+use crate::reactor::{
+    earliest, read_available, write_queue, ConnShared, FrameAccumulator, FrameStep, Interest,
+    Poller, Reply, WakePipe, Waker, WireReply, WriteProgress,
 };
 use crate::store::ModelStore;
 use qn_backend::BackendKind;
 use qn_codec::pipeline::codec_from_inline;
 use qn_codec::{info, Codec, CodecOptions, Container};
-use qn_metrics::Gauge;
 use qn_trace::{fmt_ns, SpanId, TraceBuilder, Tracer};
-use std::io::Write as _;
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,6 +52,11 @@ fn frame_wire_bytes(payload_len: usize) -> u64 {
 /// Saturating nanoseconds since `t`.
 fn elapsed_ns(t: Instant) -> u64 {
     u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Saturating nanoseconds between two instants.
+fn span_ns(from: Instant, to: Instant) -> u64 {
+    u64::try_from(to.saturating_duration_since(from).as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Completed traces kept in the recent ring.
@@ -74,11 +90,33 @@ pub struct ServerConfig {
     pub batch_deadline: Duration,
     /// How long a connection may take to deliver the rest of a frame
     /// once its header has arrived (`Duration::ZERO` disables the
-    /// timeout). Idle connections are never timed out — the clock only
-    /// runs between header and payload, where a stalled peer would
-    /// otherwise pin the adaptive-flush in-flight gauge and degrade
-    /// every concurrent request to deadline-bounded batching.
+    /// timeout). Idle connections are never timed out — the deadline
+    /// only runs between header and frame completion, where a stalled
+    /// peer would otherwise pin the adaptive-flush in-flight gauge and
+    /// degrade every concurrent request to deadline-bounded batching.
     pub read_timeout: Duration,
+    /// Request-handling worker threads. Zero (the default) sizes the
+    /// pool to `max(available_parallelism, 8)` — the floor matters on
+    /// small hosts because queued mesh-bound jobs hold their
+    /// adaptive-flush count, and active submitters would otherwise
+    /// wait out the batch deadline for work that no worker is free to
+    /// submit.
+    pub workers: usize,
+    /// Global admission cap: requests admitted (parsed and handed to
+    /// the worker pool, reply not yet fully written) beyond this answer
+    /// a typed `BUSY` error instead of queueing. Zero = unlimited.
+    pub max_inflight: usize,
+    /// Per-connection admission cap: one pipelining peer beyond this
+    /// many in-flight requests gets typed `BUSY` replies instead of
+    /// monopolising the worker pool. Zero = unlimited.
+    pub conn_inflight: usize,
+    /// Open-connection cap: accepts beyond this answer one typed
+    /// `BUSY` error frame and close. Zero (the default) = unlimited
+    /// (the process fd limit is then the real bound).
+    pub max_conns: usize,
+    /// How long shutdown waits for admitted requests to finish writing
+    /// their replies before force-closing the remaining connections.
+    pub shutdown_grace: Duration,
     /// Collect and serve telemetry (the `STATS` opcode, request/latency
     /// counters, codec-stage histograms). On by default; `false` makes
     /// `STATS` answer a typed `BadRequest` and skips every metric
@@ -111,6 +149,11 @@ impl Default for ServerConfig {
             batch_tiles: 4096,
             batch_deadline: Duration::from_millis(2),
             read_timeout: Duration::from_secs(30),
+            workers: 0,
+            max_inflight: 256,
+            conn_inflight: 8,
+            max_conns: 0,
+            shutdown_grace: Duration::from_secs(5),
             metrics: true,
             log_level: LogLevel::Off,
             tracing: true,
@@ -136,7 +179,17 @@ struct Shared {
     /// ([`ServerConfig::read_timeout`]) reaps the connection and the
     /// guard releases the count.
     inflight: AtomicUsize,
+    /// Requests admitted past the backpressure gate: incremented by
+    /// the reactor when a complete frame clears both caps, released
+    /// (via [`AdmissionSlot`] drop) when the reply is fully written or
+    /// its connection dies. Only the reactor increments, so a
+    /// load-then-add admission check cannot overshoot
+    /// [`ServerConfig::max_inflight`].
+    admitted: AtomicUsize,
     shutdown: AtomicBool,
+    /// Wakes the reactor's poll wait: workers after parking a reply,
+    /// [`ServerHandle::stop`] after raising `shutdown`.
+    waker: Arc<Waker>,
     /// Telemetry, present unless [`ServerConfig::metrics`] is off. The
     /// `inflight` atomic above stays the source of truth for flush
     /// decisions; the registry's gauge only mirrors it for exposition.
@@ -152,13 +205,135 @@ struct Shared {
     started: Instant,
 }
 
+/// Releases one unit of the global admission count on drop. Acquired
+/// by the reactor at frame admission, carried through the job into the
+/// reply, dropped when the reply has fully reached the socket (or the
+/// connection died first) — so `admitted` measures end-to-end
+/// in-flight work, not just queue occupancy.
+struct AdmissionSlot {
+    shared: Arc<Shared>,
+}
+
+impl Drop for AdmissionSlot {
+    fn drop(&mut self) {
+        self.shared.admitted.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Holds one unit of the adaptive-flush in-flight count (see
+/// [`Shared::inflight`]) from header arrival until batch submission.
+/// Owned (`Arc`) rather than borrowed so it can travel from the
+/// reactor thread into a worker's job; every exit path — submission,
+/// pre-submit error, reaped or disconnected connection — releases the
+/// count by dropping, which is what keeps the adaptive flush sound.
+struct MeshInflightGuard {
+    shared: Arc<Shared>,
+}
+
+impl MeshInflightGuard {
+    fn acquire(shared: &Arc<Shared>) -> MeshInflightGuard {
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        if let Some(m) = &shared.metrics {
+            m.inflight().add(1);
+        }
+        MeshInflightGuard {
+            shared: Arc::clone(shared),
+        }
+    }
+}
+
+impl Drop for MeshInflightGuard {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        if let Some(m) = &self.shared.metrics {
+            m.inflight().sub(1);
+        }
+    }
+}
+
+/// One admitted request on its way to a worker.
+struct Job {
+    /// The connection's outbox, for the seq-ordered reply.
+    chan: Arc<ConnShared>,
+    /// This frame's position in its connection's reply order.
+    seq: u64,
+    frame: Frame,
+    peer: Arc<str>,
+    /// When the frame's header arrived (trace anchor).
+    header_at: Instant,
+    /// When the frame completed (latency epoch; queue wait counts).
+    frame_done_at: Instant,
+    admission: AdmissionSlot,
+    /// The adaptive-flush count acquired at header time, released by
+    /// the handler at batch submission (mesh-bound opcodes only).
+    mesh_guard: Option<MeshInflightGuard>,
+}
+
+/// The bounded handoff between the reactor and the worker pool.
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    cond: Condvar,
+}
+
+struct JobQueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(JobQueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Admission (not this queue) bounds depth: everything pushed here
+    /// already holds an [`AdmissionSlot`]. A push after close drops
+    /// the job (its slot releases here).
+    fn push(&self, job: Job) {
+        let mut s = self.state.lock().expect("job queue poisoned");
+        if s.closed {
+            return;
+        }
+        s.jobs.push_back(job);
+        drop(s);
+        self.cond.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = s.jobs.pop_front() {
+                return Some(job);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cond.wait(s).expect("job queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("job queue poisoned").closed = true;
+        self.cond.notify_all();
+    }
+}
+
 /// A running server. Dropping the handle (or calling
-/// [`ServerHandle::shutdown`]) stops the accept loop; in-flight
-/// connections finish their current request.
+/// [`ServerHandle::shutdown`]) stops the reactor, drains in-flight
+/// replies within [`ServerConfig::shutdown_grace`] and joins every
+/// server thread — no connection handler outlives the handle.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    jobs: Arc<JobQueue>,
 }
 
 impl ServerHandle {
@@ -186,17 +361,27 @@ impl ServerHandle {
         self.shared.tracer.as_ref()
     }
 
-    /// Stop accepting connections and join the accept thread.
+    /// Stop the server: drain in-flight replies (bounded by
+    /// [`ServerConfig::shutdown_grace`]) and join every thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // A byte into the wakeup pipe interrupts the reactor's poll
+        // wait wherever it is parked — unlike the old self-connect
+        // trick, this cannot hang on a wildcard (0.0.0.0) bind where
+        // the listen address is not connectable.
+        self.shared.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
+        }
+        // The reactor has drained (or force-closed) every connection;
+        // now the workers can be released.
+        self.jobs.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -210,7 +395,8 @@ impl Drop for ServerHandle {
 /// Bind and start serving on background threads.
 ///
 /// # Errors
-/// Bind/listen failures and zoo-directory creation failures.
+/// Bind/listen failures, wakeup-pipe creation and zoo-directory
+/// creation failures.
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(
         config
@@ -219,7 +405,10 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             .next()
             .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?,
     )?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let wake = WakePipe::new()?;
+    let waker = wake.waker();
     let metrics = config.metrics.then(|| Arc::new(ServeMetrics::new()));
     let mut store = ModelStore::new(config.store_dir.clone(), config.model_cache)?;
     if let Some(m) = &metrics {
@@ -232,6 +421,13 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         }
         Arc::new(t)
     });
+    let worker_count = if config.workers > 0 {
+        config.workers
+    } else {
+        std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .max(8)
+    };
     let shared = Arc::new(Shared {
         store,
         batcher: TileBatcher::with_metrics(
@@ -245,342 +441,691 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         config,
         requests: AtomicU64::new(0),
         inflight: AtomicUsize::new(0),
+        admitted: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
+        waker,
         metrics,
         tracer,
         self_trace_seq: AtomicU64::new(1),
     });
-    let accept = {
+    let jobs = Arc::new(JobQueue::new());
+    let mut workers = Vec::with_capacity(worker_count);
+    for i in 0..worker_count {
         let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("qn-serve-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return;
+        let jobs = Arc::clone(&jobs);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("qn-serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = jobs.pop() {
+                        process_job(&shared, job);
                     }
-                    let Ok(stream) = stream else { continue };
-                    let shared = Arc::clone(&shared);
-                    let _ = std::thread::Builder::new()
-                        .name("qn-serve-conn".into())
-                        .spawn(move || handle_connection(stream, &shared));
-                }
-            })?
+                })?,
+        );
+    }
+    let reactor = {
+        let shared = Arc::clone(&shared);
+        let jobs = Arc::clone(&jobs);
+        std::thread::Builder::new()
+            .name("qn-serve-reactor".into())
+            .spawn(move || reactor_loop(&shared, listener, wake, &jobs))?
     };
     Ok(ServerHandle {
         addr,
         shared,
-        accept: Some(accept),
+        reactor: Some(reactor),
+        workers,
+        jobs,
     })
 }
 
-/// Serve one connection until EOF, a stream-level violation, or
-/// shutdown.
-/// Decrements the in-flight gauge on every exit path once a request
-/// was counted — normally released by `submitting_alone` at batch
-/// submission, but a mid-payload disconnect or a pre-submit error
-/// must never leak a count (which would permanently disable the
-/// adaptive flush).
-struct InflightGuard<'a> {
-    count: &'a AtomicUsize,
-    /// Exposition mirror of `count` (`serve_inflight_requests`); the
-    /// atomic alone decides flush behaviour.
-    gauge: Option<&'a Gauge>,
+/// Reactor-private per-connection state. Everything workers need is
+/// behind the [`ConnShared`] outbox; the socket, read buffer, frame
+/// state machine and wire queue belong to the reactor alone.
+struct Conn {
+    stream: TcpStream,
+    peer: Arc<str>,
+    chan: Arc<ConnShared>,
+    acc: FrameAccumulator,
+    /// Validated header of the frame currently accumulating.
+    header: Option<FrameHeader>,
+    header_at: Option<Instant>,
+    /// Frame-completion deadline, armed at header arrival.
+    deadline: Option<Instant>,
+    /// Adaptive-flush count for an accumulating mesh-bound frame,
+    /// parked here between header and completion.
+    mesh_guard: Option<MeshInflightGuard>,
+    /// Sequence number the next parsed frame gets.
+    next_assign: u64,
+    /// Sequence number the next wire-bound reply must carry.
+    next_release: u64,
+    /// Replies released from the outbox, in order, mid-write.
+    wire: VecDeque<WireReply>,
+    /// Requests admitted on this connection whose replies have not
+    /// finished writing (the [`ServerConfig::conn_inflight`] gate).
+    inflight: usize,
+    /// No more reads: peer EOF, stream violation, or server drain.
+    read_closed: bool,
+    /// This iteration's poll slot, when registered.
+    slot: Option<usize>,
 }
 
-impl<'a> InflightGuard<'a> {
-    fn acquire(shared: &'a Shared) -> InflightGuard<'a> {
-        shared.inflight.fetch_add(1, Ordering::SeqCst);
-        let gauge = shared.metrics.as_deref().map(ServeMetrics::inflight);
-        if let Some(g) = gauge {
-            g.add(1);
+impl Conn {
+    fn new(stream: TcpStream, peer: Arc<str>) -> Conn {
+        Conn {
+            stream,
+            peer,
+            chan: ConnShared::new(),
+            acc: FrameAccumulator::default(),
+            header: None,
+            header_at: None,
+            deadline: None,
+            mesh_guard: None,
+            next_assign: 0,
+            next_release: 0,
+            wire: VecDeque::new(),
+            inflight: 0,
+            read_closed: false,
+            slot: None,
         }
-        InflightGuard {
-            count: &shared.inflight,
-            gauge,
-        }
+    }
+
+    /// Drop any half-read frame (peer EOF / server drain): its bytes
+    /// can never complete, and a parked mesh guard must not keep
+    /// degrading the adaptive flush.
+    fn abandon_partial_frame(&mut self) {
+        self.header = None;
+        self.header_at = None;
+        self.deadline = None;
+        self.mesh_guard = None;
+    }
+
+    /// Every assigned frame's reply has fully reached the socket.
+    fn fully_replied(&self) -> bool {
+        self.next_release == self.next_assign && self.wire.is_empty()
     }
 }
 
-impl Drop for InflightGuard<'_> {
-    fn drop(&mut self) {
-        self.count.fetch_sub(1, Ordering::SeqCst);
-        if let Some(g) = self.gauge {
-            g.sub(1);
-        }
-    }
+/// Why a connection is being torn down (drives logging/metrics).
+enum CloseCause {
+    /// Orderly: EOF (or a flushed stream-error close) with every reply
+    /// delivered.
+    Done,
+    /// The frame-completion deadline expired mid-frame.
+    Reaped,
+    /// Socket-level failure, or shutdown grace expired.
+    Dropped,
 }
 
-/// A frame-scoped deadline over a `TcpStream`: every `read` first
-/// checks the shared deadline cell — unset means an unbounded idle
-/// wait; once set (by the header hook), each read gets the *remaining*
-/// time as its socket timeout, so the whole frame must arrive by the
-/// deadline. A per-`recv` timeout alone would let a peer drip one byte
-/// per interval and hold a frame (and the in-flight gauge) open
-/// forever.
-struct DeadlineReader<'a> {
-    stream: &'a TcpStream,
-    deadline: &'a std::cell::Cell<Option<std::time::Instant>>,
-}
+/// The reactor: owns the listener, the wakeup pipe and every
+/// connection; never blocks anywhere but `poll`.
+fn reactor_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    mut wake: WakePipe,
+    jobs: &Arc<JobQueue>,
+) {
+    let mut poller = Poller::new();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut listener = Some(listener);
+    // Set once shutdown is observed: the drain deadline after which
+    // remaining connections are force-closed.
+    let mut drain_deadline: Option<Instant> = None;
 
-impl std::io::Read for DeadlineReader<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        if let Some(deadline) = self.deadline.get() {
-            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    "frame read deadline exceeded",
-                ));
-            };
-            // set_read_timeout rejects zero; the floor only matters in
-            // the last millisecond before the deadline check above
-            // fires on the next read.
-            self.stream
-                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
-        }
-        (&mut &*self.stream).read(buf)
-    }
-}
-
-/// Balances the open-connections gauge and logs the disconnect on
-/// every way out of `handle_connection`.
-struct ConnGuard<'a> {
-    shared: &'a Shared,
-    peer: &'a str,
-}
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        if let Some(m) = &self.shared.metrics {
-            m.connection_closed();
-        }
-        self.shared
-            .log
-            .info("disconnect", format_args!("peer={}", self.peer));
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let peer = stream
-        .peer_addr()
-        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
-    if let Some(m) = &shared.metrics {
-        m.connection_opened();
-    }
-    shared.log.info("connect", format_args!("peer={peer}"));
-    let _conn = ConnGuard {
-        shared,
-        peer: &peer,
-    };
-    let timeout = shared.config.read_timeout;
-    let deadline = std::cell::Cell::new(None);
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+        // Entering drain mode can make connections closable with no
+        // socket event ever coming (read side shut, nothing queued),
+        // so that iteration must reach the service pass immediately.
+        let mut entered_drain = false;
+        if shared.shutdown.load(Ordering::SeqCst) && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + shared.config.shutdown_grace);
+            listener = None;
+            entered_drain = true;
+            // Stop reading: admitted requests finish and their replies
+            // flush; half-read frames can never complete.
+            for conn in &mut conns {
+                conn.read_closed = true;
+                conn.abandon_partial_frame();
+            }
         }
-        // Count this connection in flight from the moment a header
-        // lands: an idle connection parked in read_exact contributes
-        // nothing, but once a header has arrived the request is
-        // certainly coming and batches should wait for it. Only
-        // mesh-bound opcodes (ENCODE/DECODE) count — an INFO poll or
-        // model upload never submits to the batcher, so it must not
-        // make a concurrent encode forfeit its eager flush.
-        // The same moment arms the frame deadline: idle waits are
-        // unbounded, but a peer that has started a frame must finish
-        // the *whole frame* within `read_timeout` — stalling or
-        // dripping bytes gets the connection reaped (and its in-flight
-        // count released by the guard).
-        deadline.set(None);
-        let _ = stream.set_read_timeout(None);
-        let mut counted = None;
-        let mut header_at = None;
-        let mut reader = DeadlineReader {
-            stream: &stream,
-            deadline: &deadline,
+
+        // Register this iteration's descriptor set.
+        poller.clear();
+        let wake_slot = poller.register(wake.fd(), Interest::Read);
+        let listen_slot = listener
+            .as_ref()
+            .map(|l| poller.register(l.as_raw_fd(), Interest::Read));
+        for conn in &mut conns {
+            let interest = match (!conn.read_closed, !conn.wire.is_empty()) {
+                (true, true) => Some(Interest::ReadWrite),
+                (true, false) => Some(Interest::Read),
+                (false, true) => Some(Interest::Write),
+                // Nothing to read or write — the conn is waiting on
+                // workers; their wakeup pipe byte re-enters the loop.
+                (false, false) => None,
+            };
+            conn.slot = interest.map(|i| poller.register(conn.stream.as_raw_fd(), i));
+        }
+
+        // Sleep until the earliest frame deadline (or the drain
+        // deadline), a socket event, or a wakeup byte.
+        let now = Instant::now();
+        let mut wake_at = drain_deadline;
+        for conn in &conns {
+            wake_at = earliest(wake_at, conn.deadline);
+        }
+        let timeout = if entered_drain {
+            Some(Duration::ZERO)
+        } else {
+            wake_at.map(|t| t.saturating_duration_since(now))
         };
-        let frame = match Frame::read_from_tracked(&mut reader, |opcode| {
-            header_at = Some(Instant::now());
-            if timeout > Duration::ZERO {
-                deadline.set(Some(std::time::Instant::now() + timeout));
+        if let Err(e) = poller.poll(timeout) {
+            shared.log.warn("poll", format_args!("error={e}"));
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        if poller.readiness(wake_slot).readable {
+            wake.drain();
+        }
+
+        // Accept burst.
+        if let (Some(l), Some(slot)) = (&listener, listen_slot) {
+            if poller.readiness(slot).any() {
+                accept_burst(shared, l, &mut conns);
             }
-            if matches!(
-                Opcode::from_u8(opcode),
-                Some(Opcode::Encode | Opcode::Decode)
-            ) {
-                counted = Some(InflightGuard::acquire(shared));
+        }
+
+        // Service every connection: read & parse, drain outboxes,
+        // write, reap deadlines, close the finished.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < conns.len() {
+            match service_conn(shared, jobs, &mut conns[i], &poller, now) {
+                Some(cause) => {
+                    let conn = conns.swap_remove(i);
+                    close_conn(shared, conn, &cause);
+                }
+                None => i += 1,
             }
-        }) {
-            Ok(frame) => frame,
-            // EOF / reset / mid-frame disconnect / deadline expiry:
-            // nothing to answer (`counted` drops here, releasing the
-            // in-flight gauge a stalled peer would otherwise pin).
-            Err(FrameError::Io(e)) => {
-                // A timeout with the deadline armed is a reap: the peer
-                // started a frame and never finished it.
-                if deadline.get().is_some()
-                    && matches!(
-                        e.kind(),
-                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
-                    )
-                {
-                    if let Some(m) = &shared.metrics {
-                        m.record_reap();
-                    }
-                    shared.log.info(
-                        "reap",
-                        format_args!("peer={peer} timeout_ms={}", timeout.as_millis()),
-                    );
+        }
+
+        if let Some(grace) = drain_deadline {
+            if conns.is_empty() {
+                return;
+            }
+            if Instant::now() >= grace {
+                for conn in conns.drain(..) {
+                    close_conn(shared, conn, &CloseCause::Dropped);
                 }
                 return;
             }
-            // Framing is unrecoverable: best-effort typed error, close.
+        }
+    }
+}
+
+/// Accept until `WouldBlock`, shedding over-cap connections with one
+/// typed `BUSY` frame.
+fn accept_burst(shared: &Arc<Shared>, listener: &TcpListener, conns: &mut Vec<Conn>) {
+    loop {
+        let (stream, peer_addr) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => {
+                // Transient accept failures (per-connection resets,
+                // fd pressure): log and fall back to the next poll.
+                shared.log.warn("accept", format_args!("error={e}"));
+                return;
+            }
+        };
+        let peer: Arc<str> = peer_addr.to_string().into();
+        let max_conns = shared.config.max_conns;
+        if max_conns > 0 && conns.len() >= max_conns {
+            let e = ServeError::Busy(format!(
+                "connection limit reached ({max_conns} open); retry shortly"
+            ));
+            if let Some(m) = &shared.metrics {
+                m.record_error(ErrorCode::Busy);
+                m.record_busy();
+            }
+            shared
+                .log
+                .info("busy", format_args!("peer={peer} cause=max_conns"));
+            // The socket is fresh (empty send buffer) and still in
+            // blocking mode, so this small frame cannot meaningfully
+            // block; failure just means the peer is already gone.
+            let _ = Frame::error(0, ErrorCode::Busy, &e.to_string()).write_to(&mut &stream);
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Err(e) = stream.set_nonblocking(true) {
+            // The old core ignored socket-mode failures wholesale
+            // (`let _ = stream.set_read_timeout(None)`) and went on
+            // serving with a stale deadline; a socket this reactor
+            // cannot switch to nonblocking is unservable — surface the
+            // cause and drop it instead.
+            shared
+                .log
+                .warn("accept", format_args!("peer={peer} nonblocking error={e}"));
+            continue;
+        }
+        if let Some(m) = &shared.metrics {
+            m.connection_opened();
+        }
+        shared.log.info("connect", format_args!("peer={peer}"));
+        conns.push(Conn::new(stream, peer));
+    }
+}
+
+/// One service pass over one connection. Returns the close cause when
+/// the connection should be torn down.
+fn service_conn(
+    shared: &Arc<Shared>,
+    jobs: &Arc<JobQueue>,
+    conn: &mut Conn,
+    poller: &Poller,
+    now: Instant,
+) -> Option<CloseCause> {
+    let ready = conn.slot.map(|s| poller.readiness(s)).unwrap_or_default();
+    if ready.error {
+        return Some(CloseCause::Dropped);
+    }
+
+    if ready.readable && !conn.read_closed {
+        match read_available(&conn.stream, &mut conn.acc) {
+            Ok((_, eof)) => {
+                pump_frames(shared, jobs, conn, now);
+                if eof {
+                    // Half-close: stop reading, but replies to frames
+                    // already parsed still flush (a client may write
+                    // its requests, shut down its write side and read
+                    // every reply back).
+                    conn.read_closed = true;
+                    conn.abandon_partial_frame();
+                }
+            }
+            Err(_) => return Some(CloseCause::Dropped),
+        }
+    }
+
+    // Release worker replies that are next in sequence order.
+    if conn.chan.is_dirty() {
+        for reply in conn.chan.take_in_order(&mut conn.next_release) {
+            conn.wire.push_back(WireReply { reply, cursor: 0 });
+        }
+    }
+
+    // Push the wire queue whether or not POLLOUT fired: most replies
+    // go out on the first attempt without ever registering for write.
+    if !conn.wire.is_empty() {
+        let Conn {
+            ref stream,
+            ref mut wire,
+            ref mut inflight,
+            ..
+        } = *conn;
+        let metrics = shared.metrics.as_deref();
+        let progress = write_queue(stream, wire, |reply| {
+            if let Some(m) = metrics {
+                m.record_frame_out(reply.bytes.len() as u64);
+            }
+            if reply.admission.is_some() {
+                *inflight = inflight.saturating_sub(1);
+            }
+        });
+        match progress {
+            WriteProgress::Drained | WriteProgress::Blocked => {}
+            WriteProgress::Broken => return Some(CloseCause::Dropped),
+            WriteProgress::CloseRequested => return Some(CloseCause::Done),
+        }
+    }
+
+    // Frame-completion deadline: the peer started a frame and never
+    // finished it (stall or byte-drip) — reap, releasing the parked
+    // mesh guard a stalled peer would otherwise pin.
+    if let Some(deadline) = conn.deadline {
+        if now >= deadline {
+            return Some(CloseCause::Reaped);
+        }
+    }
+
+    if conn.read_closed && conn.fully_replied() {
+        return Some(CloseCause::Done);
+    }
+    None
+}
+
+/// Parse every complete frame buffered on `conn`, admitting each to
+/// the worker pool or answering typed `BUSY`/stream errors in place.
+fn pump_frames(shared: &Arc<Shared>, jobs: &Arc<JobQueue>, conn: &mut Conn, now: Instant) {
+    loop {
+        match conn.acc.step(conn.header.as_ref()) {
+            FrameStep::NeedMore => return,
+            FrameStep::Header(header) => {
+                // A header means the frame is certainly coming: arm
+                // the completion deadline and, for mesh-bound opcodes,
+                // raise the adaptive-flush count so concurrent
+                // submitters wait to coalesce with this request.
+                conn.header_at = Some(now);
+                if shared.config.read_timeout > Duration::ZERO {
+                    conn.deadline = Some(now + shared.config.read_timeout);
+                }
+                if header.mesh_bound() {
+                    conn.mesh_guard = Some(MeshInflightGuard::acquire(shared));
+                }
+                conn.header = Some(header);
+            }
+            FrameStep::Frame(frame) => {
+                conn.header = None;
+                conn.deadline = None;
+                admit_frame(shared, jobs, conn, frame, now);
+            }
+            FrameStep::Violation(e) => {
+                // Framing is unrecoverable: typed error (sequenced
+                // after the replies of every valid frame before it),
+                // then close once it has flushed.
+                conn.abandon_partial_frame();
                 if let Some(m) = &shared.metrics {
                     m.record_error(e.code());
                 }
                 shared.log.info(
                     "error",
-                    format_args!("peer={peer} code={} detail={e}", e.code().label()),
+                    format_args!("peer={} code={} detail={e}", conn.peer, e.code().label()),
                 );
-                let reply = Frame::error(0, e.code(), &e.to_string());
-                let _ = reply.write_to(&mut stream);
-                let _ = stream.flush();
+                let seq = conn.next_assign;
+                conn.next_assign += 1;
+                conn.chan.push_reply(
+                    seq,
+                    Reply {
+                        bytes: Frame::error(0, e.code(), &e.to_string()).to_bytes(),
+                        admission: None,
+                        close_after: true,
+                    },
+                );
+                conn.read_closed = true;
                 return;
             }
-        };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let started = Instant::now();
-        let op = Opcode::from_u8(frame.opcode);
+        }
+    }
+}
+
+/// A complete frame: count it, check both backpressure gates, and
+/// either hand it to the worker pool or answer typed `BUSY`.
+fn admit_frame(
+    shared: &Arc<Shared>,
+    jobs: &Arc<JobQueue>,
+    conn: &mut Conn,
+    frame: Frame,
+    now: Instant,
+) {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let op = Opcode::from_u8(frame.opcode);
+    if let Some(m) = &shared.metrics {
+        m.record_request(op);
+        m.record_frame_in(frame_wire_bytes(frame.payload.len()));
+    }
+    let seq = conn.next_assign;
+    conn.next_assign += 1;
+    let header_at = conn.header_at.take().unwrap_or(now);
+    let mesh_guard = conn.mesh_guard.take();
+
+    let conn_cap = shared.config.conn_inflight;
+    let global_cap = shared.config.max_inflight;
+    let shed_cause = if conn_cap > 0 && conn.inflight >= conn_cap {
+        Some(format!(
+            "connection already has {} requests in flight (cap {conn_cap}); \
+             read a reply before sending more",
+            conn.inflight
+        ))
+    } else if global_cap > 0 && shared.admitted.load(Ordering::SeqCst) >= global_cap {
+        Some(format!(
+            "server is at its admission limit ({global_cap} requests in flight); retry shortly"
+        ))
+    } else {
+        None
+    };
+    if let Some(cause) = shed_cause {
+        // Shed: the request never reaches the batcher, the connection
+        // stays usable, and the client sees a typed retryable error.
+        drop(mesh_guard);
+        let e = ServeError::Busy(cause);
         if let Some(m) = &shared.metrics {
-            m.record_request(op);
-            m.record_frame_in(frame_wire_bytes(frame.payload.len()));
+            m.record_error(ErrorCode::Busy);
+            m.record_busy();
         }
-        let request_id = frame.request_id;
-        // Split off the trace-context prefix (if any) before the
-        // payload reaches any handler; a malformed prefix is a
-        // request-level error (typed reply, connection kept).
-        let stripped = TraceContext::strip(frame.status, &frame.payload);
-        let (trace_ctx, body) = match &stripped {
-            Ok((ctx, body)) => (*ctx, *body),
-            Err(_) => (None, &frame.payload[..]),
-        };
-        // Span recording is armed when the client asked for sampling,
-        // or for mesh-bound requests whenever slow capture is on (a
-        // slow request can only land in the slow buffer if its spans
-        // were built). Untraced requests skip every span site on a
-        // `None` check.
-        let mesh_bound = matches!(op, Some(Opcode::Encode | Opcode::Decode));
-        let mut tb = match &shared.tracer {
-            Some(_)
-                if trace_ctx.is_some_and(|c| c.sampled)
-                    || (mesh_bound && shared.config.slow_threshold > Duration::ZERO) =>
-            {
-                let (id, origin) = match trace_ctx {
-                    Some(c) => (c.id, "client"),
-                    None => (
-                        SELF_TRACE_ID_BASE | shared.self_trace_seq.fetch_add(1, Ordering::Relaxed),
-                        "slow",
-                    ),
-                };
-                let anchor = header_at.unwrap_or(started);
-                let mut b =
-                    TraceBuilder::with_anchor(id, op.map_or("unknown", Opcode::label), anchor);
-                b.attr(SpanId::ROOT, "origin", origin);
-                let read = b.record(SpanId::ROOT, "frame_read", 0, b.elapsed_ns());
-                b.attr(read, "bytes", frame_wire_bytes(frame.payload.len()));
-                Some(b)
-            }
-            _ => None,
-        };
-        let outcome = match stripped {
-            Ok(_) => dispatch(shared, op, frame.opcode, body, counted, &mut tb),
-            Err(e) => {
-                drop(counted);
-                Err(e)
-            }
-        };
-        let reply = match outcome {
-            Ok((op, payload)) => Frame::reply(op, request_id, payload),
-            Err(e) => {
-                if let Some(m) = &shared.metrics {
-                    m.record_error(e.code());
-                }
-                shared.log.info(
-                    "error",
-                    format_args!("peer={peer} code={} detail={e}", e.code().label()),
-                );
-                Frame::error(request_id, e.code(), &e.to_string())
-            }
-        };
-        let write_span = tb.as_mut().map(|b| b.begin(SpanId::ROOT, "reply_write"));
-        let mut reply_payload_len = reply.payload.len();
-        match reply.write_to(&mut stream) {
-            Ok(()) => {}
-            // An over-limit reply (InvalidInput) is a request-level
-            // outcome: tell the client with a typed frame instead of a
-            // bare close. Any other write failure means the stream is
-            // gone.
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
-                let fallback = Frame::error(request_id, ErrorCode::Internal, &e.to_string());
-                reply_payload_len = fallback.payload.len();
-                if fallback.write_to(&mut stream).is_err() {
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
-        if let (Some(b), Some(s)) = (tb.as_mut(), write_span) {
-            b.end(s);
-            b.attr(s, "bytes", frame_wire_bytes(reply_payload_len));
-        }
-        // Finish and record the trace *before* reading the next frame:
-        // a client that sends TRACE right after receiving this reply on
-        // the same connection is guaranteed to find its trace.
-        if let Some(b) = tb.take() {
-            let trace = b.finish();
-            let slow = shared.config.slow_threshold;
-            if slow > Duration::ZERO
-                && trace.duration_ns() >= u64::try_from(slow.as_nanos()).unwrap_or(u64::MAX)
-            {
-                use std::fmt::Write as _;
-                let mut stages = String::new();
-                for i in trace.children(0) {
-                    let s = &trace.spans[i];
-                    let _ = write!(stages, " {}={}", s.name, fmt_ns(s.duration_ns()));
-                }
-                shared.log.warn(
-                    "slow",
-                    format_args!(
-                        "peer={peer} id={} op={} total={}{stages}",
-                        trace.id_hex(),
-                        trace.name(),
-                        fmt_ns(trace.duration_ns()),
-                    ),
-                );
-            }
-            if let Some(tracer) = &shared.tracer {
-                tracer.record(trace);
-            }
-        }
-        let latency_ns = elapsed_ns(started);
-        if let Some(m) = &shared.metrics {
-            m.record_frame_out(frame_wire_bytes(reply_payload_len));
-            m.record_latency(op, latency_ns);
-        }
-        shared.log.debug(
-            "request",
+        shared.log.info(
+            "busy",
             format_args!(
-                "peer={peer} op={} id={request_id} latency_ns={latency_ns}",
-                op.map_or("unknown", Opcode::label)
+                "peer={} op={} id={}",
+                conn.peer,
+                op.map_or("unknown", Opcode::label),
+                frame.request_id
+            ),
+        );
+        // A sampled request still leaves a (minimal) trace of the shed.
+        if let Some(tracer) = &shared.tracer {
+            if let Ok((Some(ctx), _)) = TraceContext::strip(frame.status, &frame.payload) {
+                if ctx.sampled {
+                    let mut b = TraceBuilder::with_anchor(
+                        ctx.id,
+                        op.map_or("unknown", Opcode::label),
+                        header_at,
+                    );
+                    b.attr(SpanId::ROOT, "origin", "client");
+                    b.attr(SpanId::ROOT, "shed", "busy");
+                    let read = b.record(SpanId::ROOT, "frame_read", 0, span_ns(header_at, now));
+                    b.attr(read, "bytes", frame_wire_bytes(frame.payload.len()));
+                    tracer.record(b.finish());
+                }
+            }
+        }
+        conn.chan.push_reply(
+            seq,
+            Reply {
+                bytes: Frame::error(frame.request_id, ErrorCode::Busy, &e.to_string()).to_bytes(),
+                admission: None,
+                close_after: false,
+            },
+        );
+        return;
+    }
+
+    shared.admitted.fetch_add(1, Ordering::SeqCst);
+    let admission = AdmissionSlot {
+        shared: Arc::clone(shared),
+    };
+    conn.inflight += 1;
+    jobs.push(Job {
+        chan: Arc::clone(&conn.chan),
+        seq,
+        frame,
+        peer: Arc::clone(&conn.peer),
+        header_at,
+        frame_done_at: now,
+        admission,
+        mesh_guard,
+    });
+}
+
+/// Tear one connection down: mark the outbox closed (late worker
+/// replies are dropped, their admission slots released), balance the
+/// gauge and log the disconnect.
+fn close_conn(shared: &Arc<Shared>, conn: Conn, cause: &CloseCause) {
+    conn.chan.close();
+    if let CloseCause::Reaped = cause {
+        if let Some(m) = &shared.metrics {
+            m.record_reap();
+        }
+        shared.log.info(
+            "reap",
+            format_args!(
+                "peer={} timeout_ms={}",
+                conn.peer,
+                shared.config.read_timeout.as_millis()
             ),
         );
     }
+    if let Some(m) = &shared.metrics {
+        m.connection_closed();
+    }
+    shared
+        .log
+        .info("disconnect", format_args!("peer={}", conn.peer));
+    // `conn` drops here: wire queue (and any admission slots inside),
+    // parked mesh guard, and the socket itself.
+}
+
+/// Worker side: run one admitted request end to end and park its reply
+/// in the connection's outbox.
+fn process_job(shared: &Arc<Shared>, job: Job) {
+    let Job {
+        chan,
+        seq,
+        frame,
+        peer,
+        header_at,
+        frame_done_at,
+        admission,
+        mesh_guard,
+    } = job;
+    let op = Opcode::from_u8(frame.opcode);
+    let request_id = frame.request_id;
+    // Split off the trace-context prefix (if any) before the payload
+    // reaches any handler; a malformed prefix is a request-level error
+    // (typed reply, connection kept).
+    let stripped = TraceContext::strip(frame.status, &frame.payload);
+    let (trace_ctx, body) = match &stripped {
+        Ok((ctx, body)) => (*ctx, *body),
+        Err(_) => (None, &frame.payload[..]),
+    };
+    // Span recording is armed when the client asked for sampling, or
+    // for mesh-bound requests whenever slow capture is on (a slow
+    // request can only land in the slow buffer if its spans were
+    // built). Untraced requests skip every span site on a `None` check.
+    let mesh_bound = matches!(op, Some(Opcode::Encode | Opcode::Decode));
+    let mut tb = match &shared.tracer {
+        Some(_)
+            if trace_ctx.is_some_and(|c| c.sampled)
+                || (mesh_bound && shared.config.slow_threshold > Duration::ZERO) =>
+        {
+            let (id, origin) = match trace_ctx {
+                Some(c) => (c.id, "client"),
+                None => (
+                    SELF_TRACE_ID_BASE | shared.self_trace_seq.fetch_add(1, Ordering::Relaxed),
+                    "slow",
+                ),
+            };
+            let mut b =
+                TraceBuilder::with_anchor(id, op.map_or("unknown", Opcode::label), header_at);
+            b.attr(SpanId::ROOT, "origin", origin);
+            let read = b.record(
+                SpanId::ROOT,
+                "frame_read",
+                0,
+                span_ns(header_at, frame_done_at),
+            );
+            b.attr(read, "bytes", frame_wire_bytes(frame.payload.len()));
+            Some(b)
+        }
+        _ => None,
+    };
+    let outcome = match stripped {
+        Ok(_) => dispatch(shared, op, frame.opcode, body, mesh_guard, &mut tb),
+        Err(e) => {
+            drop(mesh_guard);
+            Err(e)
+        }
+    };
+    let reply = match outcome {
+        Ok((op, payload)) => Frame::reply(op, request_id, payload),
+        Err(e) => {
+            if let Some(m) = &shared.metrics {
+                m.record_error(e.code());
+            }
+            shared.log.info(
+                "error",
+                format_args!("peer={peer} code={} detail={e}", e.code().label()),
+            );
+            Frame::error(request_id, e.code(), &e.to_string())
+        }
+    };
+    // Serialize here (the reply_write span covers building the wire
+    // bytes and handing them to the reactor; the socket write itself
+    // is asynchronous). An over-limit reply (InvalidInput) is a
+    // request-level outcome: tell the client with a typed frame.
+    let write_span = tb.as_mut().map(|b| b.begin(SpanId::ROOT, "reply_write"));
+    let mut wire = Vec::with_capacity(HEADER_LEN + reply.payload.len() + 4);
+    let mut reply_payload_len = reply.payload.len();
+    if let Err(e) = reply.write_to(&mut wire) {
+        wire.clear();
+        let fallback = Frame::error(request_id, ErrorCode::Internal, &e.to_string());
+        reply_payload_len = fallback.payload.len();
+        fallback
+            .write_to(&mut wire)
+            .expect("error frames are always under the payload limit");
+    }
+    if let (Some(b), Some(s)) = (tb.as_mut(), write_span) {
+        b.end(s);
+        b.attr(s, "bytes", frame_wire_bytes(reply_payload_len));
+    }
+    // Finish and record the trace *before* parking the reply: a client
+    // that sends TRACE right after receiving this reply on the same
+    // connection is guaranteed to find its trace.
+    if let Some(b) = tb.take() {
+        let trace = b.finish();
+        let slow = shared.config.slow_threshold;
+        if slow > Duration::ZERO
+            && trace.duration_ns() >= u64::try_from(slow.as_nanos()).unwrap_or(u64::MAX)
+        {
+            use std::fmt::Write as _;
+            let mut stages = String::new();
+            for i in trace.children(0) {
+                let s = &trace.spans[i];
+                let _ = write!(stages, " {}={}", s.name, fmt_ns(s.duration_ns()));
+            }
+            shared.log.warn(
+                "slow",
+                format_args!(
+                    "peer={peer} id={} op={} total={}{stages}",
+                    trace.id_hex(),
+                    trace.name(),
+                    fmt_ns(trace.duration_ns()),
+                ),
+            );
+        }
+        if let Some(tracer) = &shared.tracer {
+            tracer.record(trace);
+        }
+    }
+    let latency_ns = elapsed_ns(frame_done_at);
+    if let Some(m) = &shared.metrics {
+        m.record_latency(op, latency_ns);
+    }
+    shared.log.debug(
+        "request",
+        format_args!(
+            "peer={peer} op={} id={request_id} latency_ns={latency_ns}",
+            op.map_or("unknown", Opcode::label)
+        ),
+    );
+    let delivered = chan.push_reply(
+        seq,
+        Reply {
+            bytes: wire,
+            admission: Some(Box::new(admission)),
+            close_after: false,
+        },
+    );
+    if delivered {
+        shared.waker.wake();
+    }
+    // !delivered: the connection died while we worked; the reply is
+    // dropped and the admission slot released right here.
 }
 
 /// Route one well-framed request; every failure comes back typed.
-/// `inflight` is the request's in-flight count guard (held only by
-/// mesh-bound opcodes) — the encode/decode handlers release it at
+/// `inflight` is the request's adaptive-flush count guard (held only
+/// by mesh-bound opcodes) — the encode/decode handlers release it at
 /// submission time, everything else drops it on entry. `payload` is
 /// the request body with any trace-context prefix already stripped;
 /// `tb` is the request's span builder (`None` unless sampled).
@@ -589,7 +1134,7 @@ fn dispatch(
     op: Option<Opcode>,
     opcode_byte: u8,
     payload: &[u8],
-    inflight: Option<InflightGuard<'_>>,
+    inflight: Option<MeshInflightGuard>,
     tb: &mut Option<TraceBuilder>,
 ) -> Result<(Opcode, Vec<u8>)> {
     match op {
@@ -653,7 +1198,7 @@ fn handle_trace(shared: &Shared, payload: &[u8]) -> Result<(Opcode, Vec<u8>)> {
 fn handle_encode(
     shared: &Shared,
     payload: &[u8],
-    inflight: Option<InflightGuard<'_>>,
+    inflight: Option<MeshInflightGuard>,
     tb: &mut Option<TraceBuilder>,
 ) -> Result<(Opcode, Vec<u8>)> {
     let parse_span = tb.as_mut().map(|b| b.begin(SpanId::ROOT, "parse"));
@@ -710,7 +1255,7 @@ fn handle_encode(
 /// the load only loses one coalescing opportunity, never correctness
 /// (backends are bit-identical per vector regardless of batch
 /// composition).
-fn submitting_alone(shared: &Shared, inflight: Option<InflightGuard<'_>>) -> bool {
+fn submitting_alone(shared: &Shared, inflight: Option<MeshInflightGuard>) -> bool {
     drop(inflight);
     shared.inflight.load(Ordering::SeqCst) == 0
 }
@@ -756,7 +1301,7 @@ fn check_container_dims(payload: &[u8]) -> Result<()> {
 fn handle_decode(
     shared: &Shared,
     payload: &[u8],
-    inflight: Option<InflightGuard<'_>>,
+    inflight: Option<MeshInflightGuard>,
     tb: &mut Option<TraceBuilder>,
 ) -> Result<(Opcode, Vec<u8>)> {
     check_container_dims(payload)?;
@@ -818,6 +1363,7 @@ fn server_info_json(shared: &Shared) -> String {
          \"tracing\":{},\"slow_ms\":{},\
          \"backend\":\"{}\",\"batch_tiles\":{},\"batch_deadline_ms\":{},\
          \"coalescing\":{},\"adaptive_flush\":true,\"read_timeout_ms\":{},\
+         \"workers\":{},\"max_inflight\":{},\"conn_inflight\":{},\"max_conns\":{},\
          \"models_cached\":{},\"store_dir\":{store_dir},\
          \"requests_served\":{}}}",
         env!("CARGO_PKG_VERSION"),
@@ -830,6 +1376,10 @@ fn server_info_json(shared: &Shared) -> String {
         shared.config.batch_deadline.as_millis(),
         shared.batcher.coalesces(),
         shared.config.read_timeout.as_millis(),
+        shared.config.workers,
+        shared.config.max_inflight,
+        shared.config.conn_inflight,
+        shared.config.max_conns,
         shared.store.cached_len(),
         shared.requests.load(Ordering::Relaxed),
     )

@@ -299,6 +299,207 @@ fn pipelined_garbage_after_a_valid_frame_does_not_corrupt_the_reply() {
     assert_alive(&server, "after pipelined garbage");
 }
 
+#[test]
+fn a_thousand_idle_connections_stay_alive_with_timeouts_disabled() {
+    // The poll core's reason to exist: idle connections cost no
+    // threads and are never reaped (the read deadline only runs
+    // mid-frame). Park 1000 of them, then prove a sample still
+    // round-trips.
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        read_timeout: Duration::ZERO,
+        batch_deadline: Duration::from_millis(1),
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let mut socks = Vec::with_capacity(1000);
+    for i in 0..1000 {
+        let stream = TcpStream::connect(server.addr())
+            .unwrap_or_else(|e| panic!("connect #{i}: {e} (check the process fd limit)"));
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        socks.push(stream);
+    }
+    // Wait for every accept to land in the reactor.
+    let metrics = std::sync::Arc::clone(server.metrics().expect("metrics on"));
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        if metrics
+            .stats_json()
+            .contains("\"serve_open_connections\":1000")
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reactor never reached 1000 open connections: {}",
+            metrics.stats_json()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Idle for several poll cycles, then every 100th connection must
+    // still answer — no reap, no starvation by its 999 idle peers.
+    std::thread::sleep(Duration::from_millis(200));
+    for (i, stream) in socks.iter_mut().enumerate().step_by(100) {
+        let frame = Frame::request(Opcode::Info, i as u32, Vec::new());
+        frame.write_to(stream).expect("write INFO");
+        let reply = Frame::read_from(stream).unwrap_or_else(|e| panic!("conn #{i} reply: {e}"));
+        assert_eq!(reply.status, 0, "conn #{i}: {reply:?}");
+        assert_eq!(reply.request_id, i as u32);
+    }
+    assert!(
+        metrics
+            .stats_json()
+            .contains("\"serve_read_deadline_reaps_total\":0"),
+        "idle connections must never be reaped: {}",
+        metrics.stats_json()
+    );
+}
+
+/// Pipeline `frames` in one write on one fresh connection and read
+/// `frames.len()` replies back, in order.
+fn pipelined_replies(server: &ServerHandle, frames: &[Frame]) -> (TcpStream, Vec<Frame>) {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut wire = Vec::new();
+    for f in frames {
+        wire.extend_from_slice(&f.to_bytes());
+    }
+    stream.write_all(&wire).expect("write pipelined frames");
+    let replies = (0..frames.len())
+        .map(|i| Frame::read_from(&mut stream).unwrap_or_else(|e| panic!("reply #{i}: {e}")))
+        .collect();
+    (stream, replies)
+}
+
+#[test]
+fn saturated_global_admission_sheds_typed_busy_and_recovers() {
+    // max_inflight 1: the first frame of a pipelined pair takes the
+    // only admission slot (released when its reply is fully written,
+    // which cannot happen before the reactor finishes parsing the
+    // burst), so the second frame is deterministically shed — with a
+    // typed BUSY reply on a connection that stays usable, never a
+    // drop or an unbounded queue.
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_deadline: Duration::from_millis(1),
+        max_inflight: 1,
+        conn_inflight: 0,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let img = datasets::grayscale_blobs(1, 8, 8, 5).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+    let container = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+    let (mut stream, replies) = pipelined_replies(
+        &server,
+        &[
+            Frame::request(Opcode::Decode, 1, container.clone()),
+            Frame::request(Opcode::Info, 2, Vec::new()),
+        ],
+    );
+    assert_eq!(replies[0].status, 0, "first request is admitted and served");
+    assert_eq!(replies[0].request_id, 1);
+    assert_eq!(
+        replies[1].status,
+        ErrorCode::Busy as u16,
+        "over-cap request answers typed BUSY: {}",
+        String::from_utf8_lossy(&replies[1].payload)
+    );
+    assert_eq!(replies[1].request_id, 2, "BUSY echoes the request id");
+    // The shed is visible in telemetry...
+    let stats = server.metrics().expect("metrics on").stats_json();
+    assert!(
+        stats.contains("\"serve_busy_total\":1"),
+        "busy counter: {stats}"
+    );
+    // ...and the connection recovers: the slot is free once the first
+    // reply was written, so the same socket serves the retry.
+    Frame::request(Opcode::Info, 3, Vec::new())
+        .write_to(&mut stream)
+        .expect("write retry");
+    let retry = Frame::read_from(&mut stream).expect("retry reply");
+    assert_eq!(retry.status, 0, "retry after BUSY succeeds");
+    assert_alive(&server, "after global admission shed");
+}
+
+#[test]
+fn per_connection_inflight_cap_sheds_typed_busy() {
+    // conn_inflight 1 with an unlimited global cap: one pipelining
+    // connection cannot hold more than one admitted request, and the
+    // shed must echo BUSY *in reply order* after the first frame's
+    // real reply.
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_deadline: Duration::from_millis(1),
+        max_inflight: 0,
+        conn_inflight: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let img = datasets::grayscale_blobs(1, 8, 8, 6).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+    let container = codec.encode_image(&img, &CodecOptions::default()).unwrap();
+    let (mut stream, replies) = pipelined_replies(
+        &server,
+        &[
+            Frame::request(Opcode::Decode, 7, container),
+            Frame::request(Opcode::Decode, 8, b"never admitted".to_vec()),
+        ],
+    );
+    assert_eq!(replies[0].status, 0, "first decode served");
+    assert_eq!(
+        replies[1].status,
+        ErrorCode::Busy as u16,
+        "second pipelined request shed: {}",
+        String::from_utf8_lossy(&replies[1].payload)
+    );
+    // A healthy request on the same connection afterwards: the cap
+    // shed requests, never the connection.
+    Frame::request(Opcode::Info, 9, Vec::new())
+        .write_to(&mut stream)
+        .expect("write follow-up");
+    assert_eq!(Frame::read_from(&mut stream).expect("follow-up").status, 0);
+    assert_alive(&server, "after per-connection shed");
+}
+
+#[test]
+fn remote_bytes_match_offline_for_every_entropy_coder_through_the_poll_path() {
+    // Byte-identity re-pinned through the event-driven core: for all
+    // three entropy coders, the served encode equals the offline
+    // encode bit for bit, and the served decode inverts it.
+    let server = boot();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let img = datasets::grayscale_blobs(1, 16, 16, 11).remove(0);
+    let codec = Codec::spectral_for_image(&img, 4, 8).unwrap();
+    for coder in [
+        qn_codec::EntropyCoder::Rice,
+        qn_codec::EntropyCoder::RicePos,
+        qn_codec::EntropyCoder::Range,
+    ] {
+        let opts = CodecOptions {
+            entropy: coder,
+            ..CodecOptions::default()
+        };
+        let offline = codec.encode_image(&img, &opts).unwrap();
+        let remote = client
+            .encode(&spectral_encode_request(&img, &opts, 8))
+            .unwrap_or_else(|e| panic!("{coder:?}: remote encode: {e}"));
+        assert_eq!(remote, offline, "{coder:?}: encode bytes drifted");
+        let round = client
+            .decode(&remote)
+            .unwrap_or_else(|e| panic!("{coder:?}: remote decode: {e}"));
+        assert_eq!(
+            round,
+            codec.decode_bytes(&offline).unwrap(),
+            "{coder:?}: decode pixels drifted"
+        );
+    }
+}
+
 /// Re-fix a frame's trailing CRC after mutating its header.
 fn refix_frame_crc(bytes: &mut [u8]) {
     let body = bytes.len() - 4;
