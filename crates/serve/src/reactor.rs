@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-// The two-symbol FFI surface. `nfds_t` is `c_ulong` on Linux; the
+// The three-symbol FFI surface. `nfds_t` is `c_ulong` on Linux; the
 // event bits below are identical across the unix platforms this repo
 // targets.
 #[repr(C)]
@@ -63,6 +63,13 @@ const POLLERR: i16 = 0x008;
 const POLLHUP: i16 = 0x010;
 const POLLNVAL: i16 = 0x020;
 
+const F_GETFL: std::ffi::c_int = 3;
+const F_SETFL: std::ffi::c_int = 4;
+#[cfg(any(target_os = "macos", target_os = "freebsd", target_os = "netbsd"))]
+const O_NONBLOCK: std::ffi::c_int = 0x0004;
+#[cfg(not(any(target_os = "macos", target_os = "freebsd", target_os = "netbsd")))]
+const O_NONBLOCK: std::ffi::c_int = 0o4000;
+
 extern "C" {
     fn poll(
         fds: *mut RawPollFd,
@@ -70,6 +77,22 @@ extern "C" {
         timeout_ms: std::ffi::c_int,
     ) -> std::ffi::c_int;
     fn pipe(fds: *mut std::ffi::c_int) -> std::ffi::c_int;
+    // fcntl(2) is variadic in C; the int-argument forms used here pass
+    // identically through the non-variadic declaration on every ABI
+    // this repo targets.
+    fn fcntl(fd: RawFd, cmd: std::ffi::c_int, arg: std::ffi::c_int) -> std::ffi::c_int;
+}
+
+/// Put a descriptor into nonblocking mode via `F_GETFL`/`F_SETFL`.
+fn set_nonblocking(fd: RawFd) -> std::io::Result<()> {
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok(())
 }
 
 /// What a registered descriptor wants to be woken for.
@@ -199,9 +222,10 @@ pub struct Waker {
 }
 
 impl Waker {
-    /// Interrupt the reactor's poll wait. Failures are ignored: a full
-    /// pipe means a wakeup is already pending, a closed pipe means the
-    /// reactor is gone.
+    /// Interrupt the reactor's poll wait. Never blocks: the write end
+    /// is nonblocking, so a full pipe fails with `WouldBlock` — which
+    /// is fine, because a full pipe genuinely means a wakeup is
+    /// already pending. A closed pipe means the reactor is gone.
     pub fn wake(&self) {
         if let Ok(mut w) = self.writer.lock() {
             let _ = w.write(&[1u8]);
@@ -221,6 +245,12 @@ impl WakePipe {
         }
         // SAFETY: pipe(2) returned two fresh descriptors we now own.
         let (reader, writer) = unsafe { (File::from_raw_fd(fds[0]), File::from_raw_fd(fds[1])) };
+        // Both ends nonblocking: a blocking write end would stall
+        // workers (Mutex held) whenever replies outpace the reactor's
+        // drain and the pipe fills; a blocking read end would let
+        // `drain`'s catch-up loop hang once the pipe empties.
+        set_nonblocking(reader.as_raw_fd())?;
+        set_nonblocking(writer.as_raw_fd())?;
         Ok(WakePipe {
             reader,
             writer: Arc::new(Waker {
@@ -239,14 +269,19 @@ impl WakePipe {
         self.reader.as_raw_fd()
     }
 
-    /// Swallow whatever wakeup bytes are pending. Only called after
-    /// `poll` reported the read end readable, so the blocking read
-    /// returns immediately with at least one byte (pipes return the
-    /// bytes available, they never block a read that can be partially
-    /// satisfied).
+    /// Swallow every pending wakeup byte. The read end is nonblocking,
+    /// so the loop ends with `WouldBlock` (or a short read) once the
+    /// pipe is empty — one drain per reactor iteration keeps up with
+    /// any number of writers, where a single bounded read could fall
+    /// behind a full pipe one iteration at a time.
     pub fn drain(&mut self) {
-        let mut sink = [0u8; 256];
-        let _ = self.reader.read(&mut sink);
+        let mut sink = [0u8; 4096];
+        loop {
+            match self.reader.read(&mut sink) {
+                Ok(n) if n == sink.len() => {}
+                _ => return,
+            }
+        }
     }
 }
 
@@ -361,6 +396,14 @@ pub struct FrameAccumulator {
     consumed: usize,
 }
 
+/// Consumed-prefix size past which [`FrameAccumulator::extend`]
+/// compacts even though the buffer is not fully drained. Without this
+/// threshold a long-lived pipelining connection whose reads rarely
+/// land exactly on a frame boundary would keep every byte it ever
+/// sent resident — memory growing with total traffic, not with
+/// pending data.
+const COMPACT_CONSUMED_LIMIT: usize = 64 * 1024;
+
 /// One step of [`FrameAccumulator::next_frame`].
 #[derive(Debug)]
 pub enum FrameStep {
@@ -376,10 +419,17 @@ pub enum FrameStep {
 }
 
 impl FrameAccumulator {
-    /// Append freshly read bytes.
+    /// Append freshly read bytes, compacting first when the consumed
+    /// prefix is the whole buffer (free) or has outgrown
+    /// [`COMPACT_CONSUMED_LIMIT`] (one memmove of the pending bytes —
+    /// amortised O(1) per byte, and what keeps the buffer bounded by
+    /// pending data instead of total traffic).
     pub fn extend(&mut self, bytes: &[u8]) {
         if self.consumed > 0 && self.consumed == self.buf.len() {
             self.buf.clear();
+            self.consumed = 0;
+        } else if self.consumed > COMPACT_CONSUMED_LIMIT {
+            self.buf.drain(..self.consumed);
             self.consumed = 0;
         }
         self.buf.extend_from_slice(bytes);
@@ -480,17 +530,23 @@ pub fn write_queue(
     WriteProgress::Drained
 }
 
-/// Read as much as the nonblocking stream offers into the
-/// accumulator. Returns `(bytes_read, saw_eof)`; errors other than
-/// `WouldBlock`/`Interrupted` surface as `Err` (close the connection).
+/// Read what the nonblocking stream offers into the accumulator, up
+/// to `budget` bytes per call — the cap bounds how much one service
+/// pass can inhale before the caller's write-backlog gate is
+/// re-checked (the socket stays level-triggered readable, so the rest
+/// is picked up next iteration). Returns `(bytes_read, saw_eof)`;
+/// errors other than `WouldBlock`/`Interrupted` surface as `Err`
+/// (close the connection).
 pub fn read_available(
     stream: &std::net::TcpStream,
     acc: &mut FrameAccumulator,
+    budget: usize,
 ) -> std::io::Result<(usize, bool)> {
     let mut chunk = [0u8; 64 * 1024];
     let mut total = 0usize;
-    loop {
-        match (&mut (&*stream)).read(&mut chunk) {
+    while total < budget {
+        let want = chunk.len().min(budget - total);
+        match (&mut (&*stream)).read(&mut chunk[..want]) {
             Ok(0) => return Ok((total, true)),
             Ok(n) => {
                 acc.extend(&chunk[..n]);
@@ -501,6 +557,7 @@ pub fn read_available(
             Err(e) => return Err(e),
         }
     }
+    Ok((total, false))
 }
 
 /// The earliest of two optional deadlines.
@@ -579,6 +636,85 @@ mod tests {
             matches!(violation, Some(FrameError::BadMagic(_))),
             "{violation:?}"
         );
+    }
+
+    #[test]
+    fn waker_never_blocks_when_the_pipe_is_full() {
+        // Far more wakes than any pipe capacity: every one must return
+        // immediately (the write end is nonblocking; a full pipe means
+        // a wakeup is already pending). The old blocking write end
+        // made this loop hang at the capacity mark.
+        let mut pipe = WakePipe::new().unwrap();
+        let waker = pipe.waker();
+        for _ in 0..100_000 {
+            waker.wake();
+        }
+        let mut poller = Poller::new();
+        let slot = poller.register(pipe.fd(), Interest::Read);
+        poller.poll(Some(Duration::ZERO)).unwrap();
+        assert!(poller.readiness(slot).readable, "wakeups pending");
+        // One drain must swallow the whole backlog, not 256 bytes of it.
+        pipe.drain();
+        let mut poller = Poller::new();
+        let slot = poller.register(pipe.fd(), Interest::Read);
+        poller.poll(Some(Duration::ZERO)).unwrap();
+        assert!(
+            !poller.readiness(slot).readable,
+            "drain empties the pipe completely"
+        );
+    }
+
+    #[test]
+    fn accumulator_compacts_when_reads_never_land_on_frame_boundaries() {
+        // Worst case for the old fully-drained-only compaction: every
+        // extend leaves one byte of the next frame pending, so the
+        // buffer never drains exactly and `consumed` grows forever —
+        // memory proportional to total traffic. The threshold
+        // compaction must keep the buffer bounded by pending data.
+        let frame = Frame::request(Opcode::Info, 9, vec![0u8; 100]).to_bytes();
+        let mut acc = FrameAccumulator::default();
+        acc.extend(&frame[..1]);
+        let rounds = 10_000usize; // ~1.2 MB of traffic uncompacted
+        for _ in 0..rounds {
+            acc.extend(&frame[1..]);
+            acc.extend(&frame[..1]);
+            let header = match acc.step(None) {
+                FrameStep::Header(h) => h,
+                other => panic!("expected header, got {other:?}"),
+            };
+            assert!(matches!(acc.step(Some(&header)), FrameStep::Frame(_)));
+            assert!(matches!(acc.step(None), FrameStep::NeedMore));
+            assert_eq!(acc.pending(), 1, "one byte of the next frame pending");
+        }
+        assert!(
+            acc.buf.len() <= COMPACT_CONSUMED_LIMIT + 2 * frame.len(),
+            "buffer bounded by the compaction threshold, got {} after {} bytes",
+            acc.buf.len(),
+            rounds * frame.len()
+        );
+    }
+
+    #[test]
+    fn read_available_honours_its_budget() {
+        let (a, b) = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = std::net::TcpStream::connect(addr).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            (client, server)
+        };
+        b.set_nonblocking(true).unwrap();
+        (&a).write_all(&[7u8; 8 * 1024]).unwrap();
+        // Give the kernel a beat to move the bytes across loopback.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut acc = FrameAccumulator::default();
+        let (n, eof) = read_available(&b, &mut acc, 1024).unwrap();
+        assert_eq!(n, 1024, "stops at the budget with more bytes waiting");
+        assert!(!eof);
+        let (n, eof) = read_available(&b, &mut acc, usize::MAX).unwrap();
+        assert_eq!(n, 7 * 1024, "the rest arrives on the next pass");
+        assert!(!eof);
+        assert_eq!(acc.pending(), 8 * 1024);
     }
 
     #[test]

@@ -59,6 +59,28 @@ fn span_ns(from: Instant, to: Instant) -> u64 {
     u64::try_from(to.saturating_duration_since(from).as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Unwritten reply bytes queued on one connection past which the
+/// reactor stops reading from (and admitting on) it until the backlog
+/// drains. Without this gate a peer that pipelines requests but never
+/// reads replies grows the reply queue without bound — BUSY replies
+/// carry no admission slot, so the admission caps alone cannot bound
+/// it. Reads stopping makes the kernel socket buffers fill and TCP
+/// flow control throttle the peer, the way the old blocking write
+/// loop did naturally.
+const WIRE_BACKLOG_LIMIT: usize = 256 * 1024;
+
+/// Most bytes one service pass reads from one connection, so the
+/// reply queue a single burst can generate is bounded before the
+/// backlog gate is re-checked (the socket stays level-triggered
+/// readable; the remainder is read next iteration).
+const READ_BUDGET: usize = 256 * 1024;
+
+/// How long the reactor leaves the listener unregistered after a
+/// persistent accept failure (fd exhaustion and kin): the listener
+/// stays readable through such errors, so re-polling immediately
+/// would spin the reactor at full CPU until a descriptor frees up.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
 /// Completed traces kept in the recent ring.
 const TRACE_RECENT_CAP: usize = 64;
 /// Slow traces kept in the always-keep buffer.
@@ -501,6 +523,10 @@ struct Conn {
     next_release: u64,
     /// Replies released from the outbox, in order, mid-write.
     wire: VecDeque<WireReply>,
+    /// Total bytes of replies in `wire` not yet fully written (a
+    /// reply's bytes count until it pops). Drives the
+    /// [`WIRE_BACKLOG_LIMIT`] read gate.
+    wire_bytes: usize,
     /// Requests admitted on this connection whose replies have not
     /// finished writing (the [`ServerConfig::conn_inflight`] gate).
     inflight: usize,
@@ -524,6 +550,7 @@ impl Conn {
             next_assign: 0,
             next_release: 0,
             wire: VecDeque::new(),
+            wire_bytes: 0,
             inflight: 0,
             read_closed: false,
             slot: None,
@@ -543,6 +570,13 @@ impl Conn {
     /// Every assigned frame's reply has fully reached the socket.
     fn fully_replied(&self) -> bool {
         self.next_release == self.next_assign && self.wire.is_empty()
+    }
+
+    /// The peer has let too many reply bytes pile up unread: stop
+    /// reading from it (and so stop parsing, admitting and generating
+    /// replies) until the backlog drains below the limit.
+    fn write_backlogged(&self) -> bool {
+        self.wire_bytes >= WIRE_BACKLOG_LIMIT
     }
 }
 
@@ -571,6 +605,9 @@ fn reactor_loop(
     // Set once shutdown is observed: the drain deadline after which
     // remaining connections are force-closed.
     let mut drain_deadline: Option<Instant> = None;
+    // Set after a persistent accept failure: the listener stays
+    // unregistered until this instant (see [`ACCEPT_BACKOFF`]).
+    let mut accept_backoff: Option<Instant> = None;
 
     loop {
         // Entering drain mode can make connections closable with no
@@ -591,12 +628,25 @@ fn reactor_loop(
 
         // Register this iteration's descriptor set.
         poller.clear();
+        let now = Instant::now();
+        if accept_backoff.is_some_and(|t| now >= t) {
+            accept_backoff = None;
+        }
         let wake_slot = poller.register(wake.fd(), Interest::Read);
-        let listen_slot = listener
-            .as_ref()
-            .map(|l| poller.register(l.as_raw_fd(), Interest::Read));
+        let listen_slot = match &listener {
+            Some(l) if accept_backoff.is_none() => {
+                Some(poller.register(l.as_raw_fd(), Interest::Read))
+            }
+            _ => None,
+        };
         for conn in &mut conns {
-            let interest = match (!conn.read_closed, !conn.wire.is_empty()) {
+            // A write-backlogged connection loses read interest: the
+            // kernel receive buffer fills and TCP flow control
+            // throttles the peer until it drains its replies.
+            let interest = match (
+                !conn.read_closed && !conn.write_backlogged(),
+                !conn.wire.is_empty(),
+            ) {
                 (true, true) => Some(Interest::ReadWrite),
                 (true, false) => Some(Interest::Read),
                 (false, true) => Some(Interest::Write),
@@ -607,12 +657,20 @@ fn reactor_loop(
             conn.slot = interest.map(|i| poller.register(conn.stream.as_raw_fd(), i));
         }
 
-        // Sleep until the earliest frame deadline (or the drain
-        // deadline), a socket event, or a wakeup byte.
-        let now = Instant::now();
+        // Sleep until the earliest frame deadline (or the drain or
+        // accept-backoff deadline), a socket event, or a wakeup byte.
+        // Deadlines of write-backlogged connections are excluded: the
+        // reactor is refusing to read the rest of their frames, so
+        // running their completion clock would both reap them unfairly
+        // and spin the loop once the deadline passes.
         let mut wake_at = drain_deadline;
+        if listener.is_some() {
+            wake_at = earliest(wake_at, accept_backoff);
+        }
         for conn in &conns {
-            wake_at = earliest(wake_at, conn.deadline);
+            if !conn.write_backlogged() {
+                wake_at = earliest(wake_at, conn.deadline);
+            }
         }
         let timeout = if entered_drain {
             Some(Duration::ZERO)
@@ -630,8 +688,8 @@ fn reactor_loop(
 
         // Accept burst.
         if let (Some(l), Some(slot)) = (&listener, listen_slot) {
-            if poller.readiness(slot).any() {
-                accept_burst(shared, l, &mut conns);
+            if poller.readiness(slot).any() && accept_burst(shared, l, &mut conns) {
+                accept_backoff = Some(Instant::now() + ACCEPT_BACKOFF);
             }
         }
 
@@ -664,18 +722,32 @@ fn reactor_loop(
 }
 
 /// Accept until `WouldBlock`, shedding over-cap connections with one
-/// typed `BUSY` frame.
-fn accept_burst(shared: &Arc<Shared>, listener: &TcpListener, conns: &mut Vec<Conn>) {
+/// typed `BUSY` frame. Returns `true` when a persistent accept
+/// failure was hit and the caller should back the listener off.
+fn accept_burst(shared: &Arc<Shared>, listener: &TcpListener, conns: &mut Vec<Conn>) -> bool {
     loop {
         let (stream, peer_addr) = match listener.accept() {
             Ok(accepted) => accepted,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => {
-                // Transient accept failures (per-connection resets,
-                // fd pressure): log and fall back to the next poll.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                // A connection that died between arrival and accept is
+                // gone on its own; move on to the next one.
                 shared.log.warn("accept", format_args!("error={e}"));
-                return;
+                continue;
+            }
+            Err(e) => {
+                // Persistent failure (fd exhaustion and kin): the
+                // listener stays readable through these, so returning
+                // to poll immediately would spin at full CPU. Tell the
+                // reactor to leave the listener unregistered briefly.
+                shared.log.warn("accept", format_args!("error={e} backoff"));
+                return true;
             }
         };
         let peer: Arc<str> = peer_addr.to_string().into();
@@ -730,9 +802,10 @@ fn service_conn(
     if ready.error {
         return Some(CloseCause::Dropped);
     }
+    let was_backlogged = conn.write_backlogged();
 
-    if ready.readable && !conn.read_closed {
-        match read_available(&conn.stream, &mut conn.acc) {
+    if ready.readable && !conn.read_closed && !conn.write_backlogged() {
+        match read_available(&conn.stream, &mut conn.acc, READ_BUDGET) {
             Ok((_, eof)) => {
                 pump_frames(shared, jobs, conn, now);
                 if eof {
@@ -751,21 +824,23 @@ fn service_conn(
     // Release worker replies that are next in sequence order.
     if conn.chan.is_dirty() {
         for reply in conn.chan.take_in_order(&mut conn.next_release) {
+            conn.wire_bytes += reply.bytes.len();
             conn.wire.push_back(WireReply { reply, cursor: 0 });
         }
     }
-
     // Push the wire queue whether or not POLLOUT fired: most replies
     // go out on the first attempt without ever registering for write.
     if !conn.wire.is_empty() {
         let Conn {
             ref stream,
             ref mut wire,
+            ref mut wire_bytes,
             ref mut inflight,
             ..
         } = *conn;
         let metrics = shared.metrics.as_deref();
         let progress = write_queue(stream, wire, |reply| {
+            *wire_bytes = wire_bytes.saturating_sub(reply.bytes.len());
             if let Some(m) = metrics {
                 m.record_frame_out(reply.bytes.len() as u64);
             }
@@ -782,9 +857,16 @@ fn service_conn(
 
     // Frame-completion deadline: the peer started a frame and never
     // finished it (stall or byte-drip) — reap, releasing the parked
-    // mesh guard a stalled peer would otherwise pin.
+    // mesh guard a stalled peer would otherwise pin. The clock only
+    // runs while the reactor is willing to read: a pass that touched
+    // a write-backlogged state (including the pass whose write drain
+    // just cleared it — reads resume one pass later) re-arms the
+    // deadline instead, so the throttle window is never counted
+    // against the peer's frame-completion time.
     if let Some(deadline) = conn.deadline {
-        if now >= deadline {
+        if was_backlogged || conn.write_backlogged() {
+            conn.deadline = Some(now + shared.config.read_timeout);
+        } else if now >= deadline {
             return Some(CloseCause::Reaped);
         }
     }

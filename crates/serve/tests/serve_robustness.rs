@@ -357,6 +357,61 @@ fn a_thousand_idle_connections_stay_alive_with_timeouts_disabled() {
     );
 }
 
+#[test]
+fn a_peer_that_reads_late_is_throttled_and_still_gets_every_reply() {
+    // A peer pipelines far more requests than the reply queue limit
+    // can hold while not reading any replies: the server must stop
+    // reading (TCP flow control throttles the writer) instead of
+    // queueing replies without bound — and once the peer does read,
+    // every request must still get its typed reply, in order, on a
+    // connection that was never dropped or reaped. Run with a short
+    // read timeout to pin that the throttle window does not count
+    // against the frame-completion deadline.
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch_deadline: Duration::from_millis(1),
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let n = 20_000u32;
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let writer = {
+        let mut s = stream.try_clone().expect("clone stream");
+        std::thread::spawn(move || {
+            for id in 0..n {
+                Frame::request(Opcode::Info, id, Vec::new())
+                    .write_to(&mut s)
+                    .unwrap_or_else(|e| panic!("request #{id} refused mid-flood: {e}"));
+            }
+        })
+    };
+    // Let the flood hit the backlog gate before reading anything.
+    std::thread::sleep(Duration::from_millis(700));
+    let mut stream = stream;
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for id in 0..n {
+        let reply = Frame::read_from(&mut stream).unwrap_or_else(|e| panic!("reply #{id}: {e}"));
+        assert_eq!(reply.request_id, id, "replies stay in order");
+        match reply.status {
+            0 => served += 1,
+            s if s == ErrorCode::Busy as u16 => shed += 1,
+            s => panic!(
+                "reply #{id}: unexpected status {s}: {}",
+                String::from_utf8_lossy(&reply.payload)
+            ),
+        }
+    }
+    writer.join().expect("writer thread");
+    assert_eq!(served + shed, u64::from(n), "every request answered");
+    assert!(served > 0, "some requests served");
+    assert_alive(&server, "after reply-backlog flood");
+}
+
 /// Pipeline `frames` in one write on one fresh connection and read
 /// `frames.len()` replies back, in order.
 fn pipelined_replies(server: &ServerHandle, frames: &[Frame]) -> (TcpStream, Vec<Frame>) {
